@@ -1,0 +1,121 @@
+package papyruskv_test
+
+// Benchmarks, one per table/figure of the paper's evaluation plus the
+// ablations DESIGN.md calls out. Each wraps the corresponding experiment
+// from internal/experiments with small parameters so `go test -bench=.`
+// finishes in minutes; cmd/pkv-bench runs the same experiments at the
+// paper-style parameter sweeps and prints the full series.
+//
+// Benchmarks report the aggregate operation rate of the figure's headline
+// phase as ops/s via b.ReportMetric, on top of the usual ns/op.
+
+import (
+	"testing"
+
+	"papyruskv/internal/experiments"
+	"papyruskv/internal/systems"
+)
+
+// benchCfg keeps benchmark iterations small: the figure shapes come from
+// the performance models, not from statistical repetition.
+func benchCfg(b *testing.B) experiments.Config {
+	return experiments.Config{
+		BaseDir:   b.TempDir(),
+		Ops:       30,
+		MaxRanks:  16,
+		TimeScale: 1.0,
+		Quick:     true,
+	}
+}
+
+// benchSystem is a trimmed Summitdev so a single benchmark iteration stays
+// around a second; the full-size systems run under cmd/pkv-bench.
+var benchSystem = systems.System{
+	Name:         "Summitdev",
+	Arch:         systems.LocalNVM,
+	CoresPerNode: 8,
+	NVM:          systems.Summitdev.NVM,
+	PFS:          systems.Summitdev.PFS,
+	Net:          systems.Summitdev.Net,
+	Shm:          systems.Summitdev.Shm,
+	OpsPerRank:   30,
+}
+
+var benchCori = systems.System{
+	Name:         "Cori",
+	Arch:         systems.DedicatedNVM,
+	CoresPerNode: 8,
+	NVM:          systems.Cori.NVM,
+	PFS:          systems.Cori.PFS,
+	Net:          systems.Cori.Net,
+	Shm:          systems.Cori.Shm,
+	OpsPerRank:   30,
+}
+
+func runFigureBench(b *testing.B, fn func(experiments.Config, systems.System) ([]experiments.Result, error), sys systems.System, headline string) {
+	b.Helper()
+	cfg := benchCfg(b)
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		results, err := fn(cfg, sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Series == headline {
+				rate = r.KRPS * 1e3
+			}
+		}
+	}
+	if rate > 0 {
+		b.ReportMetric(rate, "agg-ops/s")
+	}
+}
+
+// BenchmarkFig6_BasicOps regenerates Figure 6: put/barrier/get vs value
+// size on NVM and Lustre.
+func BenchmarkFig6_BasicOps(b *testing.B) {
+	runFigureBench(b, experiments.Fig6, benchSystem, "get-nvm")
+}
+
+// BenchmarkFig7_Consistency regenerates Figure 7: relaxed vs sequential
+// put throughput, with and without the closing barrier.
+func BenchmarkFig7_Consistency(b *testing.B) {
+	runFigureBench(b, experiments.Fig7, benchSystem, "Rel")
+}
+
+// BenchmarkFig8_GetOptimisations regenerates Figure 8: storage group and
+// SSTable binary search.
+func BenchmarkFig8_GetOptimisations(b *testing.B) {
+	runFigureBench(b, experiments.Fig8, benchSystem, "Def+SG+B")
+}
+
+// BenchmarkFig9_Workloads regenerates Figure 9: 50/50, 95/5, 100/0, and
+// 100/0+P read/update mixes.
+func BenchmarkFig9_Workloads(b *testing.B) {
+	runFigureBench(b, experiments.Fig9, benchSystem, "100/0+P")
+}
+
+// BenchmarkFig10_CheckpointRestart regenerates Figure 10: checkpoint,
+// restart, and restart with redistribution.
+func BenchmarkFig10_CheckpointRestart(b *testing.B) {
+	runFigureBench(b, experiments.Fig10, benchSystem, "checkpoint")
+}
+
+// BenchmarkFig11_VsMDHIM regenerates Figure 11: PapyrusKV vs MDHIM on NVMe
+// and Lustre at 8B and 128KB values.
+func BenchmarkFig11_VsMDHIM(b *testing.B) {
+	runFigureBench(b, experiments.Fig11, benchSystem, "PKV-N")
+}
+
+// BenchmarkFig13_Meraculous regenerates Figure 13: the Meraculous pipeline
+// on PapyrusKV vs the UPC-like one-sided DSM.
+func BenchmarkFig13_Meraculous(b *testing.B) {
+	runFigureBench(b, experiments.Fig13, benchCori, "PKV")
+}
+
+// BenchmarkAblation_DesignChoices measures bloom filters, the local cache,
+// and the compaction interval in isolation (see DESIGN.md §5).
+func BenchmarkAblation_DesignChoices(b *testing.B) {
+	runFigureBench(b, experiments.Ablations, benchSystem, "bloom-on")
+}

@@ -1,0 +1,273 @@
+package papyruskv
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"papyruskv/internal/core"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/simnet"
+	"papyruskv/internal/systems"
+)
+
+// StorageClass selects an NVM/file-system performance model.
+type StorageClass int
+
+const (
+	// DRAMClass applies no throttling (unit tests, native-speed runs).
+	DRAMClass StorageClass = iota
+	// NVMeClass models node-local NVMe (Summitdev).
+	NVMeClass
+	// SSDClass models node-local SATA SSD (Stampede).
+	SSDClass
+	// BurstBufferClass models dedicated burst-buffer nodes (Cori).
+	BurstBufferClass
+	// LustreClass models a Lustre parallel file system.
+	LustreClass
+)
+
+func (s StorageClass) model() nvm.PerfModel {
+	switch s {
+	case NVMeClass:
+		return nvm.NVMe
+	case SSDClass:
+		return nvm.SATASSD
+	case BurstBufferClass:
+		return nvm.BurstBuffer
+	case LustreClass:
+		return nvm.Lustre
+	default:
+		return nvm.DRAM
+	}
+}
+
+// ClusterConfig describes an SPMD run: how many ranks, how they map onto
+// nodes and storage groups, and which performance models govern storage and
+// the interconnect.
+type ClusterConfig struct {
+	// Ranks is the number of SPMD ranks (goroutines). Required.
+	Ranks int
+	// Dir is the base directory holding the simulated NVM devices and
+	// the parallel file system. Required.
+	Dir string
+	// RanksPerNode maps ranks onto nodes; 0 places all ranks on one node.
+	RanksPerNode int
+	// GroupSize is the storage-group size (PAPYRUSKV_GROUP_SIZE): ranks
+	// r with equal r/GroupSize share one NVM device and can read each
+	// other's SSTables directly. 0 derives it from RanksPerNode (local
+	// NVM architecture) or, if that is also 0, uses one group per rank.
+	GroupSize int
+	// NVM and PFS select storage models; PFS defaults to LustreClass
+	// when TimeScale > 0, DRAMClass otherwise.
+	NVM StorageClass
+	PFS StorageClass
+	// System, when set to "summitdev", "stampede", or "cori", loads that
+	// machine's Table-2 profile (storage, interconnect, ranks per node,
+	// storage-group policy), overriding NVM/PFS/RanksPerNode/GroupSize.
+	System string
+	// TimeScale multiplies every modelled delay; 0 disables performance
+	// modelling entirely (functional mode).
+	TimeScale float64
+	// UsePFSForData stores database SSTables on the PFS device instead
+	// of NVM — the paper's "Lustre" series in Figures 6 and 11.
+	UsePFSForData bool
+	// PersistentReservation models Cori's burst-buffer persistent
+	// reservations (§4.1): the NVM space survives the end-of-job Trim,
+	// so coupled applications in *different jobs* can use the zero-copy
+	// workflow without a checkpoint. Meaningful on dedicated NVM
+	// architectures; on node-local NVM real systems always trim.
+	PersistentReservation bool
+}
+
+// Cluster owns the ranks, devices, and fabrics of one SPMD program.
+type Cluster struct {
+	cfg     ClusterConfig
+	world   *mpi.World
+	devices map[int]*nvm.Device
+	pfs     *nvm.Device
+	groupOf func(int) int
+}
+
+// NewCluster validates cfg and materialises the devices and fabrics.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("papyruskv: ClusterConfig.Ranks must be >= 1")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("papyruskv: ClusterConfig.Dir is required")
+	}
+
+	nvmModel := cfg.NVM.model()
+	pfsModel := cfg.PFS.model()
+	netCfg := simnet.EDRInfiniBand
+	shmCfg := simnet.Config{Latency: 300, Bandwidth: 40e9, CongestionFactor: 0.02, TimeScale: 1}
+
+	if cfg.System != "" {
+		var sys systems.System
+		switch strings.ToLower(cfg.System) {
+		case "summitdev":
+			sys = systems.Summitdev
+		case "stampede":
+			sys = systems.Stampede
+		case "cori":
+			sys = systems.Cori
+		default:
+			return nil, fmt.Errorf("papyruskv: unknown system %q (want summitdev, stampede, or cori)", cfg.System)
+		}
+		nvmModel = sys.NVM
+		pfsModel = sys.PFS
+		netCfg = sys.Net
+		shmCfg = sys.Shm
+		cfg.RanksPerNode = sys.CoresPerNode
+		if cfg.GroupSize == 0 {
+			cfg.GroupSize = sys.GroupSize(cfg.Ranks)
+		}
+	} else if cfg.PFS == DRAMClass && cfg.TimeScale > 0 {
+		pfsModel = nvm.Lustre
+	}
+
+	scale := cfg.TimeScale
+	nvmModel = nvmModel.Scaled(scale)
+	pfsModel = pfsModel.Scaled(scale)
+	netCfg.TimeScale = scale
+	shmCfg.TimeScale = scale
+
+	groupSize := cfg.GroupSize
+	if groupSize <= 0 {
+		groupSize = cfg.RanksPerNode
+	}
+	if groupSize <= 0 {
+		groupSize = 1
+	}
+	groupOf := func(r int) int { return r / groupSize }
+
+	pfs, err := nvm.Open(filepath.Join(cfg.Dir, "pfs"), pfsModel)
+	if err != nil {
+		return nil, err
+	}
+	dataModel := nvmModel
+	if cfg.UsePFSForData {
+		dataModel = pfsModel
+	}
+	devices := map[int]*nvm.Device{}
+	for r := 0; r < cfg.Ranks; r++ {
+		g := groupOf(r)
+		if _, ok := devices[g]; !ok {
+			d, err := nvm.Open(filepath.Join(cfg.Dir, fmt.Sprintf("nvm-g%d", g)), dataModel)
+			if err != nil {
+				return nil, err
+			}
+			devices[g] = d
+		}
+	}
+
+	topo := mpi.Topology{
+		RanksPerNode: cfg.RanksPerNode,
+		Net:          simnet.New(netCfg),
+		Shm:          simnet.New(shmCfg),
+	}
+	return &Cluster{
+		cfg:     cfg,
+		world:   mpi.NewWorld(cfg.Ranks, topo),
+		devices: devices,
+		pfs:     pfs,
+		groupOf: groupOf,
+	}, nil
+}
+
+// Run executes fn once per rank, SPMD style. It corresponds to one
+// application execution within a job (Figure 5); call Run again on the same
+// Cluster for a second coupled application sharing the retained NVM state.
+func (cl *Cluster) Run(fn func(*Context) error) error {
+	// Each Run needs a fresh world: a new application execution.
+	cl.world = mpi.NewWorld(cl.cfg.Ranks, cl.world.Topology())
+	return cl.world.Run(func(c *mpi.Comm) error {
+		rt, err := core.NewRuntime(core.Config{
+			Comm:    c,
+			Device:  cl.devices[cl.groupOf(c.Rank())],
+			PFS:     cl.pfs,
+			GroupOf: cl.groupOf,
+		})
+		if err != nil {
+			return err
+		}
+		return fn(&Context{rt: rt, comm: c})
+	})
+}
+
+// Trim wipes every NVM device, modelling the end-of-job scratch trim (§4).
+// The parallel file system is left intact: checkpoints survive jobs. Under
+// a PersistentReservation the NVM space itself survives, so Trim is a
+// no-op and databases remain reusable zero-copy across jobs.
+func (cl *Cluster) Trim() error {
+	if cl.cfg.PersistentReservation {
+		return nil
+	}
+	for _, d := range cl.devices {
+		if err := d.Trim(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ranks returns the configured rank count.
+func (cl *Cluster) Ranks() int { return cl.cfg.Ranks }
+
+// Context is one rank's handle inside Cluster.Run: the PapyrusKV execution
+// environment (papyruskv_init .. papyruskv_finalize) plus SPMD conveniences.
+type Context struct {
+	rt   *core.Runtime
+	comm *mpi.Comm
+}
+
+// Rank returns this rank's index.
+func (ctx *Context) Rank() int { return ctx.rt.Rank() }
+
+// Size returns the total number of ranks.
+func (ctx *Context) Size() int { return ctx.rt.Size() }
+
+// Group returns this rank's storage group ID.
+func (ctx *Context) Group() int { return ctx.rt.Group() }
+
+// Open opens or creates database name collectively (papyruskv_open). A nil
+// opt selects DefaultOptions.
+func (ctx *Context) Open(name string, opt *Options) (*DB, error) {
+	o := DefaultOptions()
+	if opt != nil {
+		o = *opt
+	}
+	return ctx.rt.Open(name, o)
+}
+
+// Restart reverts database name from the snapshot at path
+// (papyruskv_restart); use the returned DB only after Event.Wait succeeds.
+// forceRedistribute reruns the hash-based redistribution even when the rank
+// count matches the snapshot.
+func (ctx *Context) Restart(path, name string, opt *Options, forceRedistribute bool) (*DB, *Event, error) {
+	o := DefaultOptions()
+	if opt != nil {
+		o = *opt
+	}
+	return ctx.rt.Restart(path, name, o, forceRedistribute)
+}
+
+// SignalNotify sends signal signum to ranks (papyruskv_signal_notify).
+func (ctx *Context) SignalNotify(signum int, ranks []int) error {
+	return ctx.rt.SignalNotify(signum, ranks)
+}
+
+// SignalWait blocks until signum arrives from every listed rank
+// (papyruskv_signal_wait).
+func (ctx *Context) SignalWait(signum int, ranks []int) error {
+	return ctx.rt.SignalWait(signum, ranks)
+}
+
+// Barrier synchronises all ranks (an application-level MPI_Barrier; for the
+// database memory fence use DB.Barrier).
+func (ctx *Context) Barrier() error { return ctx.comm.Barrier() }
+
+// Finalize tears down the environment (papyruskv_finalize).
+func (ctx *Context) Finalize() error { return ctx.rt.Finalize() }

@@ -1,0 +1,146 @@
+package papyruskv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"papyruskv"
+)
+
+func TestUsePFSForDataRouting(t *testing.T) {
+	// With UsePFSForData the database's SSTables live on the Lustre-model
+	// device; functionally everything still works (the Lustre series of
+	// Figures 6 and 11).
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks: 2, Dir: t.TempDir(), UsePFSForData: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.MemTableCapacity = 1 << 10
+		db, err := ctx.Open("onlustre", &opt)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 50; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("r%d-%02d", ctx.Rank(), i)), []byte("v")); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+			return err
+		}
+		if db.SSTableCount() == 0 {
+			return fmt.Errorf("no SSTables created")
+		}
+		for r := 0; r < 2; r++ {
+			for i := 0; i < 50; i += 9 {
+				if _, err := db.Get([]byte(fmt.Sprintf("r%d-%02d", r, i))); err != nil {
+					return fmt.Errorf("get on PFS-backed db: %w", err)
+				}
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitGroupSize(t *testing.T) {
+	// GroupSize=2 on 4 ranks: ranks {0,1} and {2,3} each share a device.
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks: 4, Dir: t.TempDir(), GroupSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		if want := ctx.Rank() / 2; ctx.Group() != want {
+			return fmt.Errorf("rank %d group = %d, want %d", ctx.Rank(), ctx.Group(), want)
+		}
+		opt := papyruskv.DefaultOptions()
+		opt.MemTableCapacity = 1 << 10
+		opt.LocalCacheCapacity = 0
+		opt.RemoteCacheCapacity = 0
+		// All keys on rank 0 so rank 1 (same group) uses the shared-NVM
+		// read path and rank 2 (other group) transfers values.
+		opt.Hash = func(key []byte, n int) int { return 0 }
+		db, err := ctx.Open("grouped", &opt)
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			for i := 0; i < 60; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+					return err
+				}
+			}
+		}
+		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+			return err
+		}
+		for i := 0; i < 60; i += 7 {
+			if _, err := db.Get([]byte(fmt.Sprintf("k%02d", i))); err != nil {
+				return err
+			}
+		}
+		shared := db.Metrics().SharedSSTReads.Load()
+		switch ctx.Rank() {
+		case 1:
+			if shared == 0 {
+				return fmt.Errorf("rank 1 never used the shared-SSTable path")
+			}
+		case 2, 3:
+			if shared != 0 {
+				return fmt.Errorf("rank %d used the shared path across groups", ctx.Rank())
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksAccessor(t *testing.T) {
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 3, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Ranks() != 3 {
+		t.Fatalf("Ranks = %d", cluster.Ranks())
+	}
+}
+
+func TestContextFinalize(t *testing.T) {
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("f", nil)
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		return ctx.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultHashExported(t *testing.T) {
+	r := papyruskv.DefaultHash([]byte("key"), 8)
+	if r < 0 || r >= 8 {
+		t.Fatalf("DefaultHash = %d", r)
+	}
+	if papyruskv.DefaultHash([]byte("key"), 8) != r {
+		t.Fatal("DefaultHash not deterministic")
+	}
+}

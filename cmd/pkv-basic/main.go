@@ -1,0 +1,136 @@
+// pkv-basic is the paper artifact's `basic` microbenchmark (Figures 6, 7,
+// and 8): every rank performs <iters> put operations with <keylen>-byte
+// random keys and <vallen>-byte values, a papyruskv_barrier(PAPYRUSKV_
+// SSTABLE), and <iters> get operations, reporting each phase's avg/min/max
+// per-rank time and aggregate throughput.
+//
+// Usage:
+//
+//	pkv-basic [flags] <keylen> <vallen> <iters>
+//
+// The artifact's environment variables are honoured: PAPYRUSKV_CONSISTENCY
+// (1=sequential, 2=relaxed), PAPYRUSKV_BIN_SEARCH (2=binary search),
+// PAPYRUSKV_CACHE_REMOTE, PAPYRUSKV_GROUP_SIZE, PAPYRUSKV_REPOSITORY.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/stats"
+	"papyruskv/internal/workload"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "number of SPMD ranks")
+	system := flag.String("system", "summitdev", "system profile (summitdev, stampede, cori)")
+	scale := flag.Float64("scale", 0, "time scale for performance models (0 = functional)")
+	lustre := flag.Bool("lustre", false, "store SSTables on the Lustre model instead of NVM")
+	flag.Parse()
+	if flag.NArg() != 3 {
+		fmt.Fprintln(os.Stderr, "usage: pkv-basic [flags] <keylen> <vallen> <iters>")
+		os.Exit(2)
+	}
+	keyLen := atoi(flag.Arg(0))
+	valLen := atoi(flag.Arg(1))
+	iters := atoi(flag.Arg(2))
+
+	dir, ok := papyruskv.EnvRepositoryValue()
+	if !ok {
+		var err error
+		dir, err = os.MkdirTemp("", "pkv-basic-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	cfg := papyruskv.ClusterConfig{
+		Ranks:         *ranks,
+		Dir:           dir,
+		System:        *system,
+		TimeScale:     *scale,
+		UsePFSForData: *lustre,
+	}
+	if gs, ok := papyruskv.EnvGroupSizeValue(); ok {
+		cfg.GroupSize = gs
+	}
+	cluster, err := papyruskv.NewCluster(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var putAgg, barAgg, getAgg stats.Agg
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.ApplyEnv(papyruskv.DefaultOptions())
+		db, err := ctx.Open("basic", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), keyLen, iters)
+		val := workload.Value(valLen, ctx.Rank())
+
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		putAgg.Add(time.Since(t0))
+
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t1 := time.Now()
+		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+			return err
+		}
+		barAgg.Add(time.Since(t1))
+
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t2 := time.Now()
+		for _, k := range keys {
+			if _, err := db.Get(k); err != nil {
+				return fmt.Errorf("get: %w", err)
+			}
+		}
+		getAgg.Add(time.Since(t2))
+		return db.Close()
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	total := iters * *ranks
+	bytes := int64(total) * int64(keyLen+valLen)
+	report := func(name string, agg *stats.Agg) {
+		fmt.Printf("%-8s %s  aggregate %.2f KRPS  %.2f MBPS\n",
+			name, agg.String(), stats.KRPS(total, agg.Max()), stats.MBPS(bytes, agg.Max()))
+	}
+	fmt.Printf("pkv-basic: %d ranks on %s, keylen=%d vallen=%d iters=%d\n",
+		*ranks, *system, keyLen, valLen, iters)
+	report("put", &putAgg)
+	report("barrier", &barAgg)
+	report("get", &getAgg)
+}
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		fatal(fmt.Errorf("bad integer %q", s))
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pkv-basic:", err)
+	os.Exit(1)
+}

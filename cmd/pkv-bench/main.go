@@ -1,0 +1,127 @@
+// pkv-bench regenerates every figure of the paper's evaluation section and
+// prints paper-style tables, one per figure per system. It is the top-level
+// harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pkv-bench [-figs 6,7,8,9,10,11,13] [-systems summitdev,stampede,cori]
+//	          [-ops N] [-maxranks N] [-scale F] [-quick] [-dir PATH]
+//
+// -scale multiplies every modelled storage/network delay (1.0 = calibrated
+// models, 0 = functional mode with no delays). -quick trims sweeps for a
+// fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"papyruskv/internal/experiments"
+	"papyruskv/internal/stats"
+	"papyruskv/internal/systems"
+)
+
+func main() {
+	figs := flag.String("figs", "6,7,8,9,10,11,13", "comma-separated figure numbers to run")
+	sysNames := flag.String("systems", "summitdev,stampede,cori", "comma-separated system profiles")
+	ops := flag.Int("ops", 100, "per-rank operation count")
+	maxRanks := flag.Int("maxranks", 64, "cap for rank-scaling sweeps")
+	scale := flag.Float64("scale", 1.0, "time scale for storage/network models (0 disables)")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+	dir := flag.String("dir", "", "base directory for simulated devices (default: temp)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		BaseDir:   *dir,
+		Ops:       *ops,
+		MaxRanks:  *maxRanks,
+		TimeScale: *scale,
+		Quick:     *quick,
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = -1 // explicit 0 on the flag means "disable models"
+	}
+
+	selected := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		selected[strings.TrimSpace(f)] = true
+	}
+	var sysList []systems.System
+	for _, name := range strings.Split(*sysNames, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "summitdev":
+			sysList = append(sysList, systems.Summitdev)
+		case "stampede":
+			sysList = append(sysList, systems.Stampede)
+		case "cori":
+			sysList = append(sysList, systems.Cori)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown system %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	type figRun struct {
+		id  string
+		fn  func(experiments.Config, systems.System) ([]experiments.Result, error)
+		doc string
+	}
+	runs := []figRun{
+		{"6", experiments.Fig6, "Basic operations (put/barrier/get) vs value size, NVM vs Lustre"},
+		{"7", experiments.Fig7, "Put throughput: relaxed vs sequential consistency (+barrier)"},
+		{"8", experiments.Fig8, "Get optimisations: storage group (SG) and binary search (B)"},
+		{"9", experiments.Fig9, "Read/update mixes 50/50, 95/5, 100/0, 100/0+P"},
+		{"10", experiments.Fig10, "Checkpoint / restart / restart with redistribution"},
+		{"11", experiments.Fig11, "PapyrusKV vs MDHIM (8B and 128KB values, NVM vs Lustre)"},
+		{"13", experiments.Fig13, "Meraculous: PapyrusKV vs UPC (one-sided DSM)"},
+		{"ablation", experiments.Ablations, "Design-choice ablations: bloom filters, local cache, compaction interval"},
+	}
+
+	failed := false
+	for _, run := range runs {
+		if !selected[run.id] {
+			continue
+		}
+		for _, sys := range sysList {
+			// Fig 11 is a Summitdev experiment, Fig 13 a Cori experiment
+			// in the paper; run them only on their systems unless the
+			// user asked for a single system explicitly.
+			if len(sysList) > 1 {
+				if run.id == "11" && sys.Name != "Summitdev" {
+					continue
+				}
+				if run.id == "13" && sys.Name != "Cori" {
+					continue
+				}
+			}
+			fmt.Printf("\n=== Figure %s on %s — %s ===\n", run.id, sys.Name, run.doc)
+			results, err := run.fn(cfg, sys)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s on %s failed: %v\n", run.id, sys.Name, err)
+				failed = true
+				continue
+			}
+			printTable(results)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printTable(results []experiments.Result) {
+	tbl := stats.NewTable("series", "x", "ops", "elapsed", "KRPS", "MBPS")
+	for _, r := range results {
+		tbl.AddRow(
+			r.Series,
+			r.X,
+			fmt.Sprintf("%d", r.Ops),
+			r.Elapsed.Round(10e3).String(),
+			fmt.Sprintf("%.2f", r.KRPS),
+			fmt.Sprintf("%.2f", r.MBPS),
+		)
+	}
+	tbl.Write(os.Stdout)
+}

@@ -1,0 +1,148 @@
+// pkv-cr is the paper artifact's `cr` microbenchmark (Figure 10): the first
+// application populates a database and checkpoints it to the parallel file
+// system; the second restarts the snapshot verbatim; the third restarts
+// with a forced redistribution. All three run here as three coupled
+// applications on one cluster, separated by end-of-job NVM trims, and each
+// persistence operation's time and bandwidth is reported.
+//
+// Usage:
+//
+//	pkv-cr [flags] <keylen> <vallen> <iters>
+//
+// PAPYRUSKV_FORCE_REDISTRIBUTE=1 forces redistribution in the plain
+// restart step as well, mirroring the artifact's toggle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/stats"
+	"papyruskv/internal/workload"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "number of SPMD ranks")
+	system := flag.String("system", "summitdev", "system profile")
+	scale := flag.Float64("scale", 0, "time scale for performance models (0 = functional)")
+	flag.Parse()
+	if flag.NArg() != 3 {
+		fmt.Fprintln(os.Stderr, "usage: pkv-cr [flags] <keylen> <vallen> <iters>")
+		os.Exit(2)
+	}
+	keyLen := atoi(flag.Arg(0))
+	valLen := atoi(flag.Arg(1))
+	iters := atoi(flag.Arg(2))
+
+	dir, err := os.MkdirTemp("", "pkv-cr-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks: *ranks, Dir: dir, System: *system, TimeScale: *scale,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	force := papyruskv.EnvForceRedistributeValue()
+
+	var ckptAgg, restartAgg, rdAgg stats.Agg
+
+	// Application 1: populate and checkpoint.
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("cr", nil)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), keyLen, iters)
+		val := workload.Value(valLen, ctx.Rank())
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		ev, err := db.Checkpoint("cr-snap")
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		ckptAgg.Add(time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mustTrim(cluster)
+
+	// Application 2: restart (verbatim unless forced).
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		t0 := time.Now()
+		db, ev, err := ctx.Restart("cr-snap", "cr", nil, force)
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		restartAgg.Add(time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mustTrim(cluster)
+
+	// Application 3: restart with forced redistribution.
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		t0 := time.Now()
+		db, ev, err := ctx.Restart("cr-snap", "cr", nil, true)
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		rdAgg.Add(time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	bytes := int64(iters**ranks) * int64(keyLen+valLen)
+	fmt.Printf("pkv-cr: %d ranks on %s, keylen=%d vallen=%d iters=%d force=%v\n",
+		*ranks, *system, keyLen, valLen, iters, force)
+	fmt.Printf("checkpoint  %s  %.2f MBPS\n", ckptAgg.String(), stats.MBPS(bytes, ckptAgg.Max()))
+	fmt.Printf("restart     %s  %.2f MBPS\n", restartAgg.String(), stats.MBPS(bytes, restartAgg.Max()))
+	fmt.Printf("restart-rd  %s  %.2f MBPS\n", rdAgg.String(), stats.MBPS(bytes, rdAgg.Max()))
+}
+
+func mustTrim(cluster *papyruskv.Cluster) {
+	if err := cluster.Trim(); err != nil {
+		fatal(err)
+	}
+}
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		fatal(fmt.Errorf("bad integer %q", s))
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pkv-cr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// pkv-mdhim runs the MDHIM baseline under the `workload` microbenchmark
+// (Figure 11's MDHIM-N / MDHIM-L series): an initialization phase of puts
+// followed by a mixed read/update phase, over the MDHIM range-server /
+// local-store stack instead of PapyrusKV.
+//
+// Usage:
+//
+//	pkv-mdhim [flags] <keylen> <vallen> <iters> <update%>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"papyruskv/internal/mdhim"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/simnet"
+	"papyruskv/internal/stats"
+	"papyruskv/internal/systems"
+	"papyruskv/internal/workload"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "number of SPMD ranks")
+	sysName := flag.String("system", "summitdev", "system profile")
+	scale := flag.Float64("scale", 0, "time scale for performance models (0 = functional)")
+	lustre := flag.Bool("lustre", false, "store tables on the Lustre model instead of NVM")
+	flag.Parse()
+	if flag.NArg() != 4 {
+		fmt.Fprintln(os.Stderr, "usage: pkv-mdhim [flags] <keylen> <vallen> <iters> <update%>")
+		os.Exit(2)
+	}
+	keyLen := atoi(flag.Arg(0))
+	valLen := atoi(flag.Arg(1))
+	iters := atoi(flag.Arg(2))
+	updatePct := atoi(flag.Arg(3))
+	readPct := 100 - updatePct
+
+	var sys systems.System
+	switch *sysName {
+	case "summitdev":
+		sys = systems.Summitdev
+	case "stampede":
+		sys = systems.Stampede
+	case "cori":
+		sys = systems.Cori
+	default:
+		fatal(fmt.Errorf("unknown system %q", *sysName))
+	}
+
+	dir, err := os.MkdirTemp("", "pkv-mdhim-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	model := sys.NVM
+	if *lustre {
+		model = sys.PFS
+	}
+	model = model.Scaled(*scale)
+	netCfg := sys.Net
+	netCfg.TimeScale = *scale
+	shmCfg := sys.Shm
+	shmCfg.TimeScale = *scale
+	topo := mpi.Topology{
+		RanksPerNode: sys.CoresPerNode,
+		Net:          simnet.New(netCfg),
+		Shm:          simnet.New(shmCfg),
+	}
+	devs := map[int]*nvm.Device{}
+	for r := 0; r < *ranks; r++ {
+		n := topo.NodeOf(r)
+		if _, ok := devs[n]; !ok {
+			d, err := nvm.Open(filepath.Join(dir, fmt.Sprintf("node%d", n)), model)
+			if err != nil {
+				fatal(err)
+			}
+			devs[n] = d
+		}
+	}
+
+	var initAgg, phaseAgg stats.Agg
+	world := mpi.NewWorld(*ranks, topo)
+	err = world.Run(func(c *mpi.Comm) error {
+		s, err := mdhim.Open(c, devs[topo.NodeOf(c.Rank())], "wl", mdhim.Options{})
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(c.Rank()), keyLen, iters)
+		val := workload.Value(valLen, c.Rank())
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, k := range keys {
+			if err := s.Put(k, val); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		initAgg.Add(time.Since(t0))
+
+		mix := workload.Mix(int64(c.Rank())+1000, iters, len(keys), readPct)
+		t1 := time.Now()
+		for _, op := range mix {
+			k := keys[op.KeyIdx]
+			if op.Read {
+				if _, _, err := s.Get(k); err != nil {
+					return err
+				}
+			} else if err := s.Put(k, val); err != nil {
+				return err
+			}
+		}
+		phaseAgg.Add(time.Since(t1))
+		return s.Close()
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	total := iters * *ranks
+	bytes := int64(total) * int64(keyLen+valLen)
+	fmt.Printf("pkv-mdhim: %d ranks on %s, keylen=%d vallen=%d iters=%d read/update=%d/%d lustre=%v\n",
+		*ranks, *sysName, keyLen, valLen, iters, readPct, updatePct, *lustre)
+	fmt.Printf("init     %s  aggregate %.2f KRPS  %.2f MBPS\n",
+		initAgg.String(), stats.KRPS(total, initAgg.Max()), stats.MBPS(bytes, initAgg.Max()))
+	fmt.Printf("phase    %s  aggregate %.2f KRPS  %.2f MBPS\n",
+		phaseAgg.String(), stats.KRPS(total, phaseAgg.Max()), stats.MBPS(bytes, phaseAgg.Max()))
+}
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		fatal(fmt.Errorf("bad integer %q", s))
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pkv-mdhim:", err)
+	os.Exit(1)
+}

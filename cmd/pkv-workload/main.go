@@ -1,0 +1,145 @@
+// pkv-workload is the paper artifact's `workload` microbenchmark (Figures 9
+// and 11): an initialization phase of <iters> puts per rank followed by a
+// read/update phase of <iters> mixed operations over the same keys, with the
+// update ratio given in percent (0-100). The database runs in sequential
+// consistency; PAPYRUSKV_CACHE_REMOTE=1 write-protects it during a pure
+// read phase, enabling the remote cache (the 100/0+P series).
+//
+// Usage:
+//
+//	pkv-workload [flags] <keylen> <vallen> <iters> <update%>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/stats"
+	"papyruskv/internal/workload"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "number of SPMD ranks")
+	system := flag.String("system", "summitdev", "system profile")
+	scale := flag.Float64("scale", 0, "time scale for performance models (0 = functional)")
+	lustre := flag.Bool("lustre", false, "store SSTables on the Lustre model instead of NVM")
+	flag.Parse()
+	if flag.NArg() != 4 {
+		fmt.Fprintln(os.Stderr, "usage: pkv-workload [flags] <keylen> <vallen> <iters> <update%>")
+		os.Exit(2)
+	}
+	keyLen := atoi(flag.Arg(0))
+	valLen := atoi(flag.Arg(1))
+	iters := atoi(flag.Arg(2))
+	updatePct := atoi(flag.Arg(3))
+	readPct := 100 - updatePct
+
+	dir, ok := papyruskv.EnvRepositoryValue()
+	if !ok {
+		var err error
+		dir, err = os.MkdirTemp("", "pkv-workload-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	cfg := papyruskv.ClusterConfig{
+		Ranks: *ranks, Dir: dir, System: *system,
+		TimeScale: *scale, UsePFSForData: *lustre,
+	}
+	if gs, ok := papyruskv.EnvGroupSizeValue(); ok {
+		cfg.GroupSize = gs
+	}
+	cluster, err := papyruskv.NewCluster(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	protect := false
+	if v := os.Getenv(papyruskv.EnvCacheRemote); v == "1" && readPct == 100 {
+		protect = true
+	}
+
+	var initAgg, phaseAgg stats.Agg
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.Consistency = papyruskv.Sequential
+		db, err := ctx.Open("workload", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), keyLen, iters)
+		val := workload.Value(valLen, ctx.Rank())
+
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+			return err
+		}
+		initAgg.Add(time.Since(t0))
+
+		if protect {
+			if err := db.SetProtection(papyruskv.RDONLY); err != nil {
+				return err
+			}
+		}
+		mix := workload.Mix(int64(ctx.Rank())+1000, iters, len(keys), readPct)
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t1 := time.Now()
+		for _, op := range mix {
+			k := keys[op.KeyIdx]
+			if op.Read {
+				if _, err := db.Get(k); err != nil {
+					return fmt.Errorf("get: %w", err)
+				}
+			} else if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		phaseAgg.Add(time.Since(t1))
+		if protect {
+			if err := db.SetProtection(papyruskv.RDWR); err != nil {
+				return err
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	total := iters * *ranks
+	bytes := int64(total) * int64(keyLen+valLen)
+	fmt.Printf("pkv-workload: %d ranks on %s, keylen=%d vallen=%d iters=%d read/update=%d/%d protect=%v\n",
+		*ranks, *system, keyLen, valLen, iters, readPct, updatePct, protect)
+	fmt.Printf("init     %s  aggregate %.2f KRPS  %.2f MBPS\n",
+		initAgg.String(), stats.KRPS(total, initAgg.Max()), stats.MBPS(bytes, initAgg.Max()))
+	fmt.Printf("phase    %s  aggregate %.2f KRPS  %.2f MBPS\n",
+		phaseAgg.String(), stats.KRPS(total, phaseAgg.Max()), stats.MBPS(bytes, phaseAgg.Max()))
+}
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		fatal(fmt.Errorf("bad integer %q", s))
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pkv-workload:", err)
+	os.Exit(1)
+}

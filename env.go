@@ -1,0 +1,83 @@
+package papyruskv
+
+import (
+	"os"
+	"strconv"
+
+	"papyruskv/internal/sstable"
+)
+
+// Environment variables understood by ApplyEnv, mirroring the paper
+// artifact's runtime toggles. The numeric encodings match the artifact's
+// job scripts (e.g. PAPYRUSKV_CONSISTENCY=1 is sequential, 2 is relaxed;
+// PAPYRUSKV_BIN_SEARCH=2 enables binary search).
+const (
+	EnvRepository        = "PAPYRUSKV_REPOSITORY"
+	EnvGroupSize         = "PAPYRUSKV_GROUP_SIZE"
+	EnvConsistency       = "PAPYRUSKV_CONSISTENCY"
+	EnvBinSearch         = "PAPYRUSKV_BIN_SEARCH"
+	EnvCacheRemote       = "PAPYRUSKV_CACHE_REMOTE"
+	EnvForceRedistribute = "PAPYRUSKV_FORCE_REDISTRIBUTE"
+)
+
+// ApplyEnv overlays the artifact's PAPYRUSKV_* environment variables onto
+// opt, returning the result. Unset or malformed variables leave the
+// corresponding field untouched.
+func ApplyEnv(opt Options) Options {
+	if v, ok := envInt(EnvConsistency); ok {
+		switch v {
+		case 1:
+			opt.Consistency = Sequential
+		case 2:
+			opt.Consistency = Relaxed
+		}
+	}
+	if v, ok := envInt(EnvBinSearch); ok {
+		if v >= 2 {
+			opt.SearchMode = sstable.BinarySearch
+		} else {
+			opt.SearchMode = sstable.SequentialSearch
+		}
+	}
+	if v, ok := envInt(EnvCacheRemote); ok && v >= 1 {
+		if opt.RemoteCacheCapacity == 0 {
+			opt.RemoteCacheCapacity = 64 << 20
+		}
+		opt.Protection = RDONLY // the artifact's remote-cache toggle
+	}
+	return opt
+}
+
+// EnvGroupSizeValue returns PAPYRUSKV_GROUP_SIZE if set.
+func EnvGroupSizeValue() (int, bool) { return envInt(EnvGroupSize) }
+
+// EnvRepositoryValue returns PAPYRUSKV_REPOSITORY if set.
+func EnvRepositoryValue() (string, bool) {
+	v := os.Getenv(EnvRepository)
+	return v, v != ""
+}
+
+// EnvForceRedistributeValue returns PAPYRUSKV_FORCE_REDISTRIBUTE as a bool.
+func EnvForceRedistributeValue() bool {
+	v, ok := envInt(EnvForceRedistribute)
+	return ok && v >= 1
+}
+
+// SearchModeBinary and SearchModeSequential expose the SSTable search modes
+// for Options.SearchMode without importing internal packages.
+var (
+	SearchModeBinary     = sstable.BinarySearch
+	SearchModeSequential = sstable.SequentialSearch
+)
+
+func envInt(name string) (int, bool) {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,187 @@
+package papyruskv_test
+
+// Godoc example functions: runnable documentation for the public API.
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"papyruskv"
+)
+
+// Example shows the minimal SPMD program: open, put, barrier, get.
+func Example() {
+	dir, _ := os.MkdirTemp("", "pkv-example-")
+	defer os.RemoveAll(dir)
+
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("example", nil)
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("rank-%d", ctx.Rank())
+		if err := db.Put([]byte(key), []byte("hello")); err != nil {
+			return err
+		}
+		if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			v, err := db.Get([]byte("rank-1"))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("rank 0 read rank 1's value: %s\n", v)
+		}
+		return db.Close()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: rank 0 read rank 1's value: hello
+}
+
+// ExampleDB_SetConsistency demonstrates dynamic consistency control:
+// switching a database to sequential mode makes every remote put
+// synchronous, so signals alone order cross-rank visibility.
+func ExampleDB_SetConsistency() {
+	dir, _ := os.MkdirTemp("", "pkv-example-")
+	defer os.RemoveAll(dir)
+
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.Hash = func(key []byte, n int) int { return 1 % n } // rank 1 owns all
+		db, err := ctx.Open("seq", &opt)
+		if err != nil {
+			return err
+		}
+		if err := db.SetConsistency(papyruskv.Sequential); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			// Synchronous: applied at the owner before Put returns.
+			if err := db.Put([]byte("job"), []byte("done")); err != nil {
+				return err
+			}
+			if err := ctx.SignalNotify(1, []int{1}); err != nil {
+				return err
+			}
+		} else {
+			if err := ctx.SignalWait(1, []int{0}); err != nil {
+				return err
+			}
+			v, err := db.Get([]byte("job"))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("rank 1 sees: %s\n", v)
+		}
+		return db.Close()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: rank 1 sees: done
+}
+
+// ExampleDB_Checkpoint demonstrates the asynchronous checkpoint/restart
+// cycle across a simulated job boundary.
+func ExampleDB_Checkpoint() {
+	dir, _ := os.MkdirTemp("", "pkv-example-")
+	defer os.RemoveAll(dir)
+
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("state", nil)
+		if err != nil {
+			return err
+		}
+		if err := db.Put([]byte(fmt.Sprintf("r%d", ctx.Rank())), []byte("saved")); err != nil {
+			return err
+		}
+		ev, err := db.Checkpoint("snapshots/step-1")
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil { // papyruskv_wait
+			return err
+		}
+		return db.Close()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Trim(); err != nil { // job ends; NVM scratch wiped
+		log.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, ev, err := ctx.Restart("snapshots/step-1", "state", nil, false)
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			v, err := db.Get([]byte("r1"))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("restored: %s\n", v)
+		}
+		return db.Close()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: restored: saved
+}
+
+// ExampleDB_SetProtection demonstrates a read-only phase: writes are
+// rejected and the remote cache accelerates repeated remote reads.
+func ExampleDB_SetProtection() {
+	dir, _ := os.MkdirTemp("", "pkv-example-")
+	defer os.RemoveAll(dir)
+
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("phases", nil)
+		if err != nil {
+			return err
+		}
+		if err := db.Put([]byte(fmt.Sprintf("r%d", ctx.Rank())), []byte("v")); err != nil {
+			return err
+		}
+		if err := db.SetProtection(papyruskv.RDONLY); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			err := db.Put([]byte("nope"), []byte("x"))
+			fmt.Printf("write while RDONLY rejected: %v\n", errors.Is(err, papyruskv.ErrProtected))
+		}
+		if err := db.SetProtection(papyruskv.RDWR); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: write while RDONLY rejected: true
+}

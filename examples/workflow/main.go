@@ -1,0 +1,175 @@
+// Workflow: the zero-copy coupled-application workflow and asynchronous
+// checkpoint/restart of §4 (Figure 5).
+//
+// Three "applications" run in sequence on one cluster (one job):
+//
+//  1. A producer simulates a timestep loop, storing per-cell state in a
+//     PapyrusKV database, then closes it — the SSTables stay on NVM.
+//  2. A consumer opens the same database by name and reads the producer's
+//     results with zero data movement (Figure 5a), then checkpoints the
+//     database to the parallel file system asynchronously, overlapping
+//     further reads with the snapshot transfer.
+//  3. After the job's NVM scratch is trimmed, a restart job recovers the
+//     database from the snapshot — with a different rank count, so the
+//     runtime redistributes the pairs onto the new layout (Figure 5c).
+//
+// Run it with:
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"papyruskv"
+)
+
+const (
+	producerRanks = 4
+	restartRanks  = 3 // different count: forces redistribution
+	cellsPerRank  = 64
+)
+
+func cellKey(rank, cell int) []byte {
+	return []byte(fmt.Sprintf("cell/%03d/%04d", rank, cell))
+}
+
+func cellState(rank, cell, step int) []byte {
+	return []byte(fmt.Sprintf("state(rank=%d cell=%d step=%d)", rank, cell, step))
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "pkv-workflow-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks: producerRanks,
+		Dir:   dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Application 1: the producer.
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("simulation", nil)
+		if err != nil {
+			return err
+		}
+		for step := 0; step < 3; step++ {
+			for cell := 0; cell < cellsPerRank; cell++ {
+				if err := db.Put(cellKey(ctx.Rank(), cell), cellState(ctx.Rank(), cell, step)); err != nil {
+					return err
+				}
+			}
+			// End-of-timestep synchronization point.
+			if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+				return err
+			}
+		}
+		// Close flushes everything to SSTables: the database outlives
+		// this application on the NVM devices.
+		return db.Close()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("producer finished; database retained on NVM")
+
+	// Application 2: the consumer — zero-copy open, then async checkpoint.
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("simulation", nil)
+		if err != nil {
+			return err
+		}
+		// The data is immediately available: no loading phase, no file
+		// I/O beyond the gets themselves.
+		for r := 0; r < producerRanks; r++ {
+			got, err := db.Get(cellKey(r, 7))
+			if err != nil {
+				return fmt.Errorf("consumer read: %w", err)
+			}
+			want := string(cellState(r, 7, 2))
+			if string(got) != want {
+				return fmt.Errorf("consumer read %q, want %q", got, want)
+			}
+		}
+		if ctx.Rank() == 0 {
+			fmt.Println("consumer verified producer results via zero-copy reopen")
+		}
+
+		// Asynchronous checkpoint: the snapshot transfer to the parallel
+		// file system overlaps the continuing reads below.
+		ev, err := db.Checkpoint("workflow-snap")
+		if err != nil {
+			return err
+		}
+		for cell := 0; cell < cellsPerRank; cell++ {
+			if _, err := db.Get(cellKey(ctx.Rank(), cell)); err != nil {
+				return err
+			}
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			fmt.Println("asynchronous checkpoint completed while reads continued")
+		}
+		return db.Close()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Job boundary: the NVM scratch space is trimmed; only the parallel
+	// file system survives.
+	if err := cluster.Trim(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("job ended: NVM trimmed, snapshot retained on the PFS")
+
+	// Application 3: restart in a new job with a DIFFERENT rank count.
+	restartCluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks: restartRanks,
+		Dir:   dir, // same file tree: the PFS is shared across jobs
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = restartCluster.Run(func(ctx *papyruskv.Context) error {
+		db, ev, err := ctx.Restart("workflow-snap", "simulation", nil, false)
+		if err != nil {
+			return err
+		}
+		// The restart (with redistribution, 4 -> 3 ranks) runs
+		// asynchronously; wait before using the database.
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		for r := 0; r < producerRanks; r++ {
+			for cell := 0; cell < cellsPerRank; cell += 17 {
+				got, err := db.Get(cellKey(r, cell))
+				if err != nil {
+					return fmt.Errorf("restarted read: %w", err)
+				}
+				want := string(cellState(r, cell, 2))
+				if string(got) != want {
+					return fmt.Errorf("restarted read %q, want %q", got, want)
+				}
+			}
+		}
+		if ctx.Rank() == 0 {
+			fmt.Printf("restart with redistribution verified on %d ranks\n", restartRanks)
+		}
+		return db.Close()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workflow finished")
+}

@@ -1,0 +1,3 @@
+module papyruskv
+
+go 1.24

@@ -1,0 +1,173 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	f := New(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.Add([]byte(fmt.Sprintf("member-%d", i)))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("nonmember-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Target 1%; allow generous slack for hash quality.
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.4f exceeds 0.05", rate)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(500, 0.02)
+	for i := 0; i < 500; i++ {
+		f.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	g, err := Load(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() {
+		t.Fatalf("Count = %d, want %d", g.Count(), f.Count())
+	}
+	for i := 0; i < 500; i++ {
+		if !g.MayContain([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("loaded filter lost k%d", i)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(nil); err == nil {
+		t.Fatal("Load(nil) succeeded")
+	}
+	if _, err := Load(make([]byte, 10)); err == nil {
+		t.Fatal("Load(short) succeeded")
+	}
+	bad := New(10, 0.01).Marshal()
+	bad[0] ^= 0xff
+	if _, err := Load(bad); err == nil {
+		t.Fatal("Load(bad magic) succeeded")
+	}
+	trunc := New(1000, 0.001).Marshal()
+	if _, err := Load(trunc[:30]); err == nil {
+		t.Fatal("Load(truncated bits) succeeded")
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(0, 0.01)
+	if f.MayContain([]byte("anything")) {
+		t.Fatal("empty filter claims membership")
+	}
+	g, err := Load(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MayContain([]byte("anything")) {
+		t.Fatal("loaded empty filter claims membership")
+	}
+}
+
+func TestParameterClamping(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{
+		{-5, 0.01}, {0, 0.01}, {10, -1}, {10, 2}, {10, 0},
+	} {
+		f := New(tc.n, tc.p)
+		f.Add([]byte("x"))
+		if !f.MayContain([]byte("x")) {
+			t.Fatalf("New(%d,%g): lost key", tc.n, tc.p)
+		}
+	}
+}
+
+// Property: every added key set is fully contained, including binary and
+// empty keys, and survives a marshal/load round trip.
+func TestQuickMembership(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		fl := New(len(keys), 0.01)
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		for _, k := range keys {
+			if !fl.MayContain(k) {
+				return false
+			}
+		}
+		g, err := Load(fl.Marshal())
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !g.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash2Independence(t *testing.T) {
+	// h1 and h2 should differ and not be trivially correlated on a sample.
+	same := 0
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		k := make([]byte, 8)
+		rng.Read(k)
+		h1, h2 := hash2(k)
+		if h1 == h2 {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("h1==h2 for %d/1000 random keys", same)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1<<20, 0.01)
+	key := []byte("benchmark-key-0123456789")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(key)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := New(1<<20, 0.01)
+	for i := 0; i < 1<<16; i++ {
+		f.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	key := []byte("k12345")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(key)
+	}
+}

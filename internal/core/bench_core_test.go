@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/workload"
+)
+
+// Microbenchmarks of the runtime's own op costs (cost models disabled):
+// local put, local get (MemTable / cache / SSTable), remote get round trip.
+
+func benchDB(b *testing.B, ranks int, fn func(db *DB, c *mpi.Comm) error) {
+	b.Helper()
+	base := b.TempDir()
+	devs := make([]*nvm.Device, ranks)
+	for r := range devs {
+		d, err := nvm.Open(filepath.Join(base, fmt.Sprintf("r%d", r)), nvm.DRAM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		devs[r] = d
+	}
+	w := mpi.NewWorld(ranks, mpi.Topology{})
+	err := w.Run(func(c *mpi.Comm) error {
+		rt, err := NewRuntime(Config{Comm: c, Device: devs[c.Rank()]})
+		if err != nil {
+			return err
+		}
+		db, err := rt.Open("bench", DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if err := fn(db, c); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLocalPut128B(b *testing.B) {
+	benchDB(b, 1, func(db *DB, c *mpi.Comm) error {
+		val := workload.Value(128, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("key-%09d", i)), val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkLocalGetMemTable(b *testing.B) {
+	benchDB(b, 1, func(db *DB, c *mpi.Comm) error {
+		keys := workload.Keys(1, 16, 1024)
+		for i, k := range keys {
+			db.Put(k, workload.Value(128, i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Get(keys[i%len(keys)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkLocalGetSSTable(b *testing.B) {
+	benchDB(b, 1, func(db *DB, c *mpi.Comm) error {
+		keys := workload.Keys(1, 16, 1024)
+		for i, k := range keys {
+			db.Put(k, workload.Value(128, i))
+		}
+		if err := db.Barrier(LevelSSTable); err != nil {
+			return err
+		}
+		db.localCache.SetEnabled(false) // force the SSTable path every time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Get(keys[i%len(keys)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkRemoteGetRoundTrip(b *testing.B) {
+	benchDB(b, 2, func(db *DB, c *mpi.Comm) error {
+		// Rank 0 owns everything; rank 1 measures remote gets.
+		keys := workload.Keys(1, 16, 256)
+		if c.Rank() == 0 {
+			for i, k := range keys {
+				if db.Owner(k) == 0 {
+					db.Put(k, workload.Value(128, i))
+				}
+			}
+		} else {
+			for i, k := range keys {
+				if db.Owner(k) == 1 {
+					db.Put(k, workload.Value(128, i))
+				}
+			}
+		}
+		if err := db.Barrier(LevelMemTable); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			var remote [][]byte
+			for _, k := range keys {
+				if db.Owner(k) == 0 {
+					remote = append(remote, k)
+				}
+			}
+			db.remoteCache.SetEnabled(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Get(remote[i%len(remote)]); err != nil {
+					return err
+				}
+			}
+		}
+		return db.Barrier(LevelMemTable)
+	})
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"papyruskv/internal/fifo"
+	"papyruskv/internal/lru"
+	"papyruskv/internal/memtable"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/sstable"
+)
+
+// DB is one rank's handle on an open database. Open is collective; every
+// rank holds a structurally identical descriptor. A DB is safe for use by
+// one application goroutine per rank (the SPMD model) concurrently with the
+// runtime's own background goroutines.
+type DB struct {
+	rt   *Runtime
+	name string
+
+	// reqComm carries requests into message handlers; respComm carries
+	// their replies. Both are private duplicates of the world
+	// communicator, so runtime traffic can never collide with
+	// application messages (§2.4, Migration).
+	reqComm  *mpi.Comm
+	respComm *mpi.Comm
+
+	// mu guards the MemTables, immutable-table lists, consistency and
+	// protection state.
+	mu          sync.Mutex
+	opt         Options
+	localMT     *memtable.Table
+	remoteMT    *memtable.Table
+	immLocal    []*memtable.Table // oldest first; gets search newest first
+	immRemote   []*memtable.Table
+	consistency Consistency
+	protection  Protection
+	closed      bool
+
+	localCache  *lru.Cache
+	remoteCache *lru.Cache
+
+	flushQ   *fifo.Queue[*memtable.Table]
+	migrateQ *fifo.Queue[*memtable.Table]
+
+	pendingFlush *counter
+	pendingMigr  *counter
+
+	// sstMu guards the live SSTable list and the SSID allocator.
+	sstMu    sync.RWMutex
+	ssids    []uint64
+	nextSSID uint64
+
+	// checkpointPin suppresses compaction while a checkpoint is copying
+	// the snapshot's SSTables (updates never touch snapshotted SSTables,
+	// §4.2, but a merge would delete them).
+	checkpointPin *counter
+
+	metrics Metrics
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// dir returns the device-relative SSTable directory of rank r for this
+// database. Ranks in one storage group share a device, so a group member
+// can address a peer's directory directly.
+func (db *DB) dir(r int) string { return fmt.Sprintf("%s/r%d", db.name, r) }
+
+// Open opens or creates the database name with the given options. It is a
+// collective operation: all ranks call it with the same name. If SSTables
+// for this database already exist on the NVM devices — retained from an
+// earlier application in the same job — the database is composed from them
+// without any data movement (the zero-copy workflow of §4.1).
+func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty database name", ErrInvalidArgument)
+	}
+	opt = opt.withDefaults()
+	db := &DB{
+		rt:            rt,
+		name:          name,
+		opt:           opt,
+		reqComm:       rt.cfg.Comm.Dup(),
+		respComm:      rt.cfg.Comm.Dup(),
+		localMT:       memtable.New(),
+		remoteMT:      memtable.New(),
+		consistency:   opt.Consistency,
+		protection:    opt.Protection,
+		localCache:    lru.New(opt.LocalCacheCapacity),
+		remoteCache:   lru.New(opt.RemoteCacheCapacity),
+		flushQ:        fifo.New[*memtable.Table](opt.QueueDepth),
+		migrateQ:      fifo.New[*memtable.Table](opt.QueueDepth),
+		pendingFlush:  newCounter(),
+		pendingMigr:   newCounter(),
+		checkpointPin: newCounter(),
+		nextSSID:      1,
+	}
+	db.applyProtection(opt.Protection)
+
+	// Compose from SSTables already on NVM (zero-copy reopen).
+	existing, err := sstable.ListSSIDs(rt.cfg.Device, db.dir(rt.rank))
+	if err != nil {
+		return nil, err
+	}
+	db.ssids = existing
+	if n := len(existing); n > 0 {
+		db.nextSSID = existing[n-1] + 1
+	}
+
+	db.wg.Add(3)
+	go db.compactionThread()
+	go db.dispatcherThread()
+	go db.handlerThread()
+
+	// Every rank must finish composing before any rank issues remote
+	// operations against it. The barrier runs on respComm: the message
+	// handler wildcard-receives on reqComm and would steal barrier
+	// tokens in a distributed (message-barrier) world.
+	if err := db.respComm.Barrier(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Name returns the database name.
+func (db *DB) Name() string { return db.name }
+
+// Metrics returns this rank's operation counters.
+func (db *DB) Metrics() *Metrics { return &db.metrics }
+
+// Runtime returns the owning runtime.
+func (db *DB) Runtime() *Runtime { return db.rt }
+
+// SSTableCount returns the number of live SSTables on this rank.
+func (db *DB) SSTableCount() int {
+	db.sstMu.RLock()
+	defer db.sstMu.RUnlock()
+	return len(db.ssids)
+}
+
+// Owner returns the owner rank of key under this database's hash function.
+func (db *DB) Owner(key []byte) int {
+	return db.opt.Hash(key, db.rt.size)
+}
+
+// Close closes the database collectively. All in-flight migrations are
+// fenced and all MemTables flushed so the SSTables on NVM are a complete
+// image — this is what makes the zero-copy reopen of §4.1 possible.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrInvalidDB
+	}
+	db.mu.Unlock()
+
+	// Flush everything so on-NVM state is complete, and synchronise so
+	// no rank can still be sending requests at shutdown.
+	if err := db.Barrier(LevelSSTable); err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+
+	var err error
+	db.closeOnce.Do(func() {
+		// Stop the handler with a self-addressed control message, then
+		// close the queues to stop the compactor and dispatcher.
+		err = db.reqComm.Send(db.rt.rank, tagShutdown, nil)
+		db.flushQ.Close()
+		db.migrateQ.Close()
+	})
+	db.wg.Wait()
+	if err != nil {
+		return err
+	}
+	// Final barrier: every rank's handler is down together.
+	return db.respComm.Barrier()
+}
+
+func (db *DB) checkOpen() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrInvalidDB
+	}
+	return nil
+}
+
+// Consistency returns the current consistency mode.
+func (db *DB) Consistency() Consistency {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.consistency
+}
+
+// Protection returns the current protection attribute.
+func (db *DB) Protection() Protection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.protection
+}

@@ -1,0 +1,661 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/workload"
+)
+
+func TestSingleRankPutGetDelete(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("db", DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if err := db.Put([]byte("k"), []byte("v1")); err != nil {
+			return err
+		}
+		if err := wantGet(db, "k", "v1"); err != nil {
+			return err
+		}
+		// Update replaces.
+		if err := db.Put([]byte("k"), []byte("v2")); err != nil {
+			return err
+		}
+		if err := wantGet(db, "k", "v2"); err != nil {
+			return err
+		}
+		// Delete hides.
+		if err := db.Delete([]byte("k")); err != nil {
+			return err
+		}
+		if err := wantMissing(db, "k"); err != nil {
+			return err
+		}
+		// Missing key.
+		if err := wantMissing(db, "never"); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("db", DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if err := db.Put(nil, []byte("v")); !errors.Is(err, ErrInvalidArgument) {
+			return fmt.Errorf("Put(nil key) err = %v", err)
+		}
+		if _, err := db.Get(nil); !errors.Is(err, ErrInvalidArgument) {
+			return fmt.Errorf("Get(nil key) err = %v", err)
+		}
+		return db.Close()
+	})
+}
+
+func TestUseAfterClose(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("db", DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrInvalidDB) {
+			return fmt.Errorf("Put after close = %v", err)
+		}
+		if _, err := db.Get([]byte("k")); !errors.Is(err, ErrInvalidDB) {
+			return fmt.Errorf("Get after close = %v", err)
+		}
+		if err := db.Close(); !errors.Is(err, ErrInvalidDB) {
+			return fmt.Errorf("double close = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestFlushToSSTableAndReadBack(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := smallOpt()
+		opt.LocalCacheCapacity = 0 // force SSTable reads
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		// Write well past the 2KB MemTable capacity.
+		for i := 0; i < 200; i++ {
+			mustPutErr := db.Put([]byte(fmt.Sprintf("key%03d", i)), workload.Value(64, i))
+			if mustPutErr != nil {
+				return mustPutErr
+			}
+		}
+		if err := db.Barrier(LevelSSTable); err != nil {
+			return err
+		}
+		if db.SSTableCount() == 0 {
+			return fmt.Errorf("no SSTables after barrier(SSTABLE)")
+		}
+		if db.Metrics().Flushes.Load() == 0 {
+			return fmt.Errorf("no flushes recorded")
+		}
+		for i := 0; i < 200; i += 17 {
+			want := workload.Value(64, i)
+			got, err := db.Get([]byte(fmt.Sprintf("key%03d", i)))
+			if err != nil {
+				return fmt.Errorf("get key%03d: %w", i, err)
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("key%03d value mismatch", i)
+			}
+		}
+		if db.Metrics().SSTableHits.Load() == 0 {
+			return fmt.Errorf("gets never touched SSTables")
+		}
+		return db.Close()
+	})
+}
+
+func TestLocalCachePromotion(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("db", smallOpt())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			db.Put([]byte(fmt.Sprintf("key%03d", i)), workload.Value(64, i))
+		}
+		db.Barrier(LevelSSTable)
+		// First get: SSTable; second: local cache.
+		if err := wantGet(db, "key007", string(workload.Value(64, 7))); err != nil {
+			return err
+		}
+		before := db.Metrics().LocalCacheHits.Load()
+		if err := wantGet(db, "key007", string(workload.Value(64, 7))); err != nil {
+			return err
+		}
+		if db.Metrics().LocalCacheHits.Load() != before+1 {
+			return fmt.Errorf("second get missed the local cache")
+		}
+		return db.Close()
+	})
+}
+
+func TestCacheInvalidationOnPut(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("db", smallOpt())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			db.Put([]byte(fmt.Sprintf("key%03d", i)), workload.Value(64, i))
+		}
+		db.Barrier(LevelSSTable)
+		wantGet(db, "key007", string(workload.Value(64, 7))) // populate cache
+		// A fresh put must evict the stale cache entry (Figure 2).
+		if err := db.Put([]byte("key007"), []byte("fresh")); err != nil {
+			return err
+		}
+		if err := wantGet(db, "key007", "fresh"); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+}
+
+func TestTombstoneShadowsSSTable(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("db", smallOpt())
+		if err != nil {
+			return err
+		}
+		db.Put([]byte("victim"), []byte("on-disk"))
+		db.Barrier(LevelSSTable) // value now only in an SSTable
+		db.Delete([]byte("victim"))
+		// Tombstone in MemTable must shadow the SSTable value.
+		if err := wantMissing(db, "victim"); err != nil {
+			return err
+		}
+		db.Barrier(LevelSSTable) // tombstone flushed to a newer SSTable
+		if err := wantMissing(db, "victim"); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+}
+
+func TestMultiRankRelaxedBarrierVisibility(t *testing.T) {
+	const ranks = 4
+	runCluster(t, clusterSpec{ranks: ranks}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("db", smallOpt())
+		if err != nil {
+			return err
+		}
+		// Every rank puts 100 distinct keys (mixed local/remote owners).
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("r%d-k%03d", c.Rank(), i)
+			if err := db.Put([]byte(k), []byte("v-"+k)); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(LevelMemTable); err != nil {
+			return err
+		}
+		// Every rank reads every key, including other ranks'.
+		for r := 0; r < ranks; r++ {
+			for i := 0; i < 100; i += 9 {
+				k := fmt.Sprintf("r%d-k%03d", r, i)
+				if err := wantGet(db, k, "v-"+k); err != nil {
+					return err
+				}
+			}
+		}
+		return db.Close()
+	})
+}
+
+func TestSequentialConsistencyImmediateVisibility(t *testing.T) {
+	// Rank 0 puts a key owned by rank 1 synchronously, signals rank 1,
+	// which must see it without any barrier.
+	runCluster(t, clusterSpec{ranks: 2}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := DefaultOptions()
+		opt.Consistency = Sequential
+		// Hash everything to rank 1.
+		opt.Hash = func(key []byte, n int) int { return 1 % n }
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := db.Put([]byte("sync-key"), []byte("sync-val")); err != nil {
+				return err
+			}
+			if db.Metrics().PutsSync.Load() != 1 {
+				return fmt.Errorf("put did not use the synchronous path")
+			}
+			if err := rt.SignalNotify(1, []int{1}); err != nil {
+				return err
+			}
+		} else {
+			if err := rt.SignalWait(1, []int{0}); err != nil {
+				return err
+			}
+			if err := wantGet(db, "sync-key", "sync-val"); err != nil {
+				return err
+			}
+		}
+		return db.Close()
+	})
+}
+
+func TestRelaxedStagingInvisibleUntilFence(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 2}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := DefaultOptions() // big memtable: nothing migrates on its own
+		opt.Hash = func(key []byte, n int) int { return 1 % n }
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := db.Put([]byte("staged"), []byte("v")); err != nil {
+				return err
+			}
+			// The writer itself sees its staged value (remote MemTable).
+			if err := wantGet(db, "staged", "v"); err != nil {
+				return err
+			}
+			if err := rt.SignalNotify(1, []int{1}); err != nil {
+				return err
+			}
+			if err := rt.SignalWait(2, []int{1}); err != nil {
+				return err
+			}
+			if err := db.Fence(); err != nil {
+				return err
+			}
+			if err := rt.SignalNotify(3, []int{1}); err != nil {
+				return err
+			}
+		} else {
+			if err := rt.SignalWait(1, []int{0}); err != nil {
+				return err
+			}
+			// Owner must NOT see the staged pair yet (relaxed mode).
+			if err := wantMissing(db, "staged"); err != nil {
+				return err
+			}
+			if err := rt.SignalNotify(2, []int{0}); err != nil {
+				return err
+			}
+			if err := rt.SignalWait(3, []int{0}); err != nil {
+				return err
+			}
+			// After the writer's fence the pair is at its owner.
+			if err := wantGet(db, "staged", "v"); err != nil {
+				return err
+			}
+		}
+		return db.Close()
+	})
+}
+
+func TestMigrationByCapacity(t *testing.T) {
+	// Small remote MemTable: migrations happen from capacity pressure
+	// alone, without any fence.
+	runCluster(t, clusterSpec{ranks: 2}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := smallOpt()
+		opt.Hash = func(key []byte, n int) int { return 1 % n }
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := 0; i < 500; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), workload.Value(64, i)); err != nil {
+					return err
+				}
+			}
+			if db.Metrics().Migrations.Load() == 0 {
+				return fmt.Errorf("no capacity-driven migrations")
+			}
+		}
+		if err := db.Barrier(LevelMemTable); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for i := 0; i < 500; i += 41 {
+				k := fmt.Sprintf("k%04d", i)
+				got, err := db.Get([]byte(k))
+				if err != nil {
+					return fmt.Errorf("owner get %s: %w", k, err)
+				}
+				if !bytes.Equal(got, workload.Value(64, i)) {
+					return fmt.Errorf("owner got wrong value for %s", k)
+				}
+			}
+		}
+		return db.Close()
+	})
+}
+
+func TestRemoteDeleteAcrossRanks(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 2}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := DefaultOptions()
+		opt.Hash = func(key []byte, n int) int { return 1 % n }
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			db.Put([]byte("k"), []byte("v"))
+		}
+		db.Barrier(LevelMemTable)
+		if c.Rank() == 1 {
+			if err := wantGet(db, "k", "v"); err != nil {
+				return err
+			}
+			if err := db.Delete([]byte("k")); err != nil {
+				return err
+			}
+		}
+		db.Barrier(LevelMemTable)
+		// Both ranks must observe the deletion.
+		if err := wantMissing(db, "k"); err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		return db.Close()
+	})
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := smallOpt()
+		opt.CompactionEvery = 3
+		opt.LocalCacheCapacity = 0
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		// Interleave puts and barriers to force many small SSTables with
+		// overlapping keys, triggering several compactions.
+		for round := 0; round < 6; round++ {
+			for i := 0; i < 60; i++ {
+				db.Put([]byte(fmt.Sprintf("key%02d", i)), []byte(fmt.Sprintf("round%d-%d", round, i)))
+			}
+			if err := db.Barrier(LevelSSTable); err != nil {
+				return err
+			}
+		}
+		if db.Metrics().Compactions.Load() == 0 {
+			return fmt.Errorf("compaction never ran")
+		}
+		for i := 0; i < 60; i++ {
+			if err := wantGet(db, fmt.Sprintf("key%02d", i), fmt.Sprintf("round5-%d", i)); err != nil {
+				return err
+			}
+		}
+		return db.Close()
+	})
+}
+
+func TestGetDuringCompactionChurn(t *testing.T) {
+	// Continuous puts force flush+compaction while gets run concurrently
+	// on the same keys; retry logic must mask file turnover.
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := smallOpt()
+		opt.CompactionEvery = 2
+		opt.LocalCacheCapacity = 0
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 1500; i++ {
+			k := fmt.Sprintf("key%03d", i%80)
+			if err := db.Put([]byte(k), workload.Value(64, i)); err != nil {
+				return err
+			}
+			if i%7 == 0 {
+				if _, err := db.Get([]byte(fmt.Sprintf("key%03d", (i*3)%80))); err != nil && err != ErrNotFound {
+					return fmt.Errorf("get during churn: %w", err)
+				}
+			}
+		}
+		return db.Close()
+	})
+}
+
+func TestZeroCopyReopen(t *testing.T) {
+	// Figure 5(a): a second application in the same job composes the
+	// database from retained SSTables without any data movement.
+	base := t.TempDir()
+	spec := clusterSpec{ranks: 2, baseDir: base}
+	runCluster(t, spec, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("shared", smallOpt())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("r%d-%03d", c.Rank(), i)
+			if err := db.Put([]byte(k), []byte("v-"+k)); err != nil {
+				return err
+			}
+		}
+		return db.Close() // Close flushes everything to SSTables
+	})
+	// "Second application": same ranks, same devices.
+	runCluster(t, spec, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("shared", smallOpt())
+		if err != nil {
+			return err
+		}
+		if db.SSTableCount() == 0 {
+			return fmt.Errorf("reopen found no SSTables")
+		}
+		for r := 0; r < 2; r++ {
+			for i := 0; i < 100; i += 13 {
+				k := fmt.Sprintf("r%d-%03d", r, i)
+				if err := wantGet(db, k, "v-"+k); err != nil {
+					return err
+				}
+			}
+		}
+		// New writes land in fresh SSIDs above the retained ones.
+		if err := db.Put([]byte(fmt.Sprintf("new-r%d", c.Rank())), []byte("new")); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+}
+
+func TestDestroyRemovesData(t *testing.T) {
+	base := t.TempDir()
+	spec := clusterSpec{ranks: 2, baseDir: base}
+	runCluster(t, spec, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("doomed", smallOpt())
+		if err != nil {
+			return err
+		}
+		db.Put([]byte(fmt.Sprintf("k%d", c.Rank())), []byte("v"))
+		db.Barrier(LevelSSTable)
+		ev, err := db.Destroy()
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		files, err := rt.Device().List("doomed")
+		if err != nil {
+			return err
+		}
+		if len(files) != 0 {
+			return fmt.Errorf("destroy left %v", files)
+		}
+		return nil
+	})
+}
+
+func TestOwnerMapping(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 4}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("db", DefaultOptions())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			o := db.Owner([]byte(fmt.Sprintf("key-%d", i)))
+			if o < 0 || o >= 4 {
+				return fmt.Errorf("Owner = %d", o)
+			}
+		}
+		return db.Close()
+	})
+}
+
+func TestCustomHashRouting(t *testing.T) {
+	// A custom hash that routes by first byte must place data accordingly
+	// (the Meraculous affinity-preservation property, Figure 12).
+	runCluster(t, clusterSpec{ranks: 3}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := DefaultOptions()
+		opt.Hash = func(key []byte, n int) int { return int(key[0]-'0') % n }
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r := 0; r < 3; r++ {
+				db.Put([]byte(fmt.Sprintf("%d-key", r)), []byte(fmt.Sprintf("owned-by-%d", r)))
+			}
+		}
+		db.Barrier(LevelMemTable)
+		// The owner's local metrics must show the pair arrived.
+		want := fmt.Sprintf("owned-by-%d", c.Rank())
+		if err := wantGet(db, fmt.Sprintf("%d-key", c.Rank()), want); err != nil {
+			return err
+		}
+		if db.Metrics().GetsLocal.Load() == 0 {
+			return fmt.Errorf("rank %d: custom-hash get was not local", c.Rank())
+		}
+		return db.Close()
+	})
+}
+
+func TestMultipleDatabases(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 2}, func(rt *Runtime, c *mpi.Comm) error {
+		a, err := rt.Open("db-a", smallOpt())
+		if err != nil {
+			return err
+		}
+		seqOpt := smallOpt()
+		seqOpt.Consistency = Sequential
+		b, err := rt.Open("db-b", seqOpt)
+		if err != nil {
+			return err
+		}
+		if a.Consistency() != Relaxed || b.Consistency() != Sequential {
+			return fmt.Errorf("per-db consistency broken")
+		}
+		ka := fmt.Sprintf("a%d", c.Rank())
+		kb := fmt.Sprintf("b%d", c.Rank())
+		a.Put([]byte(ka), []byte("in-a"))
+		b.Put([]byte(kb), []byte("in-b"))
+		a.Barrier(LevelMemTable)
+		b.Barrier(LevelMemTable)
+		for r := 0; r < 2; r++ {
+			if err := wantGet(a, fmt.Sprintf("a%d", r), "in-a"); err != nil {
+				return err
+			}
+			if err := wantGet(b, fmt.Sprintf("b%d", r), "in-b"); err != nil {
+				return err
+			}
+			if err := wantMissing(a, fmt.Sprintf("b%d", r)); err != nil {
+				return fmt.Errorf("databases share keys: %w", err)
+			}
+		}
+		if err := a.Close(); err != nil {
+			return err
+		}
+		return b.Close()
+	})
+}
+
+func TestLargeValues(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 2}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := DefaultOptions()
+		opt.MemTableCapacity = 256 << 10
+		db, err := rt.Open("db", opt)
+		if err != nil {
+			return err
+		}
+		// 128KB values, the paper's large-value size.
+		val := workload.Value(128<<10, c.Rank())
+		k := fmt.Sprintf("big-%d", c.Rank())
+		if err := db.Put([]byte(k), val); err != nil {
+			return err
+		}
+		db.Barrier(LevelSSTable)
+		for r := 0; r < 2; r++ {
+			got, err := db.Get([]byte(fmt.Sprintf("big-%d", r)))
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, workload.Value(128<<10, r)) {
+				return fmt.Errorf("big value %d corrupted", r)
+			}
+		}
+		return db.Close()
+	})
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	if _, err := NewRuntime(Config{}); !errors.Is(err, ErrInvalidArgument) {
+		t.Fatalf("NewRuntime(empty) = %v", err)
+	}
+	dev, _ := nvm.Open(t.TempDir(), nvm.DRAM)
+	w := mpi.NewWorld(1, mpi.Topology{})
+	err := w.Run(func(c *mpi.Comm) error {
+		if _, err := NewRuntime(Config{Comm: c}); !errors.Is(err, ErrInvalidArgument) {
+			return fmt.Errorf("NewRuntime(no device) = %v", err)
+		}
+		rt, err := NewRuntime(Config{Comm: c, Device: dev})
+		if err != nil {
+			return err
+		}
+		if _, err := rt.Open("", DefaultOptions()); !errors.Is(err, ErrInvalidArgument) {
+			return fmt.Errorf("Open(empty name) = %v", err)
+		}
+		if err := rt.SignalNotify(-1, nil); !errors.Is(err, ErrInvalidArgument) {
+			return fmt.Errorf("SignalNotify(-1) = %v", err)
+		}
+		if err := rt.SignalWait(-1, nil); !errors.Is(err, ErrInvalidArgument) {
+			return fmt.Errorf("SignalWait(-1) = %v", err)
+		}
+		return rt.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalsOrderAcrossRanks(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 3}, func(rt *Runtime, c *mpi.Comm) error {
+		// Ring: rank r waits for r-1 then notifies r+1; rank 0 starts.
+		if c.Rank() == 0 {
+			if err := rt.SignalNotify(9, []int{1}); err != nil {
+				return err
+			}
+			return rt.SignalWait(9, []int{2})
+		}
+		if err := rt.SignalWait(9, []int{c.Rank() - 1}); err != nil {
+			return err
+		}
+		return rt.SignalNotify(9, []int{(c.Rank() + 1) % 3})
+	})
+}

@@ -1,0 +1,33 @@
+// Package core implements the PapyrusKV runtime: the distributed LSM-tree
+// key-value store of Kim, Lee & Vetter, "PapyrusKV: A High-Performance
+// Parallel Key-Value Store for Distributed NVM Architectures" (SC'17).
+//
+// One Runtime exists per rank of an SPMD program. A database (DB) is opened
+// collectively and consists, per rank, of a local MemTable, immutable local
+// MemTables queued for flushing, a remote MemTable, immutable remote
+// MemTables queued for migration, a local and a remote cache, and a set of
+// SSTables on the rank's NVM device (Figures 2 and 3). Background goroutines
+// play the roles of the paper's compaction thread (flushing immutable local
+// MemTables into SSTables, periodic compaction, checkpoint file movement),
+// message dispatcher (migrating batched remote puts to their owner ranks),
+// and message handler (serving remote put/get requests on a private
+// communicator).
+package core
+
+import "errors"
+
+// Error codes mirroring the paper's PAPYRUSKV_* return codes.
+var (
+	// ErrNotFound corresponds to PAPYRUSKV_NOT_FOUND: no live value
+	// exists for the key (including a key shadowed by a tombstone).
+	ErrNotFound = errors.New("papyruskv: not found")
+	// ErrInvalidDB corresponds to PAPYRUSKV_INVALID_DB: the handle is
+	// closed or otherwise unusable.
+	ErrInvalidDB = errors.New("papyruskv: invalid db")
+	// ErrProtected is returned for writes to a PAPYRUSKV_RDONLY database.
+	ErrProtected = errors.New("papyruskv: db is write-protected")
+	// ErrInvalidArgument reports malformed parameters.
+	ErrInvalidArgument = errors.New("papyruskv: invalid argument")
+	// ErrNoSnapshot reports a restart from a path with no usable snapshot.
+	ErrNoSnapshot = errors.New("papyruskv: no snapshot at path")
+)

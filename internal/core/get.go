@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"papyruskv/internal/memtable"
+	"papyruskv/internal/sstable"
+)
+
+// Get retrieves the value for key (papyruskv_get), following the search
+// order of Figure 3. The returned slice is the caller's to keep.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("%w: empty key", ErrInvalidArgument)
+	}
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	owner := db.opt.Hash(key, db.rt.size)
+	if owner == db.rt.rank {
+		db.metrics.GetsLocal.Add(1)
+		val, tomb, found, err := db.getLocalFull(key)
+		if err != nil {
+			return nil, err
+		}
+		if !found || tomb {
+			return nil, ErrNotFound
+		}
+		return copyValue(val), nil
+	}
+	db.metrics.GetsRemote.Add(1)
+	val, err := db.getRemote(owner, key)
+	if err != nil {
+		return nil, err
+	}
+	return copyValue(val), nil
+}
+
+// copyValue detaches a result from the runtime's internal storage: the
+// caller owns the returned slice (papyruskv_get allocates a fresh region),
+// so mutating it must never corrupt MemTables or caches.
+func copyValue(v []byte) []byte {
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// getMemoryLocked searches this rank's in-memory local structures: the
+// local MemTable, then the immutable local MemTables newest-first (tail to
+// head of the flushing queue), then the local cache. hit=true means the
+// search is decided (found may still be a tombstone); hit=false means fall
+// through to the SSTables.
+func (db *DB) getMemory(key []byte) (val []byte, tomb, hit bool) {
+	db.mu.Lock()
+	if e, ok := db.localMT.Get(key); ok {
+		db.mu.Unlock()
+		db.metrics.MemTableHits.Add(1)
+		return e.Value, e.Tombstone, true
+	}
+	for i := len(db.immLocal) - 1; i >= 0; i-- {
+		if e, ok := db.immLocal[i].Get(key); ok {
+			db.mu.Unlock()
+			db.metrics.MemTableHits.Add(1)
+			return e.Value, e.Tombstone, true
+		}
+	}
+	db.mu.Unlock()
+
+	if v, found, ok := db.localCache.Get(key); ok {
+		db.metrics.LocalCacheHits.Add(1)
+		return v, !found, true // a cached negative result acts as a tombstone
+	}
+	return nil, false, false
+}
+
+// getLocalFull is the complete local get: memory structures, then the
+// SSTables on NVM, highest SSID first. Values found in SSTables are
+// promoted into the local cache (Figure 3).
+func (db *DB) getLocalFull(key []byte) (val []byte, tomb, found bool, err error) {
+	if v, t, hit := db.getMemory(key); hit {
+		return v, t, true, nil
+	}
+	val, tomb, found, err = db.searchOwnSSTables(key)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if found {
+		db.metrics.SSTableHits.Add(1)
+		if !tomb {
+			db.localCache.Put(key, val, true)
+		}
+	}
+	return val, tomb, found, nil
+}
+
+// searchOwnSSTables walks this rank's SSTables newest-first. Concurrent
+// compaction can delete a table between the list read and the file open; on
+// a file-not-found the search retries with a fresh list (the merged table
+// contains everything the deleted inputs held).
+func (db *DB) searchOwnSSTables(key []byte) ([]byte, bool, bool, error) {
+	dir := db.dir(db.rt.rank)
+	for attempt := 0; attempt < 3; attempt++ {
+		db.sstMu.RLock()
+		ids := append([]uint64(nil), db.ssids...)
+		db.sstMu.RUnlock()
+		val, tomb, found, err := db.searchSSTableList(dir, ids, key)
+		if err == nil {
+			return val, tomb, found, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, false, false, err
+		}
+	}
+	return nil, false, false, fmt.Errorf("papyruskv: SSTable search kept racing compaction")
+}
+
+// searchSSTableList probes the given SSTables newest-first with the
+// configured search mode and bloom usage.
+func (db *DB) searchSSTableList(dir string, ids []uint64, key []byte) ([]byte, bool, bool, error) {
+	for i := len(ids) - 1; i >= 0; i-- {
+		val, tomb, found, err := sstable.Get(db.rt.cfg.Device, dir, ids[i], key, db.opt.SearchMode, db.opt.UseBloom)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if found {
+			return val, tomb, true, nil
+		}
+	}
+	return nil, false, false, nil
+}
+
+// getRemote performs a remote get: the remote MemTable, immutable remote
+// MemTables (newest first), and remote cache are consulted before a request
+// message crosses the network to the owner's message handler. Within a
+// storage group the handler answers "search my SSTables yourself" instead
+// of shipping the value (§2.7).
+func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
+	// Remote-side staging only exists in relaxed mode, but checking is
+	// harmless (empty tables) in sequential mode.
+	db.mu.Lock()
+	if e, ok := db.remoteMT.Get(key); ok {
+		db.mu.Unlock()
+		return remoteEntryResult(e)
+	}
+	for i := len(db.immRemote) - 1; i >= 0; i-- {
+		if e, ok := db.immRemote[i].Get(key); ok {
+			db.mu.Unlock()
+			return remoteEntryResult(e)
+		}
+	}
+	db.mu.Unlock()
+
+	if v, found, ok := db.remoteCache.Get(key); ok {
+		db.metrics.RemoteCacheHits.Add(1)
+		if !found {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+
+	for attempt := 0; attempt < 3; attempt++ {
+		req := encodeGetRequest(getRequest{Key: key, Group: db.rt.group})
+		if err := db.reqComm.Send(owner, tagGet, req); err != nil {
+			return nil, err
+		}
+		m, err := db.respComm.Recv(owner, tagGetResp)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := decodeGetResponse(m.Data)
+		if err != nil {
+			return nil, err
+		}
+		switch resp.Status {
+		case getFound:
+			db.remoteCache.Put(key, resp.Value, true)
+			return resp.Value, nil
+		case getTombstone, getNotFound:
+			db.remoteCache.Put(key, nil, false)
+			return nil, ErrNotFound
+		case getSearchShare:
+			// The pair is not in the owner's memory, but its SSTables
+			// live on NVM this rank shares: read them directly, no value
+			// transfer (§2.7).
+			val, tomb, found, err := db.searchSSTableList(db.dir(owner), resp.SSIDs, key)
+			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					continue // compaction deleted a table under us; re-ask
+				}
+				return nil, err
+			}
+			db.metrics.SharedSSTReads.Add(1)
+			if !found || tomb {
+				db.remoteCache.Put(key, nil, false)
+				return nil, ErrNotFound
+			}
+			db.localCache.Put(key, val, true)
+			return val, nil
+		default:
+			return nil, fmt.Errorf("papyruskv: bad get response status %d", resp.Status)
+		}
+	}
+	return nil, fmt.Errorf("papyruskv: shared SSTable search kept racing compaction")
+}
+
+func remoteEntryResult(e memtable.Entry) ([]byte, error) {
+	if e.Tombstone {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(e.Value))
+	copy(out, e.Value)
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+)
+
+// clusterSpec configures a test cluster.
+type clusterSpec struct {
+	ranks     int
+	groupSize int // <=0: one group per rank (no SSTable sharing)
+	baseDir   string
+	nvmModel  nvm.PerfModel
+	pfsModel  nvm.PerfModel
+}
+
+// runCluster executes fn SPMD on a fresh cluster: ranks as goroutines, one
+// NVM device per storage group, one shared PFS device.
+func runCluster(t *testing.T, spec clusterSpec, fn func(rt *Runtime, c *mpi.Comm) error) {
+	t.Helper()
+	if spec.baseDir == "" {
+		spec.baseDir = t.TempDir()
+	}
+	groupOf := func(r int) int {
+		if spec.groupSize <= 0 {
+			return r
+		}
+		return r / spec.groupSize
+	}
+	devices := map[int]*nvm.Device{}
+	for r := 0; r < spec.ranks; r++ {
+		g := groupOf(r)
+		if _, ok := devices[g]; !ok {
+			d, err := nvm.Open(filepath.Join(spec.baseDir, fmt.Sprintf("nvm-g%d", g)), spec.nvmModel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			devices[g] = d
+		}
+	}
+	pfs, err := nvm.Open(filepath.Join(spec.baseDir, "pfs"), spec.pfsModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := mpi.NewWorld(spec.ranks, mpi.Topology{})
+	err = world.Run(func(c *mpi.Comm) error {
+		rt, err := NewRuntime(Config{
+			Comm:    c,
+			Device:  devices[groupOf(c.Rank())],
+			PFS:     pfs,
+			GroupOf: groupOf,
+		})
+		if err != nil {
+			return err
+		}
+		return fn(rt, c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// smallOpt returns options with a tiny MemTable so tests exercise flushing,
+// migration batching, and compaction with few operations.
+func smallOpt() Options {
+	o := DefaultOptions()
+	o.MemTableCapacity = 2 << 10 // 2KB
+	o.LocalCacheCapacity = 32 << 10
+	o.RemoteCacheCapacity = 32 << 10
+	o.CompactionEvery = 4
+	return o
+}
+
+func mustPut(t *testing.T, db *DB, k, v string) {
+	t.Helper()
+	if err := db.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatalf("Put(%s): %v", k, err)
+	}
+}
+
+func wantGet(db *DB, k, v string) error {
+	got, err := db.Get([]byte(k))
+	if err != nil {
+		return fmt.Errorf("Get(%s): %w", k, err)
+	}
+	if string(got) != v {
+		return fmt.Errorf("Get(%s) = %q, want %q", k, got, v)
+	}
+	return nil
+}
+
+func wantMissing(db *DB, k string) error {
+	_, err := db.Get([]byte(k))
+	if err != ErrNotFound {
+		return fmt.Errorf("Get(%s) err = %v, want ErrNotFound", k, err)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"papyruskv/internal/hashfn"
+	"papyruskv/internal/sstable"
+)
+
+// Consistency is the memory consistency mode of a database (§3.1).
+type Consistency int
+
+const (
+	// Relaxed: puts update only the caller's MemTables; remote data
+	// becomes visible at synchronization points (fence/barrier).
+	Relaxed Consistency = iota
+	// Sequential: every remote put or delete migrates to the owner rank
+	// immediately and synchronously.
+	Sequential
+)
+
+func (c Consistency) String() string {
+	if c == Sequential {
+		return "sequential"
+	}
+	return "relaxed"
+}
+
+// Protection is a database's protection attribute (§3.2).
+type Protection int
+
+const (
+	// RDWR allows reads and writes; the local cache is enabled, the
+	// remote cache disabled.
+	RDWR Protection = iota
+	// WRONLY declares a write-only phase: the local cache is invalidated
+	// and disabled so puts skip cache maintenance.
+	WRONLY
+	// RDONLY declares a read-only phase: writes fail and the remote
+	// cache is enabled, caching values fetched from owner ranks.
+	RDONLY
+)
+
+func (p Protection) String() string {
+	switch p {
+	case WRONLY:
+		return "wronly"
+	case RDONLY:
+		return "rdonly"
+	default:
+		return "rdwr"
+	}
+}
+
+// Options configures a database at open time (papyruskv_option_t plus the
+// artifact's PAPYRUSKV_* environment toggles). The zero value plus
+// DefaultOptions' fill-ins give the paper's default configuration.
+type Options struct {
+	// MemTableCapacity is the byte threshold at which a MemTable is
+	// sealed and queued (the paper's "MemTable threshold", 1GB in Fig 6;
+	// tests use much smaller values to exercise flushing).
+	MemTableCapacity int64
+	// LocalCacheCapacity bounds the local cache in bytes; 0 disables it.
+	LocalCacheCapacity int64
+	// RemoteCacheCapacity bounds the remote cache in bytes; 0 disables
+	// it even under RDONLY protection.
+	RemoteCacheCapacity int64
+	// Consistency is the initial consistency mode.
+	Consistency Consistency
+	// Protection is the initial protection attribute.
+	Protection Protection
+	// Hash is the owner-rank hash; nil selects the built-in function.
+	// Applications install custom hashes for load balancing (§2.4).
+	Hash hashfn.Func
+	// SearchMode selects SSTable search: binary search (the NVM
+	// optimisation) or sequential scan (Figure 8's baseline).
+	SearchMode sstable.SearchMode
+	// UseBloom consults bloom filters before touching SSTables.
+	UseBloom bool
+	// CompactionEvery triggers a merge of all live SSTables whenever a
+	// newly flushed SSTable's SSID is a multiple of it; 0 disables
+	// compaction.
+	CompactionEvery uint64
+	// QueueDepth bounds the flushing and migration queues; a full queue
+	// blocks puts (back-pressure, §2.4).
+	QueueDepth int
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{
+		MemTableCapacity:    1 << 30, // 1GB, as in the evaluation
+		LocalCacheCapacity:  64 << 20,
+		RemoteCacheCapacity: 64 << 20,
+		Consistency:         Relaxed,
+		Protection:          RDWR,
+		SearchMode:          sstable.BinarySearch,
+		UseBloom:            true,
+		CompactionEvery:     8,
+		QueueDepth:          4,
+	}
+}
+
+// withDefaults fills unset fields from DefaultOptions.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.MemTableCapacity <= 0 {
+		o.MemTableCapacity = d.MemTableCapacity
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = d.QueueDepth
+	}
+	if o.Hash == nil {
+		o.Hash = hashfn.Default
+	}
+	return o
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"papyruskv/internal/memtable"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/sstable"
+)
+
+// Event identifies an asynchronous pending operation (papyruskv_event_t).
+// Wait blocks until the operation completes and returns its error.
+type Event struct {
+	done chan error
+	err  error
+	got  bool
+}
+
+func newEvent() *Event { return &Event{done: make(chan error, 1)} }
+
+func (e *Event) complete(err error) { e.done <- err }
+
+// Wait blocks until the pending operation completes (papyruskv_wait). It may
+// be called multiple times.
+func (e *Event) Wait() error {
+	if !e.got {
+		e.err = <-e.done
+		e.got = true
+	}
+	return e.err
+}
+
+// manifest describes a snapshot on the parallel file system.
+type manifest struct {
+	Name   string `json:"name"`
+	Ranks  int    `json:"ranks"`
+	Format int    `json:"format"`
+}
+
+const manifestFormat = 1
+
+func manifestName(path string) string       { return path + "/MANIFEST" }
+func snapshotDir(path string, r int) string { return fmt.Sprintf("%s/r%d", path, r) }
+
+// Checkpoint generates a snapshot of the database under path on the
+// parallel file system (papyruskv_checkpoint). It is collective. The
+// snapshot is built by an internal Barrier(LevelSSTable), so all MemTables
+// land in SSTables on NVM; the file transfer to the PFS then runs
+// asynchronously — the returned Event completes when this rank's transfer
+// is done. Updates issued meanwhile are safe: they never touch existing
+// SSTables, and compaction is pinned for the duration of the copy.
+func (db *DB) Checkpoint(path string) (*Event, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	if db.rt.cfg.PFS == nil {
+		return nil, fmt.Errorf("%w: no parallel file system configured", ErrInvalidArgument)
+	}
+	// Pin before the barrier: once other ranks pass their barrier they may
+	// put again, and an incoming migration could otherwise trigger a
+	// compaction that deletes snapshot files while they are being copied.
+	db.checkpointPin.add(1)
+	if err := db.Barrier(LevelSSTable); err != nil {
+		db.checkpointPin.done()
+		return nil, err
+	}
+	db.sstMu.RLock()
+	snapshot := append([]uint64(nil), db.ssids...)
+	db.sstMu.RUnlock()
+
+	ev := newEvent()
+	go func() {
+		ev.complete(db.copyOut(path, snapshot))
+		db.checkpointPin.done()
+	}()
+	return ev, nil
+}
+
+func (db *DB) copyOut(path string, ssids []uint64) error {
+	pfs := db.rt.cfg.PFS
+	rank := db.rt.rank
+	src := db.dir(rank)
+	dst := snapshotDir(path, rank)
+	if err := pfs.RemoveAll(dst); err != nil {
+		return err
+	}
+	for _, id := range ssids {
+		for _, name := range []string{"data", "idx", "bloom"} {
+			file := fmt.Sprintf("sst-%06d.%s", id, name)
+			if err := nvm.Copy(pfs, dst+"/"+file, db.rt.cfg.Device, src+"/"+file); err != nil {
+				return err
+			}
+		}
+	}
+	if rank == 0 {
+		m, err := json.Marshal(manifest{Name: db.name, Ranks: db.rt.size, Format: manifestFormat})
+		if err != nil {
+			return err
+		}
+		if err := pfs.WriteFile(manifestName(path), m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restart reverts database name from the snapshot stored at path
+// (papyruskv_restart). It is collective. The returned Event completes when
+// this rank's file transfers finish and the database is composed; use the
+// DB only after Wait succeeds.
+//
+// If the snapshot was taken with the same number of ranks (and
+// forceRedistribute is false), the SSTables are copied back verbatim — the
+// streamlined workflow of Figure 5(b). Otherwise the runtime redistributes:
+// each rank scans a partition of the snapshot's SSTables and re-puts every
+// pair, letting the hash function assign new owners (Figure 5(c)).
+func (rt *Runtime) Restart(path, name string, opt Options, forceRedistribute bool) (*DB, *Event, error) {
+	if rt.cfg.PFS == nil {
+		return nil, nil, fmt.Errorf("%w: no parallel file system configured", ErrInvalidArgument)
+	}
+	raw, err := rt.cfg.PFS.ReadFile(manifestName(path))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, nil, fmt.Errorf("%w: corrupt manifest: %v", ErrNoSnapshot, err)
+	}
+	if m.Format != manifestFormat {
+		return nil, nil, fmt.Errorf("%w: unsupported snapshot format %d", ErrNoSnapshot, m.Format)
+	}
+
+	if m.Ranks == rt.size && !forceRedistribute {
+		return rt.restartVerbatim(path, name, opt)
+	}
+	return rt.restartRedistribute(path, name, opt, m.Ranks)
+}
+
+// restartVerbatim copies this rank's snapshot files back to NVM, then opens
+// the database over them.
+func (rt *Runtime) restartVerbatim(path, name string, opt Options) (*DB, *Event, error) {
+	ev := newEvent()
+	// Clear any stale on-NVM state for this database first so the
+	// restored image is exact.
+	if err := rt.cfg.Device.RemoveAll(fmt.Sprintf("%s/r%d", name, rt.rank)); err != nil {
+		return nil, nil, err
+	}
+	db, err := rt.Open(name, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		src := snapshotDir(path, rt.rank)
+		files, err := rt.cfg.PFS.List(src)
+		if err != nil {
+			ev.complete(err)
+			return
+		}
+		dst := db.dir(rt.rank)
+		for _, f := range files {
+			base := f[len(src)+1:]
+			if err := nvm.Copy(rt.cfg.Device, dst+"/"+base, rt.cfg.PFS, f); err != nil {
+				ev.complete(err)
+				return
+			}
+		}
+		// Compose: adopt the restored SSTables.
+		ids, err := sstable.ListSSIDs(rt.cfg.Device, dst)
+		if err != nil {
+			ev.complete(err)
+			return
+		}
+		db.sstMu.Lock()
+		db.ssids = ids
+		if n := len(ids); n > 0 && ids[n-1] >= db.nextSSID {
+			db.nextSSID = ids[n-1] + 1
+		}
+		db.sstMu.Unlock()
+		// All ranks must finish composing before any rank's event
+		// completes: otherwise a restarted rank could issue remote gets
+		// against an owner that has not adopted its SSTables yet.
+		ev.complete(db.respComm.Barrier())
+	}()
+	return db, ev, nil
+}
+
+// restartRedistribute re-puts every snapshot pair through the normal put
+// path so the hash function re-assigns owners for the new rank count. The
+// work is partitioned by snapshot source rank; each rank merges its source
+// ranks' SSTables newest-first so only each key's latest version is
+// re-put.
+func (rt *Runtime) restartRedistribute(path, name string, opt Options, snapRanks int) (*DB, *Event, error) {
+	if err := rt.cfg.Device.RemoveAll(fmt.Sprintf("%s/r%d", name, rt.rank)); err != nil {
+		return nil, nil, err
+	}
+	db, err := rt.Open(name, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev := newEvent()
+	go func() {
+		pfs := rt.cfg.PFS
+		for src := rt.rank; src < snapRanks; src += rt.size {
+			dir := snapshotDir(path, src)
+			ids, err := sstable.ListSSIDs(pfs, dir)
+			if err != nil {
+				ev.complete(err)
+				return
+			}
+			err = sstable.MergeScan(pfs, dir, ids, func(e memtable.Entry) error {
+				if e.Tombstone {
+					// A tombstone in the snapshot only shadowed older
+					// SSTables of the same snapshot; the merge scan has
+					// already suppressed those, so it can be dropped.
+					return nil
+				}
+				return db.Put(e.Key, e.Value)
+			})
+			if err != nil {
+				ev.complete(err)
+				return
+			}
+		}
+		// The re-puts are racing every other rank's; settle them.
+		ev.complete(db.Barrier(LevelMemTable))
+	}()
+	return db, ev, nil
+}
+
+// Destroy removes the database and all its data from NVM
+// (papyruskv_destroy). It is collective and closes the handle.
+func (db *DB) Destroy() (*Event, error) {
+	rank := db.rt.rank
+	dev := db.rt.cfg.Device
+	dir := db.dir(rank)
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+	ev := newEvent()
+	go func() {
+		ev.complete(dev.RemoveAll(dir))
+	}()
+	return ev, nil
+}

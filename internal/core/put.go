@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"papyruskv/internal/memtable"
+)
+
+// Put inserts or updates a key-value pair (papyruskv_put). The owner rank is
+// the hash of the key modulo the rank count. A local put inserts into the
+// local MemTable; a remote put is staged in the remote MemTable (relaxed
+// mode) or migrated synchronously to its owner (sequential mode), per
+// Figure 2.
+func (db *DB) Put(key, value []byte) error {
+	return db.put(key, value, false)
+}
+
+// Delete removes the pair for key (papyruskv_delete): a put of a zero-length
+// value with the tombstone bit set (§2.5).
+func (db *DB) Delete(key []byte) error {
+	return db.put(key, nil, true)
+}
+
+func (db *DB) put(key, value []byte, tombstone bool) error {
+	if len(key) == 0 {
+		return fmt.Errorf("%w: empty key", ErrInvalidArgument)
+	}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrInvalidDB
+	}
+	if db.protection == RDONLY {
+		db.mu.Unlock()
+		return ErrProtected
+	}
+	mode := db.consistency
+	db.mu.Unlock()
+
+	owner := db.opt.Hash(key, db.rt.size)
+	e := memtable.Entry{Key: key, Value: value, Tombstone: tombstone, Owner: owner}
+
+	if owner == db.rt.rank {
+		db.metrics.PutsLocal.Add(1)
+		return db.putLocal(e)
+	}
+	if mode == Sequential {
+		db.metrics.PutsSync.Add(1)
+		return db.putSync(owner, e)
+	}
+	db.metrics.PutsRemote.Add(1)
+	return db.putRemote(e)
+}
+
+// putLocal inserts an entry this rank owns into the local MemTable,
+// evicting any stale local-cache entry for the key and rolling the MemTable
+// into the flushing queue when it reaches capacity. Both the application
+// thread and the message handler (applying migrated or synchronous remote
+// puts) call it.
+func (db *DB) putLocal(e memtable.Entry) error {
+	db.localCache.Invalidate(e.Key)
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrInvalidDB
+	}
+	db.localMT.Put(e)
+	var sealed *memtable.Table
+	if db.localMT.Bytes() >= db.opt.MemTableCapacity {
+		sealed = db.rollLocalLocked()
+	}
+	db.mu.Unlock()
+
+	if sealed != nil {
+		db.pendingFlush.add(1)
+		// Enqueue may block when the flushing queue is full: the paper's
+		// back-pressure against DRAM outrunning NVM (§2.4).
+		if !db.flushQ.Enqueue(sealed) {
+			db.pendingFlush.done()
+			return ErrInvalidDB
+		}
+	}
+	return nil
+}
+
+// rollLocalLocked seals the local MemTable, makes it visible to gets via
+// immLocal, and installs a fresh mutable table. Caller holds db.mu.
+func (db *DB) rollLocalLocked() *memtable.Table {
+	sealed := db.localMT
+	sealed.Seal()
+	db.immLocal = append(db.immLocal, sealed)
+	db.localMT = memtable.New()
+	return sealed
+}
+
+// putRemote stages a remote-owned entry in the remote MemTable (relaxed
+// consistency), rolling it into the migration queue at capacity.
+func (db *DB) putRemote(e memtable.Entry) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrInvalidDB
+	}
+	db.remoteMT.Put(e)
+	var sealed *memtable.Table
+	if db.remoteMT.Bytes() >= db.opt.MemTableCapacity {
+		sealed = db.rollRemoteLocked()
+	}
+	db.mu.Unlock()
+
+	if sealed != nil {
+		db.pendingMigr.add(1)
+		if !db.migrateQ.Enqueue(sealed) {
+			db.pendingMigr.done()
+			return ErrInvalidDB
+		}
+	}
+	return nil
+}
+
+// rollRemoteLocked seals the remote MemTable into immRemote. Caller holds
+// db.mu.
+func (db *DB) rollRemoteLocked() *memtable.Table {
+	sealed := db.remoteMT
+	sealed.Seal()
+	db.immRemote = append(db.immRemote, sealed)
+	db.remoteMT = memtable.New()
+	return sealed
+}
+
+// putSync sends a single put/delete directly and synchronously to the owner
+// rank (sequential consistency, Figure 2): the caller halts until the
+// owner's message handler acknowledges the migration.
+func (db *DB) putSync(owner int, e memtable.Entry) error {
+	msg := encodePutOne(putOne{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone})
+	if err := db.reqComm.Send(owner, tagPutOne, msg); err != nil {
+		return err
+	}
+	ack, err := db.respComm.Recv(owner, tagPutAck)
+	if err != nil {
+		return err
+	}
+	if len(ack.Data) != 1 || ack.Data[0] != 0 {
+		return fmt.Errorf("papyruskv: synchronous put rejected by rank %d", owner)
+	}
+	return nil
+}

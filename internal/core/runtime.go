@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+)
+
+// Config wires one rank's Runtime into the cluster.
+type Config struct {
+	// Comm is the application's world communicator for this rank.
+	Comm *mpi.Comm
+	// Device is this rank's NVM device. Ranks of the same storage group
+	// must share one *nvm.Device instance (their SSTables live in one
+	// shared directory tree, §2.7).
+	Device *nvm.Device
+	// PFS is the parallel-file-system device (checkpoint/restart target),
+	// shared by every rank.
+	PFS *nvm.Device
+	// GroupOf maps a world rank to its storage group ID. Nil puts every
+	// rank in its own group (no SSTable sharing).
+	GroupOf func(rank int) int
+}
+
+func (c Config) groupOf(rank int) int {
+	if c.GroupOf == nil {
+		return rank
+	}
+	return c.GroupOf(rank)
+}
+
+// Runtime is one rank's PapyrusKV execution environment
+// (papyruskv_init/papyruskv_finalize). Creating it is collective.
+type Runtime struct {
+	cfg        Config
+	rank       int
+	size       int
+	group      int
+	signalComm *mpi.Comm
+}
+
+// NewRuntime initialises the environment. All ranks must call it
+// collectively (it duplicates the communicator for signal traffic).
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Comm == nil {
+		return nil, fmt.Errorf("%w: nil communicator", ErrInvalidArgument)
+	}
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("%w: nil NVM device", ErrInvalidArgument)
+	}
+	rt := &Runtime{
+		cfg:        cfg,
+		rank:       cfg.Comm.Rank(),
+		size:       cfg.Comm.Size(),
+		group:      cfg.groupOf(cfg.Comm.Rank()),
+		signalComm: cfg.Comm.Dup(),
+	}
+	return rt, nil
+}
+
+// Rank returns this runtime's rank.
+func (rt *Runtime) Rank() int { return rt.rank }
+
+// Size returns the number of ranks.
+func (rt *Runtime) Size() int { return rt.size }
+
+// Group returns this rank's storage group ID.
+func (rt *Runtime) Group() int { return rt.group }
+
+// Device returns this rank's NVM device.
+func (rt *Runtime) Device() *nvm.Device { return rt.cfg.Device }
+
+// Finalize tears down the environment. Databases must be closed first.
+func (rt *Runtime) Finalize() error {
+	return rt.cfg.Comm.Barrier()
+}
+
+// SignalNotify sends signal signum to each listed rank
+// (papyruskv_signal_notify). Signals order synchronization points between
+// ranks in the sequential consistency mode (§3.1).
+func (rt *Runtime) SignalNotify(signum int, ranks []int) error {
+	if signum < 0 {
+		return fmt.Errorf("%w: negative signum", ErrInvalidArgument)
+	}
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], uint64(signum))
+	for _, r := range ranks {
+		if err := rt.signalComm.Send(r, signum, payload[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SignalWait blocks until signal signum has been received from every listed
+// rank (papyruskv_signal_wait). Early arrivals are buffered by the message
+// layer, so notify-before-wait is safe.
+func (rt *Runtime) SignalWait(signum int, ranks []int) error {
+	if signum < 0 {
+		return fmt.Errorf("%w: negative signum", ErrInvalidArgument)
+	}
+	for _, r := range ranks {
+		if _, err := rt.signalComm.Recv(r, signum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

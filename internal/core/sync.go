@@ -1,0 +1,139 @@
+package core
+
+// BarrierLevel is the flushing level of papyruskv_barrier (§3.1).
+type BarrierLevel int
+
+const (
+	// LevelMemTable (PAPYRUSKV_MEMTABLE): all remote MemTables are
+	// migrated and applied; data may still reside in local MemTables.
+	LevelMemTable BarrierLevel = iota
+	// LevelSSTable (PAPYRUSKV_SSTABLE): additionally, every rank flushes
+	// its local and immutable local MemTables to SSTables after
+	// receiving all migrated pairs, leaving a complete on-NVM image.
+	LevelSSTable
+)
+
+// Fence migrates this rank's remote MemTable and every immutable remote
+// MemTable in the migration queue to their owner ranks immediately
+// (papyruskv_fence). It returns once every owner has applied and
+// acknowledged the pairs. Fence is not collective.
+func (db *DB) Fence() error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	table := db.remoteMT
+	roll := table.Len() > 0
+	if roll {
+		db.rollRemoteLocked()
+	}
+	db.mu.Unlock()
+
+	if roll {
+		db.pendingMigr.add(1)
+		if !db.migrateQ.Enqueue(table) {
+			db.pendingMigr.done()
+			return ErrInvalidDB
+		}
+	}
+	db.pendingMigr.wait()
+	return nil
+}
+
+// Barrier is the collective memory fence of papyruskv_barrier: after it
+// returns, all ranks observe the same latest database contents. With
+// LevelSSTable the contents are additionally flushed to SSTables, which is
+// how checkpoint builds its snapshot image.
+func (db *DB) Barrier(level BarrierLevel) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	// Phase 1: everyone drains outgoing migrations. Each batch is acked
+	// only after the owner applied it, so once every rank passes the MPI
+	// barrier, every pair is in its owner's MemTables.
+	if err := db.Fence(); err != nil {
+		return err
+	}
+	if err := db.respComm.Barrier(); err != nil {
+		return err
+	}
+	if level != LevelSSTable {
+		return nil
+	}
+	// Phase 2: flush local MemTables — after receiving everyone's pairs,
+	// per the paper — and wait for the compaction thread to drain.
+	db.mu.Lock()
+	table := db.localMT
+	roll := table.Len() > 0
+	if roll {
+		db.rollLocalLocked()
+	}
+	db.mu.Unlock()
+	if roll {
+		db.pendingFlush.add(1)
+		if !db.flushQ.Enqueue(table) {
+			db.pendingFlush.done()
+			return ErrInvalidDB
+		}
+	}
+	db.pendingFlush.wait()
+	return db.respComm.Barrier()
+}
+
+// SetConsistency changes the memory consistency mode (papyruskv_consistency).
+// It is collective: the database is fenced and synchronised so that no
+// staged remote data crosses the mode switch.
+func (db *DB) SetConsistency(mode Consistency) error {
+	if mode != Relaxed && mode != Sequential {
+		return ErrInvalidArgument
+	}
+	if err := db.Barrier(LevelMemTable); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.consistency = mode
+	db.mu.Unlock()
+	return db.respComm.Barrier()
+}
+
+// SetProtection changes the protection attribute (papyruskv_protect),
+// collectively, and reconfigures the caches per §3.2:
+//
+//	WRONLY: the local cache is invalidated and disabled, so puts skip
+//	        cache-invalidation work.
+//	RDONLY: the remote cache is enabled; entries stay valid until the
+//	        database becomes writable again.
+//	RDWR:   the local cache is enabled; the remote cache is evicted and
+//	        disabled.
+func (db *DB) SetProtection(p Protection) error {
+	switch p {
+	case RDWR, WRONLY, RDONLY:
+	default:
+		return ErrInvalidArgument
+	}
+	// Synchronise so every rank flips together; staged remote writes are
+	// migrated first so an RDONLY phase observes all prior puts.
+	if err := db.Barrier(LevelMemTable); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.protection = p
+	db.applyProtection(p)
+	db.mu.Unlock()
+	return db.respComm.Barrier()
+}
+
+// applyProtection reconfigures the caches for protection p.
+func (db *DB) applyProtection(p Protection) {
+	switch p {
+	case WRONLY:
+		db.localCache.SetEnabled(false)
+		db.remoteCache.SetEnabled(false)
+	case RDONLY:
+		db.localCache.SetEnabled(true)
+		db.remoteCache.SetEnabled(true)
+	default: // RDWR
+		db.localCache.SetEnabled(true)
+		db.remoteCache.SetEnabled(false)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/workload"
+)
+
+// TestPapyrusKVOverTCP runs the full key-value store over the TCP transport:
+// every rank joins through mpi.JoinTCP with its own isolated World, so all
+// runtime traffic — migration batches, synchronous puts, remote gets,
+// barriers — crosses real sockets, exactly as separate OS processes would.
+// Storage groups still work because group members share a directory tree.
+func TestPapyrusKVOverTCP(t *testing.T) {
+	const ranks = 3
+	base := t.TempDir()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := l.Addr().String()
+	l.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = tcpRankBody(base, coord, r, ranks)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// tcpRankBody is one "process": it builds everything from scratch — device,
+// runtime, database — sharing nothing in memory with the other ranks.
+func tcpRankBody(base, coord string, rank, size int) error {
+	c, closer, err := mpi.JoinTCP(coord, rank, size, mpi.Topology{})
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+
+	// All ranks form one storage group over a shared directory, like
+	// ranks of one node sharing its NVMe mount.
+	dev, err := nvm.Open(filepath.Join(base, "shared-nvm"), nvm.DRAM)
+	if err != nil {
+		return err
+	}
+	pfs, err := nvm.Open(filepath.Join(base, "pfs"), nvm.DRAM)
+	if err != nil {
+		return err
+	}
+	rt, err := NewRuntime(Config{
+		Comm:    c,
+		Device:  dev,
+		PFS:     pfs,
+		GroupOf: func(int) int { return 0 },
+	})
+	if err != nil {
+		return err
+	}
+	opt := DefaultOptions()
+	opt.MemTableCapacity = 4 << 10 // force flushing and migration
+	db, err := rt.Open("wire", opt)
+	if err != nil {
+		return err
+	}
+
+	// Relaxed-mode writes with mixed owners.
+	for i := 0; i < 120; i++ {
+		k := fmt.Sprintf("r%d-%03d", rank, i)
+		if err := db.Put([]byte(k), workload.Value(64, i)); err != nil {
+			return fmt.Errorf("put %s: %w", k, err)
+		}
+	}
+	if err := db.Barrier(LevelSSTable); err != nil {
+		return fmt.Errorf("barrier: %w", err)
+	}
+	// Cross-rank reads, including shared-SSTable reads via the storage
+	// group, all over sockets.
+	for r := 0; r < size; r++ {
+		for i := 0; i < 120; i += 17 {
+			k := fmt.Sprintf("r%d-%03d", r, i)
+			got, err := db.Get([]byte(k))
+			if err != nil {
+				return fmt.Errorf("get %s: %w", k, err)
+			}
+			if !bytes.Equal(got, workload.Value(64, i)) {
+				return fmt.Errorf("get %s: wrong value", k)
+			}
+		}
+	}
+
+	// Sequential-consistency phase over the wire.
+	if err := db.SetConsistency(Sequential); err != nil {
+		return err
+	}
+	if err := db.Put([]byte(fmt.Sprintf("sync-%d", rank)), []byte("seq")); err != nil {
+		return err
+	}
+	if err := db.Barrier(LevelMemTable); err != nil {
+		return err
+	}
+	for r := 0; r < size; r++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("sync-%d", r))); err != nil {
+			return fmt.Errorf("sequential get %d: %w", r, err)
+		}
+	}
+
+	// Signals over the wire.
+	next := (rank + 1) % size
+	prev := (rank + size - 1) % size
+	if err := rt.SignalNotify(3, []int{next}); err != nil {
+		return err
+	}
+	if err := rt.SignalWait(3, []int{prev}); err != nil {
+		return err
+	}
+	return db.Close()
+}

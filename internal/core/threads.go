@@ -1,0 +1,267 @@
+package core
+
+import (
+	"papyruskv/internal/memtable"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/sstable"
+)
+
+// compactionThread is the paper's compaction thread: it dequeues immutable
+// local MemTables from the flushing queue, writes each as a new SSTable on
+// NVM, and merges the live SSTables whenever a new SSID is a multiple of
+// the configured compaction interval (§2.4 Flushing, §2.5 Compaction). It
+// exits when the flushing queue is closed and drained.
+func (db *DB) compactionThread() {
+	defer db.wg.Done()
+	for {
+		table, ok := db.flushQ.Dequeue()
+		if !ok {
+			return
+		}
+		db.flushOne(table)
+		db.pendingFlush.done()
+	}
+}
+
+// flushOne writes one sealed MemTable as a new SSTable, publishes it, drops
+// the MemTable from the get-visible immutable list, and runs compaction if
+// due. Errors here poison the world: a failed flush means lost durability.
+func (db *DB) flushOne(table *memtable.Table) {
+	dir := db.dir(db.rt.rank)
+
+	db.sstMu.Lock()
+	ssid := db.nextSSID
+	db.nextSSID++
+	db.sstMu.Unlock()
+
+	if _, err := sstable.WriteTable(db.rt.cfg.Device, dir, ssid, table.Entries()); err != nil {
+		db.abort(err)
+		return
+	}
+	db.metrics.Flushes.Add(1)
+
+	db.sstMu.Lock()
+	db.ssids = append(db.ssids, ssid)
+	db.sstMu.Unlock()
+
+	// The flushed MemTable's data is now reachable via the SSTable;
+	// remove the table from the immutable list and free it.
+	db.mu.Lock()
+	for i, t := range db.immLocal {
+		if t == table {
+			db.immLocal = append(db.immLocal[:i], db.immLocal[i+1:]...)
+			break
+		}
+	}
+	db.mu.Unlock()
+
+	if db.opt.CompactionEvery > 0 && ssid%db.opt.CompactionEvery == 0 && db.checkpointPin.value() == 0 {
+		db.compact()
+	}
+}
+
+// compact merges all live SSTables into one new table with a fresh highest
+// SSID, then atomically swaps the live list and deletes the inputs. Gets
+// that raced the deletion retry against the new list (see
+// searchOwnSSTables).
+func (db *DB) compact() {
+	db.sstMu.Lock()
+	inputs := append([]uint64(nil), db.ssids...)
+	mergedID := db.nextSSID
+	db.nextSSID++
+	db.sstMu.Unlock()
+	if len(inputs) < 2 {
+		return
+	}
+
+	dir := db.dir(db.rt.rank)
+	if _, err := sstable.Merge(db.rt.cfg.Device, dir, inputs, mergedID); err != nil {
+		db.abort(err)
+		return
+	}
+	db.metrics.Compactions.Add(1)
+
+	db.sstMu.Lock()
+	// Keep any SSTables flushed while the merge ran (they are newer than
+	// mergedID's inputs but may be older or newer than mergedID itself;
+	// SSID order still resolves recency because mergedID was allocated
+	// before they were).
+	var live []uint64
+	merged := map[uint64]bool{}
+	for _, id := range inputs {
+		merged[id] = true
+	}
+	for _, id := range db.ssids {
+		if !merged[id] {
+			live = append(live, id)
+		}
+	}
+	live = append(live, mergedID)
+	sortSSIDs(live)
+	db.ssids = live
+	db.sstMu.Unlock()
+}
+
+func sortSSIDs(ids []uint64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+}
+
+// dispatcherThread is the paper's message dispatcher: it dequeues immutable
+// remote MemTables from the migration queue, groups their pairs by owner
+// rank, sends one accumulated chunk per owner, and waits for each owner's
+// acknowledgement before retiring the MemTable (§2.4 Migration).
+func (db *DB) dispatcherThread() {
+	defer db.wg.Done()
+	for {
+		table, ok := db.migrateQ.Dequeue()
+		if !ok {
+			return
+		}
+		db.migrateOne(table)
+		db.pendingMigr.done()
+	}
+}
+
+func (db *DB) migrateOne(table *memtable.Table) {
+	groups := table.ByOwner()
+	// Send all chunks first, then collect all acks, overlapping the
+	// transfers.
+	owners := make([]int, 0, len(groups))
+	for owner, entries := range groups {
+		msg := memtable.EncodeEntries(entries)
+		if err := db.reqComm.Send(owner, tagMigBatch, msg); err != nil {
+			db.abort(err)
+			return
+		}
+		db.metrics.Migrations.Add(1)
+		db.metrics.MigratedPairs.Add(uint64(len(entries)))
+		owners = append(owners, owner)
+	}
+	for _, owner := range owners {
+		if _, err := db.respComm.Recv(owner, tagMigAck); err != nil {
+			db.abort(err)
+			return
+		}
+	}
+	// All pairs are now applied at their owners; drop the table from the
+	// get-visible immutable remote list.
+	db.mu.Lock()
+	for i, t := range db.immRemote {
+		if t == table {
+			db.immRemote = append(db.immRemote[:i], db.immRemote[i+1:]...)
+			break
+		}
+	}
+	db.mu.Unlock()
+}
+
+// handlerThread is the paper's message handler: it serves migration
+// batches, synchronous puts, and remote gets arriving on the private
+// request communicator, until the shutdown message (sent by this rank's own
+// Close) arrives.
+func (db *DB) handlerThread() {
+	defer db.wg.Done()
+	for {
+		m, err := db.reqComm.Recv(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return // world aborted
+		}
+		switch m.Tag {
+		case tagShutdown:
+			return
+		case tagMigBatch:
+			db.handleMigBatch(m)
+		case tagPutOne:
+			db.handlePutOne(m)
+		case tagGet:
+			db.handleGet(m)
+		}
+	}
+}
+
+func (db *DB) handleMigBatch(m mpi.Message) {
+	entries, err := memtable.DecodeEntries(m.Data)
+	if err != nil {
+		db.abort(err)
+		return
+	}
+	for _, e := range entries {
+		e.Owner = db.rt.rank
+		if err := db.putLocal(e); err != nil {
+			db.abort(err)
+			return
+		}
+	}
+	if err := db.respComm.Send(m.Source, tagMigAck, nil); err != nil {
+		db.abort(err)
+	}
+}
+
+func (db *DB) handlePutOne(m mpi.Message) {
+	p, err := decodePutOne(m.Data)
+	status := byte(0)
+	if err == nil {
+		err = db.putLocal(memtable.Entry{Key: p.Key, Value: p.Value, Tombstone: p.Tombstone, Owner: db.rt.rank})
+	}
+	if err != nil {
+		status = 1
+	}
+	if err := db.respComm.Send(m.Source, tagPutAck, []byte{status}); err != nil {
+		db.abort(err)
+	}
+}
+
+// handleGet answers a remote get. If the requester shares this rank's
+// storage group, only the in-memory structures and local cache are
+// consulted; a miss returns the live SSID list so the requester reads the
+// shared SSTables directly, eliminating the value transfer (§2.7).
+func (db *DB) handleGet(m mpi.Message) {
+	req, err := decodeGetRequest(m.Data)
+	if err != nil {
+		db.abort(err)
+		return
+	}
+	var resp getResponse
+	sameGroup := req.Group == db.rt.group
+	if sameGroup {
+		if val, tomb, hit := db.getMemory(req.Key); hit {
+			if tomb {
+				resp = getResponse{Status: getTombstone}
+			} else {
+				resp = getResponse{Status: getFound, Value: val}
+			}
+		} else {
+			db.sstMu.RLock()
+			ids := append([]uint64(nil), db.ssids...)
+			db.sstMu.RUnlock()
+			resp = getResponse{Status: getSearchShare, SSIDs: ids}
+		}
+	} else {
+		val, tomb, found, err := db.getLocalFull(req.Key)
+		switch {
+		case err != nil:
+			db.abort(err)
+			return
+		case !found:
+			resp = getResponse{Status: getNotFound}
+		case tomb:
+			resp = getResponse{Status: getTombstone}
+		default:
+			resp = getResponse{Status: getFound, Value: val}
+		}
+	}
+	if err := db.respComm.Send(m.Source, tagGetResp, encodeGetResponse(resp)); err != nil {
+		db.abort(err)
+	}
+}
+
+// abort poisons the world: background-thread failures (a failed flush, a
+// corrupt message) cannot be returned to the application thread directly,
+// so they tear down the SPMD run like an MPI_Abort.
+func (db *DB) abort(err error) {
+	db.reqComm.World().Abort(err)
+}

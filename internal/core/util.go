@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter is a waitable pending-work counter: the runtime uses one for
+// in-flight flushes (immutable local MemTables not yet on NVM) and one for
+// in-flight migrations (immutable remote MemTables not yet acked by their
+// owner ranks). Fence and barrier wait for them to drain.
+type counter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *counter) add(delta int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+	if c.n <= 0 {
+		c.cond.Broadcast()
+	}
+}
+
+func (c *counter) done() { c.add(-1) }
+
+// wait blocks until the counter reaches zero.
+func (c *counter) wait() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.n > 0 {
+		c.cond.Wait()
+	}
+}
+
+func (c *counter) value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Metrics are cumulative per-rank, per-database operation counters; tests
+// and the experiment harness use them to assert which data path served each
+// operation (the arrows of Figures 2 and 3).
+type Metrics struct {
+	PutsLocal       atomic.Uint64 // puts whose owner is the caller
+	PutsRemote      atomic.Uint64 // staged remote puts (relaxed mode)
+	PutsSync        atomic.Uint64 // synchronous remote puts (sequential mode)
+	GetsLocal       atomic.Uint64 // gets served by the local path
+	GetsRemote      atomic.Uint64 // gets that queried a remote owner
+	LocalCacheHits  atomic.Uint64
+	RemoteCacheHits atomic.Uint64
+	MemTableHits    atomic.Uint64 // local/immutable MemTable hits
+	SSTableHits     atomic.Uint64 // values read out of own SSTables
+	SharedSSTReads  atomic.Uint64 // values read from a peer's SSTables via the storage group
+	Flushes         atomic.Uint64 // immutable local MemTables flushed
+	Compactions     atomic.Uint64 // SSTable merges performed
+	Migrations      atomic.Uint64 // migration batches sent
+	MigratedPairs   atomic.Uint64 // key-value pairs migrated out
+}
+
+// Snapshot returns a plain-values copy for reporting.
+func (m *Metrics) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"puts_local":        m.PutsLocal.Load(),
+		"puts_remote":       m.PutsRemote.Load(),
+		"puts_sync":         m.PutsSync.Load(),
+		"gets_local":        m.GetsLocal.Load(),
+		"gets_remote":       m.GetsRemote.Load(),
+		"local_cache_hits":  m.LocalCacheHits.Load(),
+		"remote_cache_hits": m.RemoteCacheHits.Load(),
+		"memtable_hits":     m.MemTableHits.Load(),
+		"sstable_hits":      m.SSTableHits.Load(),
+		"shared_sst_reads":  m.SharedSSTReads.Load(),
+		"flushes":           m.Flushes.Load(),
+		"compactions":       m.Compactions.Load(),
+		"migrations":        m.Migrations.Load(),
+		"migrated_pairs":    m.MigratedPairs.Load(),
+	}
+}

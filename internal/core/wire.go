@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"papyruskv/internal/memtable"
+)
+
+// Message tags on the database's private request/response communicators.
+const (
+	// tagMigBatch carries a batch of migrated key-value pairs to their
+	// owner rank (relaxed mode); acked with tagMigAck on respComm.
+	tagMigBatch = 1
+	tagMigAck   = 2
+	// tagPutOne carries a single synchronous put/delete (sequential
+	// mode); acked with tagPutAck.
+	tagPutOne = 3
+	tagPutAck = 4
+	// tagGet carries a remote get request; answered with tagGetResp.
+	tagGet     = 5
+	tagGetResp = 6
+	// tagShutdown stops a rank's message handler (sent to self on Close).
+	tagShutdown = 7
+)
+
+// getRequest is the remote get wire format. It carries the caller's storage
+// group ID so the owner's handler can decide whether the caller may search
+// the shared SSTables itself (§2.7).
+type getRequest struct {
+	Key     []byte
+	Group   int
+	SeqMode bool // unused by the handler; kept for symmetry/debugging
+}
+
+func encodeGetRequest(r getRequest) []byte {
+	out := make([]byte, 0, 13+len(r.Key))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Key)))
+	out = append(out, u32[:]...)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], uint64(int64(r.Group)))
+	out = append(out, u64[:]...)
+	var flags byte
+	if r.SeqMode {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = append(out, r.Key...)
+	return out
+}
+
+func decodeGetRequest(data []byte) (getRequest, error) {
+	if len(data) < 13 {
+		return getRequest{}, fmt.Errorf("core: short get request (%d bytes)", len(data))
+	}
+	klen := binary.LittleEndian.Uint32(data)
+	group := int(int64(binary.LittleEndian.Uint64(data[4:])))
+	flags := data[12]
+	if uint32(len(data[13:])) < klen {
+		return getRequest{}, fmt.Errorf("core: truncated get request key")
+	}
+	return getRequest{
+		Key:     data[13 : 13+klen : 13+klen],
+		Group:   group,
+		SeqMode: flags&1 != 0,
+	}, nil
+}
+
+// getResponse statuses.
+const (
+	getFound       = 0 // Value holds the data
+	getTombstone   = 1 // key is deleted; stop searching
+	getNotFound    = 2 // not present anywhere on the owner
+	getSearchShare = 3 // not in the owner's memory; the caller shares the
+	// owner's NVM and should search the listed SSTables itself
+)
+
+// getResponse is the remote get reply.
+type getResponse struct {
+	Status int
+	Value  []byte
+	// SSIDs is the owner's live SSTable list at reply time, sent with
+	// getSearchShare so the caller searches exactly the tables the owner
+	// considers current.
+	SSIDs []uint64
+}
+
+func encodeGetResponse(r getResponse) []byte {
+	out := make([]byte, 0, 9+len(r.Value)+8*len(r.SSIDs))
+	out = append(out, byte(r.Status))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Value)))
+	out = append(out, u32[:]...)
+	out = append(out, r.Value...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.SSIDs)))
+	out = append(out, u32[:]...)
+	var u64 [8]byte
+	for _, id := range r.SSIDs {
+		binary.LittleEndian.PutUint64(u64[:], id)
+		out = append(out, u64[:]...)
+	}
+	return out
+}
+
+func decodeGetResponse(data []byte) (getResponse, error) {
+	if len(data) < 5 {
+		return getResponse{}, fmt.Errorf("core: short get response")
+	}
+	r := getResponse{Status: int(data[0])}
+	vlen := binary.LittleEndian.Uint32(data[1:])
+	data = data[5:]
+	if uint32(len(data)) < vlen {
+		return getResponse{}, fmt.Errorf("core: truncated get response value")
+	}
+	r.Value = data[:vlen:vlen]
+	data = data[vlen:]
+	if len(data) < 4 {
+		return getResponse{}, fmt.Errorf("core: truncated get response ssid count")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	if uint32(len(data)) < n*8 {
+		return getResponse{}, fmt.Errorf("core: truncated get response ssids")
+	}
+	r.SSIDs = make([]uint64, n)
+	for i := range r.SSIDs {
+		r.SSIDs[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return r, nil
+}
+
+// putOne is the sequential-mode single-operation wire format.
+type putOne struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+func encodePutOne(p putOne) []byte {
+	return memtable.EncodeEntries([]memtable.Entry{{Key: p.Key, Value: p.Value, Tombstone: p.Tombstone}})
+}
+
+func decodePutOne(data []byte) (putOne, error) {
+	entries, err := memtable.DecodeEntries(data)
+	if err != nil {
+		return putOne{}, err
+	}
+	if len(entries) != 1 {
+		return putOne{}, fmt.Errorf("core: putOne with %d entries", len(entries))
+	}
+	e := entries[0]
+	return putOne{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone}, nil
+}

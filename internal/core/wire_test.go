@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGetRequestRoundTrip(t *testing.T) {
+	f := func(key []byte, group int16, seq bool) bool {
+		in := getRequest{Key: key, Group: int(group), SeqMode: seq}
+		out, err := decodeGetRequest(encodeGetRequest(in))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out.Key, in.Key) && out.Group == in.Group && out.SeqMode == in.SeqMode
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetRequestDecodeErrors(t *testing.T) {
+	if _, err := decodeGetRequest(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, err := decodeGetRequest(make([]byte, 5)); err == nil {
+		t.Fatal("short decoded")
+	}
+	// klen says 100 but no key bytes follow.
+	bad := make([]byte, 13)
+	bad[0] = 100
+	if _, err := decodeGetRequest(bad); err == nil {
+		t.Fatal("truncated key decoded")
+	}
+}
+
+func TestGetResponseRoundTrip(t *testing.T) {
+	f := func(status uint8, value []byte, ssids []uint64) bool {
+		in := getResponse{Status: int(status % 4), Value: value, SSIDs: ssids}
+		out, err := decodeGetResponse(encodeGetResponse(in))
+		if err != nil {
+			return false
+		}
+		if out.Status != in.Status || !bytes.Equal(out.Value, in.Value) {
+			return false
+		}
+		if len(out.SSIDs) != len(in.SSIDs) {
+			return false
+		}
+		for i := range in.SSIDs {
+			if out.SSIDs[i] != in.SSIDs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetResponseDecodeErrors(t *testing.T) {
+	if _, err := decodeGetResponse(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, err := decodeGetResponse([]byte{0, 50, 0, 0, 0}); err == nil {
+		t.Fatal("truncated value decoded")
+	}
+	// valid status+empty value, then truncated ssid table
+	ok := encodeGetResponse(getResponse{Status: getSearchShare, SSIDs: []uint64{1, 2, 3}})
+	if _, err := decodeGetResponse(ok[:len(ok)-8]); err == nil {
+		t.Fatal("truncated ssids decoded")
+	}
+	if _, err := decodeGetResponse(ok[:6]); err == nil {
+		t.Fatal("missing ssid count decoded")
+	}
+}
+
+func TestPutOneRoundTrip(t *testing.T) {
+	f := func(key, value []byte, tomb bool) bool {
+		in := putOne{Key: key, Value: value, Tombstone: tomb}
+		out, err := decodePutOne(encodePutOne(in))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out.Key, in.Key) && bytes.Equal(out.Value, in.Value) && out.Tombstone == in.Tombstone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutOneDecodeErrors(t *testing.T) {
+	if _, err := decodePutOne(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	// A batch of 2 entries is not a valid putOne.
+	two := append([]byte{2, 0, 0, 0},
+		1, 0, 0, 0, 0, 0, 0, 0, 0, 'a',
+		1, 0, 0, 0, 0, 0, 0, 0, 0, 'b')
+	if _, err := decodePutOne(two); err == nil {
+		t.Fatal("two-entry batch decoded as putOne")
+	}
+}
+
+func TestCounterWait(t *testing.T) {
+	c := newCounter()
+	c.add(2)
+	done := make(chan struct{})
+	go func() {
+		c.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("wait returned with count 2")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.done()
+	select {
+	case <-done:
+		t.Fatal("wait returned with count 1")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.done()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("wait did not return at zero")
+	}
+	if c.value() != 0 {
+		t.Fatalf("value = %d", c.value())
+	}
+	c.wait() // at zero: returns immediately
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := newCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.add(1)
+				c.done()
+			}
+		}()
+	}
+	wg.Wait()
+	c.wait()
+	if c.value() != 0 {
+		t.Fatalf("value = %d", c.value())
+	}
+}
+
+func TestMetricsSnapshotComplete(t *testing.T) {
+	var m Metrics
+	m.PutsLocal.Add(3)
+	m.SharedSSTReads.Add(7)
+	snap := m.Snapshot()
+	if snap["puts_local"] != 3 || snap["shared_sst_reads"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if len(snap) != 14 {
+		t.Fatalf("snapshot has %d fields; update Snapshot when adding metrics", len(snap))
+	}
+}
+
+func TestOptionStringers(t *testing.T) {
+	if Relaxed.String() != "relaxed" || Sequential.String() != "sequential" {
+		t.Fatal("Consistency.String broken")
+	}
+	if RDWR.String() != "rdwr" || WRONLY.String() != "wronly" || RDONLY.String() != "rdonly" {
+		t.Fatal("Protection.String broken")
+	}
+}
+
+func TestDefaultOptionsFilled(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MemTableCapacity <= 0 || o.QueueDepth <= 0 || o.Hash == nil {
+		t.Fatalf("withDefaults left zero fields: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{MemTableCapacity: 42, QueueDepth: 7}.withDefaults()
+	if o2.MemTableCapacity != 42 || o2.QueueDepth != 7 {
+		t.Fatalf("withDefaults clobbered explicit values: %+v", o2)
+	}
+}

@@ -1,0 +1,163 @@
+// Package dsm provides a distributed-shared-memory global hash table with
+// one-sided semantics, standing in for the UPC implementation Meraculous is
+// built on (Figure 13's "UPC" series).
+//
+// UPC's advantage over PapyrusKV in the paper comes from "its RDMA
+// capability and built-in remote atomic operations during the graph
+// traversal": a UPC thread reads or writes a remote hash-table entry with a
+// single one-sided network operation, no remote-side handler thread, no
+// request/response round trip through software. With ranks as goroutines in
+// one address space, one-sided access is literal — the caller touches the
+// owner's shard directly — and the cost model charges exactly one fabric
+// transfer per remote operation. PapyrusKV's remote gets, by contrast, cross
+// the network twice (request + response) and are serialised through the
+// owner's message handler.
+package dsm
+
+import (
+	"sync"
+
+	"papyruskv/internal/hashfn"
+	"papyruskv/internal/mpi"
+)
+
+// Config describes the table layout.
+type Config struct {
+	// Ranks is the number of SPMD ranks sharing the table.
+	Ranks int
+	// Topology charges remote accesses to the right fabric (intra- vs
+	// inter-node).
+	Topology mpi.Topology
+	// Hash maps a key to its affinity (owner) rank; nil uses the default.
+	// Meraculous passes the same function to UPC and PapyrusKV so
+	// thread-data affinities match (Figure 12).
+	Hash hashfn.Func
+}
+
+type entry struct {
+	value   []byte
+	visited bool
+}
+
+// shard is one rank's partition of the global table, analogous to the local
+// portion of a UPC shared array.
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+}
+
+// Table is the global hash table. All ranks hold the same *Table.
+type Table struct {
+	cfg    Config
+	hash   hashfn.Func
+	shards []*shard
+}
+
+// New creates the table. Call once and share across ranks (it models a UPC
+// shared object created at program start).
+func New(cfg Config) *Table {
+	if cfg.Ranks < 1 {
+		cfg.Ranks = 1
+	}
+	h := cfg.Hash
+	if h == nil {
+		h = hashfn.Default
+	}
+	shards := make([]*shard, cfg.Ranks)
+	for i := range shards {
+		shards[i] = &shard{m: make(map[string]*entry)}
+	}
+	return &Table{cfg: cfg, hash: h, shards: shards}
+}
+
+// Owner returns the affinity rank of key.
+func (t *Table) Owner(key []byte) int { return t.hash(key, t.cfg.Ranks) }
+
+// charge models one one-sided transfer of n bytes from caller to the
+// owner's node (or nothing when the entry has local affinity).
+func (t *Table) charge(caller, owner, n int) {
+	if caller == owner {
+		return
+	}
+	const rdmaHeader = 32
+	if t.cfg.Topology.NodeOf(caller) == t.cfg.Topology.NodeOf(owner) {
+		if t.cfg.Topology.Shm != nil {
+			t.cfg.Topology.Shm.Transfer(n + rdmaHeader)
+		}
+		return
+	}
+	if t.cfg.Topology.Net != nil {
+		t.cfg.Topology.Net.Transfer(n + rdmaHeader)
+	}
+}
+
+// Put stores key→value with one one-sided remote write.
+func (t *Table) Put(caller int, key, value []byte) {
+	owner := t.Owner(key)
+	t.charge(caller, owner, len(key)+len(value))
+	s := t.shards[owner]
+	v := append([]byte(nil), value...)
+	s.mu.Lock()
+	if e, ok := s.m[string(key)]; ok {
+		e.value = v
+	} else {
+		s.m[string(key)] = &entry{value: v}
+	}
+	s.mu.Unlock()
+}
+
+// Get reads key with one one-sided remote read.
+func (t *Table) Get(caller int, key []byte) ([]byte, bool) {
+	owner := t.Owner(key)
+	s := t.shards[owner]
+	s.mu.RLock()
+	e, ok := s.m[string(key)]
+	var out []byte
+	if ok {
+		out = append([]byte(nil), e.value...)
+	}
+	s.mu.RUnlock()
+	n := len(key)
+	if ok {
+		n += len(out)
+	}
+	t.charge(caller, owner, n)
+	return out, ok
+}
+
+// ClaimVisited atomically tests-and-sets the visited flag of key — the
+// remote atomic UPC uses so exactly one thread traverses each k-mer. It
+// returns true when the caller won the claim, false when the key was
+// already visited or absent.
+func (t *Table) ClaimVisited(caller int, key []byte) bool {
+	owner := t.Owner(key)
+	t.charge(caller, owner, 8) // one fetch-and-op sized transfer
+	s := t.shards[owner]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[string(key)]
+	if !ok || e.visited {
+		return false
+	}
+	e.visited = true
+	return true
+}
+
+// Len returns the total number of entries across all shards.
+func (t *Table) Len() int {
+	total := 0
+	for _, s := range t.shards {
+		s.mu.RLock()
+		total += len(s.m)
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// LocalLen returns the entry count with affinity to rank.
+func (t *Table) LocalLen(rank int) int {
+	s := t.shards[rank]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

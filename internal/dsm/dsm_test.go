@@ -1,0 +1,163 @@
+package dsm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/simnet"
+)
+
+func TestPutGet(t *testing.T) {
+	tbl := New(Config{Ranks: 4})
+	tbl.Put(0, []byte("k"), []byte("v"))
+	v, ok := tbl.Get(3, []byte("k"))
+	if !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := tbl.Get(1, []byte("missing")); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tbl := New(Config{Ranks: 2})
+	tbl.Put(0, []byte("k"), []byte("v1"))
+	tbl.Put(1, []byte("k"), []byte("v2"))
+	v, _ := tbl.Get(0, []byte("k"))
+	if string(v) != "v2" {
+		t.Fatalf("Get = %q", v)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	tbl := New(Config{Ranks: 1})
+	tbl.Put(0, []byte("k"), []byte("orig"))
+	v, _ := tbl.Get(0, []byte("k"))
+	copy(v, "XXXX")
+	v2, _ := tbl.Get(0, []byte("k"))
+	if string(v2) != "orig" {
+		t.Fatal("Get aliases stored value")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	tbl := New(Config{Ranks: 1})
+	val := []byte("orig")
+	tbl.Put(0, []byte("k"), val)
+	copy(val, "XXXX")
+	v, _ := tbl.Get(0, []byte("k"))
+	if string(v) != "orig" {
+		t.Fatal("Put aliases caller buffer")
+	}
+}
+
+func TestClaimVisitedExactlyOnce(t *testing.T) {
+	tbl := New(Config{Ranks: 8})
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		tbl.Put(0, []byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for caller := 0; caller < 8; caller++ {
+		wg.Add(1)
+		go func(caller int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				if tbl.ClaimVisited(caller, []byte(fmt.Sprintf("k%03d", i))) {
+					wins.Add(1)
+				}
+			}
+		}(caller)
+	}
+	wg.Wait()
+	if wins.Load() != keys {
+		t.Fatalf("claims = %d, want %d (exactly once per key)", wins.Load(), keys)
+	}
+}
+
+func TestClaimAbsentKey(t *testing.T) {
+	tbl := New(Config{Ranks: 2})
+	if tbl.ClaimVisited(0, []byte("ghost")) {
+		t.Fatal("claimed an absent key")
+	}
+}
+
+func TestAffinityDistribution(t *testing.T) {
+	tbl := New(Config{Ranks: 4})
+	for i := 0; i < 4000; i++ {
+		tbl.Put(0, []byte(fmt.Sprintf("key-%d", i)), []byte("v"))
+	}
+	for r := 0; r < 4; r++ {
+		n := tbl.LocalLen(r)
+		if n < 600 || n > 1400 {
+			t.Fatalf("rank %d holds %d entries, want ~1000", r, n)
+		}
+	}
+}
+
+func TestCustomHashAffinity(t *testing.T) {
+	tbl := New(Config{Ranks: 3, Hash: func(key []byte, n int) int { return int(key[0]) % n }})
+	tbl.Put(0, []byte{1, 'x'}, []byte("v"))
+	if tbl.LocalLen(1) != 1 {
+		t.Fatal("custom hash affinity not honoured")
+	}
+	if tbl.Owner([]byte{2}) != 2 {
+		t.Fatal("Owner ignores custom hash")
+	}
+}
+
+func TestOneSidedCostCharging(t *testing.T) {
+	net := simnet.New(simnet.NoDelay)
+	shm := simnet.New(simnet.NoDelay)
+	topo := mpi.Topology{RanksPerNode: 2, Net: net, Shm: shm}
+	// Force ownership: key "a" on rank 0.
+	tbl := New(Config{Ranks: 4, Topology: topo, Hash: func([]byte, int) int { return 0 }})
+
+	tbl.Put(0, []byte("a"), []byte("v")) // local: free
+	if m, _ := net.Stats(); m != 0 {
+		t.Fatalf("local put charged net: %d", m)
+	}
+	tbl.Get(1, []byte("a")) // same node (ranks 0,1): shm
+	if m, _ := shm.Stats(); m != 1 {
+		t.Fatalf("intra-node get charged shm %d times", m)
+	}
+	tbl.Get(2, []byte("a")) // different node: net, exactly ONE transfer
+	if m, _ := net.Stats(); m != 1 {
+		t.Fatalf("remote one-sided get = %d net transfers, want 1", m)
+	}
+	tbl.ClaimVisited(3, []byte("a"))
+	if m, _ := net.Stats(); m != 2 {
+		t.Fatalf("remote atomic = %d cumulative transfers, want 2", m)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	tbl := New(Config{Ranks: 4})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("r%d-%d", r, i))
+				tbl.Put(r, k, k)
+				if v, ok := tbl.Get(r, k); !ok || !bytes.Equal(v, k) {
+					t.Errorf("lost %s", k)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if tbl.Len() != 2000 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/systems"
+	"papyruskv/internal/workload"
+)
+
+// Ablations measures the design choices DESIGN.md calls out beyond the
+// paper's own figures: bloom filters on/off, the local cache on/off, and
+// the compaction interval. Each row isolates one knob on the Fig-8-style
+// get workload (populate, flush to SSTables, random gets).
+func Ablations(cfg Config, sys systems.System) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	ops := cfg.Ops
+	if ops > 80 {
+		ops = 80
+	}
+	ranks := sys.CoresPerNode
+	if ranks > cfg.MaxRanks {
+		ranks = cfg.MaxRanks
+	}
+	var out []Result
+
+	// Bloom filters: with many SSTables per rank, a get without bloom
+	// filters opens every table's index; with them it skips definite
+	// misses after one small read.
+	for _, bloom := range []bool{true, false} {
+		series := "bloom-off"
+		if bloom {
+			series = "bloom-on"
+		}
+		r, err := ablationGet(cfg, sys, ranks, ops, func(opt *papyruskv.Options) {
+			opt.UseBloom = bloom
+			opt.LocalCacheCapacity = 0
+			opt.RemoteCacheCapacity = 0
+			opt.MemTableCapacity = 8 << 10 // many small SSTables
+			opt.CompactionEvery = 0        // keep them all
+		}, series)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+
+	// Local cache: repeated gets of hot keys served from DRAM vs NVM.
+	for _, cache := range []bool{true, false} {
+		series := "cache-off"
+		if cache {
+			series = "cache-on"
+		}
+		r, err := ablationHotGet(cfg, sys, ranks, ops, cache, series)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+
+	// Compaction interval: the read side of write amplification — more
+	// live SSTables mean more probes per get.
+	for _, every := range []uint64{0, 2, 8} {
+		series := fmt.Sprintf("compact-every-%d", every)
+		if every == 0 {
+			series = "compact-never"
+		}
+		r, err := ablationGet(cfg, sys, ranks, ops, func(opt *papyruskv.Options) {
+			opt.CompactionEvery = every
+			opt.LocalCacheCapacity = 0
+			opt.RemoteCacheCapacity = 0
+			opt.MemTableCapacity = 8 << 10
+			// Bloom filters off: the point is the cost of probing many
+			// live SSTables, which blooms would mask.
+			opt.UseBloom = false
+		}, series)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ablationGet populates with overwrites (so multiple SSTables hold stale
+// versions), flushes, and measures random gets.
+func ablationGet(cfg Config, sys systems.System, ranks, ops int, tune func(*papyruskv.Options), series string) (Result, error) {
+	cl, dir, err := newCluster(cfg, sys, "ablation", ranks, false)
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	const vlen = 512
+	pt := newPhaseTimer()
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		tune(&opt)
+		db, err := ctx.Open("abl", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), 16, ops)
+		// Three overwrite rounds, each flushed: stale versions pile up
+		// in older SSTables.
+		for round := 0; round < 3; round++ {
+			for i, k := range keys {
+				if err := db.Put(k, workload.Value(vlen, round*ops+i)); err != nil {
+					return err
+				}
+			}
+			if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+				return err
+			}
+		}
+		t0 := time.Now()
+		for _, k := range keys {
+			if _, err := db.Get(k); err != nil {
+				return fmt.Errorf("ablation get: %w", err)
+			}
+		}
+		pt.add("get", time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", series, err)
+	}
+	totalOps := ops * ranks
+	return result("ablation", sys, series, fmt.Sprintf("%d", ranks), totalOps, int64(totalOps)*vlen, pt.max("get")), nil
+}
+
+// ablationHotGet measures repeated gets of a small hot set.
+func ablationHotGet(cfg Config, sys systems.System, ranks, ops int, cache bool, series string) (Result, error) {
+	cl, dir, err := newCluster(cfg, sys, "ablation", ranks, false)
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	const vlen = 512
+	pt := newPhaseTimer()
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.MemTableCapacity = 8 << 10
+		opt.RemoteCacheCapacity = 0
+		if !cache {
+			opt.LocalCacheCapacity = 0
+		}
+		db, err := ctx.Open("abl", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), 16, ops)
+		for i, k := range keys {
+			if err := db.Put(k, workload.Value(vlen, i)); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+			return err
+		}
+		// The local cache serves only keys this rank owns (Figure 3: the
+		// remote-get path never consults it, for coherence), so the hot
+		// set must be locally owned.
+		var hot [][]byte
+		for _, k := range keys {
+			if db.Owner(k) == ctx.Rank() {
+				hot = append(hot, k)
+				if len(hot) == 4 {
+					break
+				}
+			}
+		}
+		if len(hot) == 0 {
+			hot = [][]byte{keys[0]} // tiny op counts: fall back gracefully
+		}
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			if _, err := db.Get(hot[i%len(hot)]); err != nil {
+				return err
+			}
+		}
+		pt.add("get", time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", series, err)
+	}
+	totalOps := ops * ranks
+	return result("ablation", sys, series, fmt.Sprintf("%d", ranks), totalOps, int64(totalOps)*vlen, pt.max("get")), nil
+}

@@ -1,0 +1,194 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each FigN function reproduces one figure's series using
+// the public papyruskv API (or a baseline), returning rows the harness
+// renders as the paper renders them. cmd/pkv-bench runs them all;
+// bench_test.go wraps each in a testing.B benchmark.
+//
+// Absolute numbers are simulator-scale: storage and interconnect are cost
+// models (internal/nvm, internal/simnet), and the host machine's core count
+// bounds true parallelism. What must (and does) match the paper is the
+// qualitative shape of every figure — who wins, by roughly what factor, and
+// where the crossovers fall. EXPERIMENTS.md records paper-vs-measured for
+// each figure.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/stats"
+	"papyruskv/internal/systems"
+)
+
+// Result is one measured point: a (figure, system, series, x) cell.
+type Result struct {
+	Figure  string // e.g. "fig6"
+	System  string // Summitdev / Stampede / Cori
+	Series  string // e.g. "put-nvm", "Rel+B", "Def+SG+B"
+	X       string // x-axis value: value size, rank count, ratio...
+	Ops     int    // total operations measured
+	Bytes   int64  // total payload bytes moved
+	Elapsed time.Duration
+	KRPS    float64
+	MBPS    float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s %s %s x=%s ops=%d elapsed=%v krps=%.2f mbps=%.2f",
+		r.Figure, r.System, r.Series, r.X, r.Ops, r.Elapsed.Round(time.Microsecond), r.KRPS, r.MBPS)
+}
+
+// Config bounds an experiment run. Zero values select defaults tuned to
+// finish the full suite in minutes on a small host.
+type Config struct {
+	// BaseDir holds all simulated devices; each experiment gets a fresh
+	// subdirectory. Defaults to a temp dir.
+	BaseDir string
+	// Ops is the per-rank operation count (the paper uses 10K/1K; the
+	// default here is smaller so the whole suite stays fast).
+	Ops int
+	// MaxRanks caps scaling sweeps.
+	MaxRanks int
+	// TimeScale scales every modelled delay (1.0 = calibrated models).
+	TimeScale float64
+	// Quick trims value-size and rank sweeps for smoke tests.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaseDir == "" {
+		c.BaseDir = defaultBaseDir()
+	}
+	if c.Ops <= 0 {
+		c.Ops = 100
+	}
+	if c.MaxRanks <= 0 {
+		c.MaxRanks = 64
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1.0
+	}
+	return c
+}
+
+// defaultBaseDir prefers a tmpfs mount so the host's real disk never
+// pollutes the storage cost model; device timing must come from the
+// PerfModel alone.
+func defaultBaseDir() string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		probe, err := os.MkdirTemp("/dev/shm", "pkv-probe-")
+		if err == nil {
+			os.Remove(probe)
+			return "/dev/shm"
+		}
+	}
+	return os.TempDir()
+}
+
+// freshDir creates a unique directory for one experiment configuration.
+func freshDir(base, label string) (string, error) {
+	return os.MkdirTemp(base, "pkv-"+label+"-")
+}
+
+// phaseTimer measures one phase per rank and aggregates.
+type phaseTimer struct {
+	mu   sync.Mutex
+	aggs map[string]*stats.Agg
+}
+
+func newPhaseTimer() *phaseTimer {
+	return &phaseTimer{aggs: map[string]*stats.Agg{}}
+}
+
+func (p *phaseTimer) add(phase string, d time.Duration) {
+	p.mu.Lock()
+	agg, ok := p.aggs[phase]
+	if !ok {
+		agg = &stats.Agg{}
+		p.aggs[phase] = agg
+	}
+	p.mu.Unlock()
+	agg.Add(d)
+}
+
+// max returns the slowest rank's time for phase — the collective completion
+// time aggregate throughput is computed from.
+func (p *phaseTimer) max(phase string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if agg, ok := p.aggs[phase]; ok {
+		return agg.Max()
+	}
+	return 0
+}
+
+// result builds a Result for a phase measured by pt.
+func result(figure string, sys systems.System, series, x string, ops int, bytes int64, elapsed time.Duration) Result {
+	return Result{
+		Figure:  figure,
+		System:  sys.Name,
+		Series:  series,
+		X:       x,
+		Ops:     ops,
+		Bytes:   bytes,
+		Elapsed: elapsed,
+		KRPS:    stats.KRPS(ops, elapsed),
+		MBPS:    stats.MBPS(bytes, elapsed),
+	}
+}
+
+// rankSweep returns the paper-style rank progression for a system: 1, 2, 4,
+// ... up to the cores-per-node, then node multiples, capped at maxRanks.
+func rankSweep(sys systems.System, maxRanks int, quick bool) []int {
+	var out []int
+	for r := 1; r < sys.CoresPerNode && r <= maxRanks; r *= 2 {
+		out = append(out, r)
+	}
+	if sys.CoresPerNode <= maxRanks {
+		out = append(out, sys.CoresPerNode)
+	}
+	for m := 2; sys.CoresPerNode*m <= maxRanks; m *= 2 {
+		out = append(out, sys.CoresPerNode*m)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	if quick && len(out) > 3 {
+		out = []int{out[0], out[len(out)/2], out[len(out)-1]}
+	}
+	return out
+}
+
+// newCluster builds a cluster for sys with the experiment's scale.
+func newCluster(cfg Config, sys systems.System, label string, ranks int, usePFS bool) (*papyruskv.Cluster, string, error) {
+	dir, err := freshDir(cfg.BaseDir, label)
+	if err != nil {
+		return nil, "", err
+	}
+	cl, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks:         ranks,
+		Dir:           dir,
+		System:        sysKey(sys),
+		TimeScale:     cfg.TimeScale,
+		UsePFSForData: usePFS,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	return cl, dir, nil
+}
+
+func sysKey(sys systems.System) string {
+	switch sys.Name {
+	case "Stampede":
+		return "stampede"
+	case "Cori":
+		return "cori"
+	default:
+		return "summitdev"
+	}
+}

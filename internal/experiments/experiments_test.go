@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"testing"
+
+	"papyruskv/internal/systems"
+)
+
+// The experiment functions are exercised here in functional mode
+// (TimeScale 0, tiny op counts): the goal of these tests is that every
+// figure's harness runs end-to-end and produces structurally complete
+// series; the benchmark binary measures the real shapes.
+
+func quickCfg(t *testing.T) Config {
+	return Config{
+		BaseDir:   t.TempDir(),
+		Ops:       10,
+		MaxRanks:  8,
+		TimeScale: -1, // negative: withDefaults keeps it; models disabled
+		Quick:     true,
+	}
+}
+
+// tinySystem is a scaled-down machine so functional tests stay small.
+var tinySystem = systems.System{
+	Name:         "Summitdev",
+	Arch:         systems.LocalNVM,
+	CoresPerNode: 4,
+	NVM:          systems.Summitdev.NVM,
+	PFS:          systems.Summitdev.PFS,
+	Net:          systems.Summitdev.Net,
+	Shm:          systems.Summitdev.Shm,
+	OpsPerRank:   10,
+}
+
+func seriesSet(rs []Result) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range rs {
+		out[r.Series] = true
+	}
+	return out
+}
+
+func TestFig6Harness(t *testing.T) {
+	rs, err := Fig6(quickCfg(t), tinySystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesSet(rs)
+	for _, want := range []string{"put-nvm", "barrier-nvm", "get-nvm", "put-lustre", "barrier-lustre", "get-lustre"} {
+		if !s[want] {
+			t.Fatalf("missing series %q in %v", want, s)
+		}
+	}
+	for _, r := range rs {
+		if r.Ops <= 0 || r.Elapsed <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+	}
+}
+
+func TestFig7Harness(t *testing.T) {
+	rs, err := Fig7(quickCfg(t), tinySystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesSet(rs)
+	for _, want := range []string{"Rel", "Rel+B", "Seq", "Seq+B"} {
+		if !s[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+}
+
+func TestFig8Harness(t *testing.T) {
+	rs, err := Fig8(quickCfg(t), tinySystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesSet(rs)
+	for _, want := range []string{"Def", "Def+SG", "Def+B", "Def+SG+B"} {
+		if !s[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+}
+
+func TestFig9Harness(t *testing.T) {
+	rs, err := Fig9(quickCfg(t), tinySystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesSet(rs)
+	for _, want := range []string{"50/50", "95/5", "100/0", "100/0+P"} {
+		if !s[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+}
+
+func TestFig10Harness(t *testing.T) {
+	rs, err := Fig10(quickCfg(t), tinySystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesSet(rs)
+	for _, want := range []string{"checkpoint", "restart", "restart-rd"} {
+		if !s[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+}
+
+func TestFig11Harness(t *testing.T) {
+	rs, err := Fig11(quickCfg(t), tinySystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesSet(rs)
+	for _, want := range []string{"PKV-N", "PKV-L", "MDHIM-N", "MDHIM-L"} {
+		if !s[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+}
+
+func TestFig13Harness(t *testing.T) {
+	rs, err := Fig13(quickCfg(t), tinySystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesSet(rs)
+	for _, want := range []string{"PKV", "UPC"} {
+		if !s[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+}
+
+func TestRankSweep(t *testing.T) {
+	sweep := rankSweep(tinySystem, 16, false)
+	want := []int{1, 2, 4, 8, 16}
+	if len(sweep) != len(want) {
+		t.Fatalf("sweep = %v", sweep)
+	}
+	for i := range want {
+		if sweep[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", sweep, want)
+		}
+	}
+	q := rankSweep(tinySystem, 16, true)
+	if len(q) != 3 {
+		t.Fatalf("quick sweep = %v", q)
+	}
+	if s := rankSweep(tinySystem, 0, false); len(s) == 0 {
+		t.Fatal("empty sweep for tiny max")
+	}
+}
+
+func TestAblationsHarness(t *testing.T) {
+	rs, err := Ablations(quickCfg(t), tinySystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesSet(rs)
+	for _, want := range []string{"bloom-on", "bloom-off", "cache-on", "cache-off", "compact-never", "compact-every-2", "compact-every-8"} {
+		if !s[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/systems"
+	"papyruskv/internal/workload"
+)
+
+// Fig10 reproduces "Checkpoint, restart, and restart with redistribution
+// (RD) performance": three coupled applications — the first puts and
+// checkpoints to Lustre, the second restarts the snapshot verbatim, the
+// third restarts with a forced redistribution — measuring total time and
+// bandwidth of each persistence operation.
+func Fig10(cfg Config, sys systems.System) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	const vlen = 128 << 10
+	ops := cfg.Ops
+	if ops > 40 {
+		ops = 40
+	}
+	var out []Result
+	for _, ranks := range rankSweep(sys, cfg.MaxRanks, true) {
+		res, err := fig10One(cfg, sys, ranks, ops, vlen)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s n=%d: %w", sys.Name, ranks, err)
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+func fig10One(cfg Config, sys systems.System, ranks, ops, vlen int) ([]Result, error) {
+	cl, dir, err := newCluster(cfg, sys, "fig10", ranks, false)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	pt := newPhaseTimer()
+	opt := papyruskv.DefaultOptions()
+
+	// Application 1: populate and checkpoint.
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("cr", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), 16, ops)
+		val := workload.Value(vlen, ctx.Rank())
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		ev, err := db.Checkpoint("fig10-snap")
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		pt.add("checkpoint", time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Trim(); err != nil { // job boundary: NVM scratch trimmed
+		return nil, err
+	}
+
+	// Application 2: restart verbatim.
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		t0 := time.Now()
+		db, ev, err := ctx.Restart("fig10-snap", "cr", &opt, false)
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		pt.add("restart", time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Trim(); err != nil {
+		return nil, err
+	}
+
+	// Application 3: restart with forced redistribution (the paper forces
+	// it despite equal rank counts, for the measurement).
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		t0 := time.Now()
+		db, ev, err := ctx.Restart("fig10-snap", "cr", &opt, true)
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		pt.add("restart-rd", time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	totalOps := ops * ranks
+	totalBytes := int64(totalOps) * int64(vlen+16)
+	x := fmt.Sprintf("%d", ranks)
+	return []Result{
+		result("fig10", sys, "checkpoint", x, totalOps, totalBytes, pt.max("checkpoint")),
+		result("fig10", sys, "restart", x, totalOps, totalBytes, pt.max("restart")),
+		result("fig10", sys, "restart-rd", x, totalOps, totalBytes, pt.max("restart-rd")),
+	}, nil
+}

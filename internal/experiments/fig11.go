@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/mdhim"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/simnet"
+	"papyruskv/internal/systems"
+	"papyruskv/internal/workload"
+)
+
+// Fig11 reproduces "Performance comparisons between PapyrusKV (PKV) and
+// MDHIM on Summitdev": the 50/50 update/read workload with 16B keys and 8B
+// or 128KB values, over NVMe (N) and Lustre (L). PapyrusKV runs the same
+// workload as Fig9's 50/50 variant; MDHIM runs it over its range-server /
+// local-store stack.
+func Fig11(cfg Config, sys systems.System) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	ops := cfg.Ops
+	if ops > 60 {
+		ops = 60
+	}
+	valLens := []int{8, 128 << 10}
+	var out []Result
+	for _, ranks := range rankSweep(sys, cfg.MaxRanks, true) {
+		for _, vlen := range valLens {
+			vops := ops
+			if vlen >= 128<<10 && vops > 40 {
+				vops = 40
+			}
+			for _, storage := range []struct {
+				label  string
+				usePFS bool
+			}{{"N", false}, {"L", true}} {
+				pkv, err := fig11PKV(cfg, sys, ranks, vops, vlen, storage.usePFS)
+				if err != nil {
+					return nil, fmt.Errorf("fig11 PKV %s n=%d v=%d: %w", storage.label, ranks, vlen, err)
+				}
+				pkv.Series = "PKV-" + storage.label
+				pkv.X = fmt.Sprintf("%d/%d", ranks, vlen)
+				out = append(out, pkv)
+
+				md, err := fig11MDHIM(cfg, sys, ranks, vops, vlen, storage.usePFS)
+				if err != nil {
+					return nil, fmt.Errorf("fig11 MDHIM %s n=%d v=%d: %w", storage.label, ranks, vlen, err)
+				}
+				md.Series = "MDHIM-" + storage.label
+				md.X = fmt.Sprintf("%d/%d", ranks, vlen)
+				out = append(out, md)
+			}
+		}
+	}
+	return out, nil
+}
+
+// fig11PKV runs the 50/50 workload on PapyrusKV.
+func fig11PKV(cfg Config, sys systems.System, ranks, ops, vlen int, usePFS bool) (Result, error) {
+	cl, dir, err := newCluster(cfg, sys, "fig11pkv", ranks, usePFS)
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	pt := newPhaseTimer()
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.Consistency = papyruskv.Sequential
+		if vlen >= 1<<10 {
+			// 128KB values: SSTables are created and exercised (the
+			// paper's large-value regime); 8B values stay in DRAM.
+			opt.MemTableCapacity = int64(ops) * int64(vlen) / 4
+		}
+		db, err := ctx.Open("wl", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), 16, ops)
+		val := workload.Value(vlen, ctx.Rank())
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+			return err
+		}
+		mix := workload.Mix(int64(ctx.Rank())+2000, ops, len(keys), 50)
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, op := range mix {
+			k := keys[op.KeyIdx]
+			if op.Read {
+				if _, err := db.Get(k); err != nil {
+					return err
+				}
+			} else if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		pt.add("phase", time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	totalOps := ops * ranks
+	return result("fig11", sys, "", "", totalOps, int64(totalOps)*int64(vlen+16), pt.max("phase")), nil
+}
+
+// fig11MDHIM runs the identical workload on the MDHIM baseline. MDHIM has
+// no storage groups: each rank's LevelDB-alike store is private even on
+// shared storage.
+func fig11MDHIM(cfg Config, sys systems.System, ranks, ops, vlen int, usePFS bool) (Result, error) {
+	dir, err := freshDir(cfg.BaseDir, "fig11mdhim")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	model := sys.NVM
+	if usePFS {
+		model = sys.PFS
+	}
+	model = model.Scaled(cfg.TimeScale)
+	net := sys.Net
+	net.TimeScale = cfg.TimeScale
+	shm := sys.Shm
+	shm.TimeScale = cfg.TimeScale
+	topo := mpi.Topology{
+		RanksPerNode: sys.CoresPerNode,
+		Net:          simnet.New(net),
+		Shm:          simnet.New(shm),
+	}
+	// One device per node (the same NVM the PKV run would see), but each
+	// MDHIM rank keeps a private store directory on it.
+	devs := map[int]*nvm.Device{}
+	for r := 0; r < ranks; r++ {
+		n := topo.NodeOf(r)
+		if _, ok := devs[n]; !ok {
+			d, err := nvm.Open(filepath.Join(dir, fmt.Sprintf("node%d", n)), model)
+			if err != nil {
+				return Result{}, err
+			}
+			devs[n] = d
+		}
+	}
+
+	pt := newPhaseTimer()
+	world := mpi.NewWorld(ranks, topo)
+	err = world.Run(func(c *mpi.Comm) error {
+		s, err := mdhim.Open(c, devs[topo.NodeOf(c.Rank())], "wl", mdhim.Options{})
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(c.Rank()), 16, ops)
+		val := workload.Value(vlen, c.Rank())
+		for _, k := range keys {
+			if err := s.Put(k, val); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		mix := workload.Mix(int64(c.Rank())+2000, ops, len(keys), 50)
+		t0 := time.Now()
+		for _, op := range mix {
+			k := keys[op.KeyIdx]
+			if op.Read {
+				if _, _, err := s.Get(k); err != nil {
+					return err
+				}
+			} else if err := s.Put(k, val); err != nil {
+				return err
+			}
+		}
+		pt.add("phase", time.Since(t0))
+		return s.Close()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	totalOps := ops * ranks
+	return result("fig11", sys, "", "", totalOps, int64(totalOps)*int64(vlen+16), pt.max("phase")), nil
+}

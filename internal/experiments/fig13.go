@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/dsm"
+	"papyruskv/internal/genome"
+	"papyruskv/internal/kmer"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/simnet"
+	"papyruskv/internal/systems"
+)
+
+// Fig13 reproduces "Meraculous performance comparison between PapyrusKV
+// (PKV) and UPC on Cori": total de Bruijn graph construction + traversal
+// time on a synthetic genome, over a sweep of thread (rank) counts, for the
+// PapyrusKV port and the UPC (one-sided DSM) reference. Both use the same
+// k-mer hash so thread-data affinities match (Figure 12).
+func Fig13(cfg Config, sys systems.System) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	// Genome scale: enough contigs for every rank at the largest sweep
+	// point, with a few hundred k-mers per contig.
+	ranksList := rankSweep(sys, cfg.MaxRanks, cfg.Quick)
+	maxRanks := ranksList[len(ranksList)-1]
+	scaffolds := 2 * maxRanks
+	length := 160
+	if cfg.Quick {
+		length = 120
+	}
+	g, err := genome.Generate(2024, scaffolds, length, 19)
+	if err != nil {
+		return nil, fmt.Errorf("fig13 genome: %w", err)
+	}
+	entries := kmer.BuildUFX(g)
+
+	var out []Result
+	for _, ranks := range ranksList {
+		pkvT, err := fig13PKV(cfg, sys, ranks, g, entries)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 PKV n=%d: %w", ranks, err)
+		}
+		upcT, err := fig13UPC(cfg, sys, ranks, g, entries)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 UPC n=%d: %w", ranks, err)
+		}
+		x := fmt.Sprintf("%d", ranks)
+		n := len(entries)
+		out = append(out,
+			result("fig13", sys, "PKV", x, n, 0, pkvT),
+			result("fig13", sys, "UPC", x, n, 0, upcT),
+		)
+	}
+	return out, nil
+}
+
+// fig13PKV runs the pipeline on PapyrusKV and verifies the assembly.
+func fig13PKV(cfg Config, sys systems.System, ranks int, g *genome.Genome, entries []kmer.Entry) (time.Duration, error) {
+	cl, dir, err := newCluster(cfg, sys, "fig13pkv", ranks, false)
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	pt := newPhaseTimer()
+	contigCount := make([]int, ranks)
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.Hash = kmer.KmerHash
+		db, err := ctx.Open("dbg", &opt)
+		if err != nil {
+			return err
+		}
+		b := &kmer.PKVBackend{DB: db, Rank: ctx.Rank()}
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if err := kmer.Construct(b, entries, ctx.Rank(), ctx.Size()); err != nil {
+			return err
+		}
+		contigs, err := kmer.Traverse(b, entries, ctx.Rank(), ctx.Size())
+		if err != nil {
+			return err
+		}
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		pt.add("total", time.Since(t0))
+		contigCount[ctx.Rank()] = len(contigs)
+		return db.Close()
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := checkContigCount(contigCount, len(g.Scaffolds)); err != nil {
+		return 0, fmt.Errorf("PKV assembly: %w", err)
+	}
+	return pt.max("total"), nil
+}
+
+// fig13UPC runs the pipeline on the one-sided DSM table.
+func fig13UPC(cfg Config, sys systems.System, ranks int, g *genome.Genome, entries []kmer.Entry) (time.Duration, error) {
+	net := sys.Net
+	net.TimeScale = cfg.TimeScale
+	shm := sys.Shm
+	shm.TimeScale = cfg.TimeScale
+	topo := mpi.Topology{
+		RanksPerNode: sys.CoresPerNode,
+		Net:          simnet.New(net),
+		Shm:          simnet.New(shm),
+	}
+	table := dsm.New(dsm.Config{Ranks: ranks, Topology: topo, Hash: kmer.KmerHash})
+
+	pt := newPhaseTimer()
+	contigCount := make([]int, ranks)
+	world := mpi.NewWorld(ranks, topo)
+	err := world.Run(func(c *mpi.Comm) error {
+		b := &kmer.UPCBackend{Table: table, Rank: c.Rank(), Barrier: c.Barrier}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if err := kmer.Construct(b, entries, c.Rank(), c.Size()); err != nil {
+			return err
+		}
+		contigs, err := kmer.Traverse(b, entries, c.Rank(), c.Size())
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		pt.add("total", time.Since(t0))
+		contigCount[c.Rank()] = len(contigs)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := checkContigCount(contigCount, len(g.Scaffolds)); err != nil {
+		return 0, fmt.Errorf("UPC assembly: %w", err)
+	}
+	return pt.max("total"), nil
+}
+
+func checkContigCount(perRank []int, want int) error {
+	total := 0
+	for _, n := range perRank {
+		total += n
+	}
+	if total != want {
+		return fmt.Errorf("assembled %d contigs, want %d", total, want)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/systems"
+	"papyruskv/internal/workload"
+)
+
+// Fig6ValueSizes is the paper's value-size sweep: 256B to 1MB.
+var Fig6ValueSizes = []int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// Fig6 reproduces "Basic operations performance in a single node": one node
+// running cores-per-node ranks, measuring put, barrier(SSTABLE), and get
+// throughput for 16B keys and value sizes from 256B to 1MB, in the relaxed
+// consistency mode, on the system's NVM and on Lustre.
+func Fig6(cfg Config, sys systems.System) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	valLens := Fig6ValueSizes
+	if cfg.Quick {
+		valLens = []int{256, 64 << 10, 1 << 20}
+	}
+	var out []Result
+	for _, storage := range []struct {
+		label  string
+		usePFS bool
+	}{
+		{"nvm", false},
+		{"lustre", true},
+	} {
+		for _, vlen := range valLens {
+			// Bound the data volume: big values get fewer ops.
+			ops := cfg.Ops
+			if vlen >= 256<<10 && ops > 30 {
+				ops = 30
+			}
+			res, err := fig6One(cfg, sys, storage.label, storage.usePFS, vlen, ops)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s %s %d: %w", sys.Name, storage.label, vlen, err)
+			}
+			out = append(out, res...)
+		}
+	}
+	return out, nil
+}
+
+func fig6One(cfg Config, sys systems.System, storage string, usePFS bool, vlen, ops int) ([]Result, error) {
+	ranks := sys.CoresPerNode
+	cl, dir, err := newCluster(cfg, sys, "fig6", ranks, usePFS)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	pt := newPhaseTimer()
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.Consistency = papyruskv.Relaxed
+		db, err := ctx.Open("basic", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), 16, ops)
+		val := workload.Value(vlen, ctx.Rank())
+
+		// Phase 1: puts (memory only in relaxed mode).
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		pt.add("put", time.Since(t0))
+
+		// Phase 2: barrier with SSTABLE level — migrate + flush to NVM.
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t1 := time.Now()
+		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+			return err
+		}
+		pt.add("barrier", time.Since(t1))
+
+		// Phase 3: gets of the same keys.
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t2 := time.Now()
+		for _, k := range keys {
+			if _, err := db.Get(k); err != nil {
+				return fmt.Errorf("fig6 get: %w", err)
+			}
+		}
+		pt.add("get", time.Since(t2))
+		return db.Close()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	totalOps := ops * ranks
+	totalBytes := int64(totalOps) * int64(vlen+16)
+	x := fmt.Sprintf("%d", vlen)
+	return []Result{
+		result("fig6", sys, "put-"+storage, x, totalOps, totalBytes, pt.max("put")),
+		result("fig6", sys, "barrier-"+storage, x, totalOps, totalBytes, pt.max("barrier")),
+		result("fig6", sys, "get-"+storage, x, totalOps, totalBytes, pt.max("get")),
+	}, nil
+}

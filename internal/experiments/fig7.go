@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/systems"
+	"papyruskv/internal/workload"
+)
+
+// Fig7 reproduces "Put operation performance in relaxed (Rel) and
+// sequential (Seq) consistency modes": 16B keys, 128KB values, rank counts
+// swept from one to multiples of a node, measuring put throughput alone
+// (Rel, Seq) and put+barrier throughput (Rel+B, Seq+B). Randomly generated
+// keys mix local and remote operations.
+func Fig7(cfg Config, sys systems.System) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	const vlen = 128 << 10
+	ops := cfg.Ops
+	if ops > 50 {
+		ops = 50 // 128KB values: bound data volume
+	}
+	var out []Result
+	for _, ranks := range rankSweep(sys, cfg.MaxRanks, cfg.Quick) {
+		for _, mode := range []papyruskv.Consistency{papyruskv.Relaxed, papyruskv.Sequential} {
+			res, err := fig7One(cfg, sys, ranks, ops, vlen, mode)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s n=%d %v: %w", sys.Name, ranks, mode, err)
+			}
+			out = append(out, res...)
+		}
+	}
+	return out, nil
+}
+
+func fig7One(cfg Config, sys systems.System, ranks, ops, vlen int, mode papyruskv.Consistency) ([]Result, error) {
+	cl, dir, err := newCluster(cfg, sys, "fig7", ranks, false)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	pt := newPhaseTimer()
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.Consistency = mode
+		db, err := ctx.Open("basic", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), 16, ops)
+		val := workload.Value(vlen, ctx.Rank())
+
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		pt.add("put", time.Since(t0))
+		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+			return err
+		}
+		pt.add("put+barrier", time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	label := "Rel"
+	if mode == papyruskv.Sequential {
+		label = "Seq"
+	}
+	totalOps := ops * ranks
+	totalBytes := int64(totalOps) * int64(vlen+16)
+	x := fmt.Sprintf("%d", ranks)
+	return []Result{
+		result("fig7", sys, label, x, totalOps, totalBytes, pt.max("put")),
+		result("fig7", sys, label+"+B", x, totalOps, totalBytes, pt.max("put+barrier")),
+	}, nil
+}

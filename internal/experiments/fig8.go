@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/systems"
+	"papyruskv/internal/workload"
+)
+
+// Fig8 reproduces "Get operation performance": the storage group (SG) and
+// SSTable binary search (B) optimisations, alone and combined, against the
+// default configuration. The database is populated and flushed to SSTables,
+// then random gets (mixed local/remote owners) are measured. SG sets the
+// storage-group size to the node (local NVM architectures) or the whole
+// application (dedicated NVM); B switches SSTable search from sequential
+// scan to binary search.
+func Fig8(cfg Config, sys systems.System) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	const vlen = 32 << 10
+	ops := cfg.Ops
+	if ops > 60 {
+		ops = 60
+	}
+	variants := []struct {
+		series string
+		sg     bool
+		binary bool
+	}{
+		{"Def", false, false},
+		{"Def+SG", true, false},
+		{"Def+B", false, true},
+		{"Def+SG+B", true, true},
+	}
+	ranksList := rankSweep(sys, cfg.MaxRanks, true) // a few representative counts
+	var out []Result
+	for _, ranks := range ranksList {
+		for _, v := range variants {
+			res, err := fig8One(cfg, sys, ranks, ops, vlen, v.sg, v.binary, v.series)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s n=%d %s: %w", sys.Name, ranks, v.series, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+func fig8One(cfg Config, sys systems.System, ranks, ops, vlen int, sg, binary bool, series string) (Result, error) {
+	dir, err := freshDir(cfg.BaseDir, "fig8")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	groupSize := 1
+	if sg {
+		groupSize = sys.GroupSize(ranks)
+	}
+	cl, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks:     ranks,
+		Dir:       dir,
+		System:    sysKey(sys),
+		GroupSize: groupSize,
+		TimeScale: cfg.TimeScale,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	pt := newPhaseTimer()
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.SearchMode = papyruskv.SearchModeSequential
+		if binary {
+			opt.SearchMode = papyruskv.SearchModeBinary
+		}
+		// Caches off so every get exercises the SSTable path under test.
+		opt.LocalCacheCapacity = 0
+		opt.RemoteCacheCapacity = 0
+		db, err := ctx.Open("basic", &opt)
+		if err != nil {
+			return err
+		}
+		keys := workload.Keys(int64(ctx.Rank()), 16, ops)
+		val := workload.Value(vlen, ctx.Rank())
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, k := range keys {
+			if _, err := db.Get(k); err != nil {
+				return fmt.Errorf("fig8 get: %w", err)
+			}
+		}
+		pt.add("get", time.Since(t0))
+		return db.Close()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	totalOps := ops * ranks
+	totalBytes := int64(totalOps) * int64(vlen+16)
+	return result("fig8", sys, series, fmt.Sprintf("%d", ranks), totalOps, totalBytes, pt.max("get")), nil
+}

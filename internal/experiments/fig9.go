@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"papyruskv"
+	"papyruskv/internal/systems"
+	"papyruskv/internal/workload"
+)
+
+// Fig9 reproduces "Various workloads": an initialization phase of puts
+// followed by a read/update phase with ratios 50/50, 95/5, and 100/0, on a
+// sequential-consistency database; the 100/0+P variant write-protects the
+// database (PAPYRUSKV_RDONLY) during the read phase, enabling the remote
+// cache.
+func Fig9(cfg Config, sys systems.System) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	const vlen = 128 << 10
+	ops := cfg.Ops
+	if ops > 50 {
+		ops = 50
+	}
+	variants := []struct {
+		series  string
+		readPct int
+		protect bool
+	}{
+		{"50/50", 50, false},
+		{"95/5", 95, false},
+		{"100/0", 100, false},
+		{"100/0+P", 100, true},
+	}
+	ranksList := rankSweep(sys, cfg.MaxRanks, true)
+	var out []Result
+	for _, ranks := range ranksList {
+		for _, v := range variants {
+			res, err := fig9One(cfg, sys, ranks, ops, vlen, v.readPct, v.protect, v.series)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s n=%d %s: %w", sys.Name, ranks, v.series, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+func fig9One(cfg Config, sys systems.System, ranks, ops, vlen, readPct int, protect bool, series string) (Result, error) {
+	cl, dir, err := newCluster(cfg, sys, "fig9", ranks, false)
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	pt := newPhaseTimer()
+	err = cl.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.Consistency = papyruskv.Sequential
+		// The paper's 10K x 128KB init phase overflows the 1GB MemTable,
+		// so the read/update phase runs against SSTables; scale the
+		// capacity so the same regime holds at this op count.
+		opt.MemTableCapacity = int64(ops) * int64(vlen) / 4
+		db, err := ctx.Open("workload", &opt)
+		if err != nil {
+			return err
+		}
+		// Initialization phase.
+		keys := workload.Keys(int64(ctx.Rank()), 16, ops)
+		val := workload.Value(vlen, ctx.Rank())
+		for _, k := range keys {
+			if err := db.Put(k, val); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+			return err
+		}
+		if protect {
+			if err := db.SetProtection(papyruskv.RDONLY); err != nil {
+				return err
+			}
+		}
+		// Read/update phase over the initialization keys.
+		mix := workload.Mix(int64(ctx.Rank())+1000, ops, len(keys), readPct)
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, op := range mix {
+			k := keys[op.KeyIdx]
+			if op.Read {
+				if _, err := db.Get(k); err != nil {
+					return fmt.Errorf("fig9 get: %w", err)
+				}
+			} else {
+				if err := db.Put(k, val); err != nil {
+					return err
+				}
+			}
+		}
+		pt.add("phase", time.Since(t0))
+		if protect {
+			if err := db.SetProtection(papyruskv.RDWR); err != nil {
+				return err
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	totalOps := ops * ranks
+	totalBytes := int64(totalOps) * int64(vlen+16)
+	return result("fig9", sys, series, fmt.Sprintf("%d", ranks), totalOps, totalBytes, pt.max("phase")), nil
+}

@@ -1,0 +1,149 @@
+// Package fifo provides the bounded FIFO queues PapyrusKV places between
+// application MPI ranks and its background threads: the flushing queue
+// (immutable local MemTables awaiting the compaction thread) and the
+// migration queue (immutable remote MemTables awaiting the message
+// dispatcher).
+//
+// Semantics follow the paper: Enqueue blocks when the queue is full — this
+// back-pressure is what prevents unflushed MemTables from consuming
+// unbounded memory when DRAM outpaces NVM — and Dequeue blocks when empty.
+// A Snapshot accessor exists because get operations must search the queued
+// immutable MemTables newest-first (tail to head) before touching SSTables.
+package fifo
+
+import "sync"
+
+// Queue is a bounded, blocking FIFO queue of arbitrary items.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []T
+	head     int // index of oldest element
+	count    int
+	closed   bool
+}
+
+// New creates a queue holding at most capacity items. capacity must be >= 1.
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{items: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue appends item, blocking while the queue is full. It returns false
+// if the queue was closed before the item could be enqueued.
+func (q *Queue[T]) Enqueue(item T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == len(q.items) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.items[(q.head+q.count)%len(q.items)] = item
+	q.count++
+	q.notEmpty.Signal()
+	return true
+}
+
+// TryEnqueue appends item without blocking. It returns false if the queue is
+// full or closed.
+func (q *Queue[T]) TryEnqueue(item T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.count == len(q.items) {
+		return false
+	}
+	q.items[(q.head+q.count)%len(q.items)] = item
+	q.count++
+	q.notEmpty.Signal()
+	return true
+}
+
+// Dequeue removes and returns the oldest item, blocking while the queue is
+// empty. ok is false when the queue is closed and drained.
+func (q *Queue[T]) Dequeue() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.count == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release reference
+	q.head = (q.head + 1) % len(q.items)
+	q.count--
+	q.notFull.Signal()
+	return item, true
+}
+
+// TryDequeue removes the oldest item without blocking.
+func (q *Queue[T]) TryDequeue() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head = (q.head + 1) % len(q.items)
+	q.count--
+	q.notFull.Signal()
+	return item, true
+}
+
+// Len reports the current number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.items) }
+
+// Snapshot returns the queued items oldest-first. Gets use it to search
+// immutable MemTables newest-first by walking the result backwards.
+func (q *Queue[T]) Snapshot() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]T, q.count)
+	for i := 0; i < q.count; i++ {
+		out[i] = q.items[(q.head+i)%len(q.items)]
+	}
+	return out
+}
+
+// Close marks the queue closed. Blocked producers return false; blocked
+// consumers drain remaining items then return ok=false.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// WaitEmpty blocks until the queue is empty (all items dequeued) or closed.
+// PapyrusKV barriers with the SSTABLE level use it to wait for the flushing
+// queue to drain.
+func (q *Queue[T]) WaitEmpty() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count > 0 && !q.closed {
+		// notFull is signalled on every dequeue; reuse it.
+		q.notFull.Wait()
+	}
+}

@@ -1,0 +1,208 @@
+package fifo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOrder(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("Enqueue(%d) failed", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d, %v; want %d", v, ok, i)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			q.Enqueue(round*3 + i)
+		}
+		for i := 0; i < 3; i++ {
+			v, _ := q.Dequeue()
+			if v != round*3+i {
+				t.Fatalf("round %d: got %d want %d", round, v, round*3+i)
+			}
+		}
+	}
+}
+
+func TestTryOps(t *testing.T) {
+	q := New[string](2)
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("TryDequeue on empty succeeded")
+	}
+	if !q.TryEnqueue("a") || !q.TryEnqueue("b") {
+		t.Fatal("TryEnqueue failed with room")
+	}
+	if q.TryEnqueue("c") {
+		t.Fatal("TryEnqueue succeeded when full")
+	}
+	v, ok := q.TryDequeue()
+	if !ok || v != "a" {
+		t.Fatalf("TryDequeue = %q, %v", v, ok)
+	}
+}
+
+func TestBlockingEnqueue(t *testing.T) {
+	q := New[int](1)
+	q.Enqueue(1)
+	done := make(chan bool)
+	go func() {
+		done <- q.Enqueue(2) // blocks until a dequeue
+	}()
+	select {
+	case <-done:
+		t.Fatal("Enqueue did not block on full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, _ := q.Dequeue(); v != 1 {
+		t.Fatalf("Dequeue = %d, want 1", v)
+	}
+	if ok := <-done; !ok {
+		t.Fatal("blocked Enqueue returned false")
+	}
+	if v, _ := q.Dequeue(); v != 2 {
+		t.Fatalf("Dequeue = %d, want 2", v)
+	}
+}
+
+func TestBlockingDequeue(t *testing.T) {
+	q := New[int](1)
+	got := make(chan int)
+	go func() {
+		v, _ := q.Dequeue()
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Enqueue(7)
+	if v := <-got; v != 7 {
+		t.Fatalf("Dequeue = %d, want 7", v)
+	}
+}
+
+func TestClose(t *testing.T) {
+	q := New[int](2)
+	q.Enqueue(1)
+	q.Close()
+	if q.Enqueue(2) {
+		t.Fatal("Enqueue after Close succeeded")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("drain after Close = %d, %v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on closed empty queue returned ok")
+	}
+}
+
+func TestCloseUnblocksProducer(t *testing.T) {
+	q := New[int](1)
+	q.Enqueue(1)
+	done := make(chan bool)
+	go func() { done <- q.Enqueue(2) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("Enqueue returned true after Close")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	q := New[int](4)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Dequeue()
+	q.Enqueue(3)
+	snap := q.Snapshot()
+	if len(snap) != 2 || snap[0] != 2 || snap[1] != 3 {
+		t.Fatalf("Snapshot = %v, want [2 3]", snap)
+	}
+	// Snapshot must not consume.
+	if q.Len() != 2 {
+		t.Fatalf("Len after Snapshot = %d, want 2", q.Len())
+	}
+}
+
+func TestWaitEmpty(t *testing.T) {
+	q := New[int](4)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	done := make(chan struct{})
+	go func() {
+		q.WaitEmpty()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitEmpty returned with items queued")
+	case <-time.After(10 * time.Millisecond):
+	}
+	q.Dequeue()
+	q.Dequeue()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitEmpty did not return after drain")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int](8)
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	sum := make(chan int, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(1)
+			}
+		}(p)
+	}
+	var consumed sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			total := 0
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					sum <- total
+					return
+				}
+				total += v
+			}
+		}()
+	}
+	wg.Wait()
+	q.WaitEmpty()
+	q.Close()
+	consumed.Wait()
+	close(sum)
+	total := 0
+	for v := range sum {
+		total += v
+	}
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", total, producers*perProducer)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	q := New[int](0)
+	if q.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", q.Cap())
+	}
+}

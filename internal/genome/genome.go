@@ -1,0 +1,141 @@
+// Package genome synthesises test genomes for the Meraculous reproduction.
+//
+// The paper evaluates Meraculous on the human chr14 dataset, which is not
+// redistributable here. The de Bruijn graph construction/traversal pipeline
+// only depends on the *structure* of the input — a set of sequences whose
+// k-mers chain uniquely — so this package generates random multi-scaffold
+// genomes with globally unique k-mers. Uniqueness guarantees each scaffold
+// assembles into exactly one contig, giving the tests a ground truth: the
+// assembled contig set must equal the generated scaffold set.
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Bases are the DNA alphabet.
+const Bases = "ACGT"
+
+// Genome is a synthetic genome: a set of scaffolds plus the k-mer length
+// they were validated against.
+type Genome struct {
+	Scaffolds []string
+	K         int
+}
+
+// Generate creates count scaffolds of the given length whose k-mers are
+// globally unique (no k-mer appears twice within or across scaffolds).
+// length must be at least k. Generation retries collisions; pathological
+// parameters (k too small for the requested volume) fail with an error.
+func Generate(seed int64, count, length, k int) (*Genome, error) {
+	if k < 4 {
+		return nil, fmt.Errorf("genome: k must be >= 4, got %d", k)
+	}
+	if length < k {
+		return nil, fmt.Errorf("genome: length %d < k %d", length, k)
+	}
+	// Volume check: need count*(length-k+1) distinct k-mers out of 4^k.
+	need := count * (length - k + 1)
+	if space := 1 << (2 * uint(min(k, 30))); need > space/4 {
+		return nil, fmt.Errorf("genome: %d k-mers requested but only %d exist at k=%d", need, space, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, need)
+	scaffolds := make([]string, 0, count)
+	for s := 0; s < count; s++ {
+		scaffold, err := generateScaffold(rng, length, k, seen)
+		if err != nil {
+			return nil, err
+		}
+		scaffolds = append(scaffolds, scaffold)
+	}
+	return &Genome{Scaffolds: scaffolds, K: k}, nil
+}
+
+// generateScaffold extends a random seed base-by-base, backtracking a base
+// when every extension would repeat a k-mer.
+func generateScaffold(rng *rand.Rand, length, k int, seen map[string]bool) (string, error) {
+	const maxRestarts = 100
+	for restart := 0; restart < maxRestarts; restart++ {
+		var b strings.Builder
+		// Random initial (k-1)-mer.
+		prefix := make([]byte, k-1)
+		for i := range prefix {
+			prefix[i] = Bases[rng.Intn(4)]
+		}
+		b.Write(prefix)
+		added := []string{}
+		ok := true
+		for b.Len() < length {
+			tail := b.String()[b.Len()-(k-1):]
+			// Try the four extensions in random order.
+			perm := rng.Perm(4)
+			placed := false
+			for _, p := range perm {
+				kmer := tail + string(Bases[p])
+				if !seen[kmer] {
+					seen[kmer] = true
+					added = append(added, kmer)
+					b.WriteByte(Bases[p])
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return b.String(), nil
+		}
+		// Roll back this attempt's k-mers and retry.
+		for _, kmer := range added {
+			delete(seen, kmer)
+		}
+	}
+	return "", fmt.Errorf("genome: could not place a unique scaffold after %d restarts", maxRestarts)
+}
+
+// Reads cuts the scaffolds into overlapping reads of readLen with the given
+// step, modelling the shotgun reads Meraculous consumes. Every k-mer of the
+// genome appears in at least one read when step <= readLen-k+1.
+func (g *Genome) Reads(readLen, step int) []string {
+	if step < 1 {
+		step = 1
+	}
+	var reads []string
+	for _, s := range g.Scaffolds {
+		if len(s) <= readLen {
+			reads = append(reads, s)
+			continue
+		}
+		for off := 0; ; off += step {
+			end := off + readLen
+			if end >= len(s) {
+				reads = append(reads, s[len(s)-readLen:])
+				break
+			}
+			reads = append(reads, s[off:end])
+		}
+	}
+	return reads
+}
+
+// TotalKmers returns the number of distinct k-mers in the genome.
+func (g *Genome) TotalKmers() int {
+	n := 0
+	for _, s := range g.Scaffolds {
+		n += len(s) - g.K + 1
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

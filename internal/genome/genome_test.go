@@ -1,0 +1,100 @@
+package genome
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateUniqueKmers(t *testing.T) {
+	g, err := Generate(1, 8, 300, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Scaffolds) != 8 {
+		t.Fatalf("scaffolds = %d", len(g.Scaffolds))
+	}
+	seen := map[string]bool{}
+	for _, s := range g.Scaffolds {
+		if len(s) != 300 {
+			t.Fatalf("scaffold length %d", len(s))
+		}
+		for _, c := range s {
+			if !strings.ContainsRune(Bases, c) {
+				t.Fatalf("non-base character %q", c)
+			}
+		}
+		for i := 0; i+15 <= len(s); i++ {
+			kmer := s[i : i+15]
+			if seen[kmer] {
+				t.Fatalf("duplicate k-mer %q", kmer)
+			}
+			seen[kmer] = true
+		}
+	}
+	if g.TotalKmers() != len(seen) {
+		t.Fatalf("TotalKmers = %d, want %d", g.TotalKmers(), len(seen))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(42, 3, 200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(42, 3, 200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Scaffolds {
+		if a.Scaffolds[i] != b.Scaffolds[i] {
+			t.Fatalf("scaffold %d differs across equal seeds", i)
+		}
+	}
+	c, _ := Generate(43, 3, 200, 13)
+	if c.Scaffolds[0] == a.Scaffolds[0] {
+		t.Fatal("different seeds produced identical scaffolds")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(1, 1, 100, 2); err == nil {
+		t.Fatal("k=2 accepted")
+	}
+	if _, err := Generate(1, 1, 5, 10); err == nil {
+		t.Fatal("length < k accepted")
+	}
+	// Volume too large for tiny k.
+	if _, err := Generate(1, 100, 1000, 5); err == nil {
+		t.Fatal("oversubscribed k-mer space accepted")
+	}
+}
+
+func TestReadsCoverGenome(t *testing.T) {
+	const k = 13
+	g, err := Generate(7, 4, 250, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := g.Reads(50, 30) // step <= readLen-k+1 = 38
+	kmersInReads := map[string]bool{}
+	for _, r := range reads {
+		for i := 0; i+k <= len(r); i++ {
+			kmersInReads[r[i:i+k]] = true
+		}
+	}
+	for _, s := range g.Scaffolds {
+		for i := 0; i+k <= len(s); i++ {
+			if !kmersInReads[s[i:i+k]] {
+				t.Fatalf("k-mer %q not covered by any read", s[i:i+k])
+			}
+		}
+	}
+}
+
+func TestReadsShortScaffold(t *testing.T) {
+	g := &Genome{Scaffolds: []string{"ACGTACGT"}, K: 4}
+	reads := g.Reads(100, 10)
+	if len(reads) != 1 || reads[0] != "ACGTACGT" {
+		t.Fatalf("Reads = %v", reads)
+	}
+}

@@ -1,0 +1,48 @@
+// Package hashfn holds the key-to-owner-rank hash plumbing of PapyrusKV.
+//
+// PapyrusKV determines the owner MPI rank of every key-value pair by hashing
+// the key and taking the remainder modulo the number of running ranks. A
+// single built-in function cannot balance every workload, so — exactly as in
+// the paper's load-balancing discussion — applications may install a custom
+// hash function per database through the open options; the Meraculous port
+// reuses the UPC application's own k-mer hash that way so thread-data
+// affinities match between the two implementations (Figure 12).
+package hashfn
+
+// Func maps a key to an owner rank in [0, nranks). Implementations must be
+// deterministic and must not retain the key slice.
+type Func func(key []byte, nranks int) int
+
+// Default is PapyrusKV's built-in hash: 64-bit FNV-1a reduced modulo the
+// rank count. FNV-1a distributes the uniformly random letter/digit keys used
+// throughout the paper's evaluation evenly across ranks.
+func Default(key []byte, nranks int) int {
+	if nranks <= 1 {
+		return 0
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return int(h % uint64(nranks))
+}
+
+// Hash64 exposes the raw 64-bit FNV-1a value; the DSM baseline and the k-mer
+// application use it for bucket indexing within a rank.
+func Hash64(key []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,125 @@
+package hashfn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRange(t *testing.T) {
+	f := func(key []byte, nranks uint8) bool {
+		n := int(nranks)
+		r := Default(key, n)
+		if n <= 1 {
+			return r == 0
+		}
+		return r >= 0 && r < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	key := []byte("determinism-check")
+	for i := 0; i < 10; i++ {
+		if Default(key, 17) != Default(key, 17) {
+			t.Fatal("Default is not deterministic")
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared sanity check: uniformly random alphanumeric keys (the
+	// paper's microbenchmark keys) should spread near-evenly over ranks.
+	const nranks = 32
+	const nkeys = 32000
+	counts := make([]int, nranks)
+	for i := 0; i < nkeys; i++ {
+		counts[Default([]byte(fmt.Sprintf("key-%d-%d", i, i*i)), nranks)]++
+	}
+	expected := float64(nkeys) / nranks
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 31 degrees of freedom; p=0.001 critical value ~61.1.
+	if chi2 > 61.1 {
+		t.Fatalf("chi2 = %.1f, distribution is too skewed", chi2)
+	}
+}
+
+func TestHash64Distinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		h := Hash64([]byte(k))
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision: %q and %q both hash to %d", prev, k, h)
+		}
+		seen[h] = k
+	}
+}
+
+func TestEmptyKey(t *testing.T) {
+	if r := Default(nil, 8); r < 0 || r >= 8 {
+		t.Fatalf("Default(nil) = %d", r)
+	}
+	if Default(nil, 8) != Default([]byte{}, 8) {
+		t.Fatal("nil and empty keys hash differently")
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	if Default([]byte("anything"), 1) != 0 {
+		t.Fatal("single-rank hash must be 0")
+	}
+	if Default([]byte("anything"), 0) != 0 {
+		t.Fatal("zero-rank hash must be 0")
+	}
+}
+
+func TestCustomFuncContract(t *testing.T) {
+	// A custom modulo-of-first-byte hash must compose with the ownership
+	// logic: verify the Func type is usable as documented.
+	var custom Func = func(key []byte, nranks int) int {
+		if len(key) == 0 || nranks <= 1 {
+			return 0
+		}
+		return int(key[0]) % nranks
+	}
+	if got := custom([]byte{10}, 4); got != 2 {
+		t.Fatalf("custom hash = %d, want 2", got)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one bit of the key should flip ~half the output bits on
+	// average; accept a loose band since FNV is not a crypto hash.
+	totalFlips := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		k := []byte(fmt.Sprintf("avalanche-%d", i))
+		h1 := Hash64(k)
+		k[0] ^= 1
+		h2 := Hash64(k)
+		diff := h1 ^ h2
+		for ; diff != 0; diff &= diff - 1 {
+			totalFlips++
+		}
+	}
+	mean := float64(totalFlips) / trials
+	if math.Abs(mean-32) > 16 {
+		t.Fatalf("mean flipped bits %.1f, want within 32±16", mean)
+	}
+}
+
+func BenchmarkDefault16B(b *testing.B) {
+	key := []byte("0123456789abcdef")
+	b.SetBytes(int64(len(key)))
+	for i := 0; i < b.N; i++ {
+		Default(key, 512)
+	}
+}

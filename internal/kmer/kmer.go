@@ -1,0 +1,216 @@
+// Package kmer implements the Meraculous de Bruijn graph pipeline of §5's
+// "real HPC application" experiment (Figures 12 and 13): constructing a
+// distributed hash table of k-mers keyed by an overlapping substring of
+// length k with a two-letter [ACGT][ACGT] extension code as value, then
+// traversing the graph to assemble contigs.
+//
+// The pipeline is written against a small DHT interface with two backends:
+// the PapyrusKV database (the paper's port, using the same hash function as
+// the UPC version so thread-data affinities match) and the one-sided DSM
+// table standing in for UPC. Construction inserts each rank's share of the
+// UFX entries; traversal claims each left-terminal seed k-mer exactly once
+// and walks right through the extension codes until the right-terminal
+// k-mer, emitting one contig per seed.
+package kmer
+
+import (
+	"fmt"
+
+	"papyruskv/internal/core"
+	"papyruskv/internal/dsm"
+	"papyruskv/internal/genome"
+	"papyruskv/internal/hashfn"
+)
+
+// Terminal marks "no extension" in a UFX code (start or end of a scaffold).
+const Terminal = 'X'
+
+// Entry is one UFX record: a k-mer and its left/right extension letters.
+type Entry struct {
+	Kmer []byte
+	// Ext[0] is the base preceding the k-mer (left extension), Ext[1]
+	// the base following it; Terminal when none exists.
+	Ext [2]byte
+}
+
+// BuildUFX computes the UFX entry set of a genome: one entry per k-mer
+// occurrence. The generator guarantees k-mers are unique, so each k-mer has
+// exactly one entry.
+func BuildUFX(g *genome.Genome) []Entry {
+	var out []Entry
+	k := g.K
+	for _, s := range g.Scaffolds {
+		for i := 0; i+k <= len(s); i++ {
+			e := Entry{Kmer: []byte(s[i : i+k])}
+			if i == 0 {
+				e.Ext[0] = Terminal
+			} else {
+				e.Ext[0] = s[i-1]
+			}
+			if i+k == len(s) {
+				e.Ext[1] = Terminal
+			} else {
+				e.Ext[1] = s[i+k]
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// KmerHash is the hash function shared by the UPC and PapyrusKV versions
+// (Figure 12: "the same hash function for load balancing in the UPC
+// application is used in PapyrusKV").
+func KmerHash(key []byte, nranks int) int { return hashfn.Default(key, nranks) }
+
+// DHT abstracts the distributed hash table backing the pipeline.
+type DHT interface {
+	// Put inserts one k-mer with its extension code.
+	Put(kmer []byte, ext [2]byte) error
+	// Get fetches a k-mer's extension code.
+	Get(kmer []byte) (ext [2]byte, ok bool, err error)
+	// Sync makes all prior puts globally visible (collective).
+	Sync() error
+	// ClaimSeed returns true on exactly one rank per seed k-mer; the
+	// winner traverses that seed's contig.
+	ClaimSeed(kmer []byte) (bool, error)
+}
+
+// Construct inserts this rank's round-robin share of entries, then syncs.
+func Construct(dht DHT, entries []Entry, rank, size int) error {
+	for i := rank; i < len(entries); i += size {
+		if err := dht.Put(entries[i].Kmer, entries[i].Ext); err != nil {
+			return fmt.Errorf("kmer: construct: %w", err)
+		}
+	}
+	return dht.Sync()
+}
+
+// Traverse assembles this rank's contigs: for every left-terminal seed it
+// wins the claim on, it walks right through the graph until the
+// right-terminal k-mer. The union of all ranks' results is the contig set.
+func Traverse(dht DHT, entries []Entry, rank, size int) ([]string, error) {
+	var contigs []string
+	for i := range entries {
+		e := &entries[i]
+		if e.Ext[0] != Terminal {
+			continue // not a seed
+		}
+		won, err := dht.ClaimSeed(e.Kmer)
+		if err != nil {
+			return nil, err
+		}
+		if !won {
+			continue
+		}
+		contig, err := walkRight(dht, e.Kmer)
+		if err != nil {
+			return nil, err
+		}
+		contigs = append(contigs, contig)
+	}
+	return contigs, nil
+}
+
+// walkRight extends seed to the right one base at a time, following the
+// random-access get pattern the paper highlights: each step is one DHT
+// lookup of the next overlapping k-mer.
+func walkRight(dht DHT, seed []byte) (string, error) {
+	k := len(seed)
+	contig := make([]byte, k, 4*k)
+	copy(contig, seed)
+	cur := make([]byte, k)
+	copy(cur, seed)
+	for {
+		ext, ok, err := dht.Get(cur)
+		if err != nil {
+			return "", fmt.Errorf("kmer: traverse: %w", err)
+		}
+		if !ok {
+			return "", fmt.Errorf("kmer: dangling k-mer %q", cur)
+		}
+		if ext[1] == Terminal {
+			return string(contig), nil
+		}
+		contig = append(contig, ext[1])
+		copy(cur, cur[1:])
+		cur[k-1] = ext[1]
+	}
+}
+
+// PKVBackend adapts a PapyrusKV database to the DHT interface — the paper's
+// port of the Meraculous distributed hash table. Seed claiming uses key
+// ownership: PapyrusKV has no remote atomics (the UPC advantage the paper
+// discusses), so each seed is traversed by the rank that owns it.
+type PKVBackend struct {
+	DB   *core.DB
+	Rank int
+}
+
+// Put stores the extension code under the k-mer.
+func (b *PKVBackend) Put(kmer []byte, ext [2]byte) error {
+	return b.DB.Put(kmer, ext[:])
+}
+
+// Get fetches the extension code of kmer.
+func (b *PKVBackend) Get(kmer []byte) ([2]byte, bool, error) {
+	v, err := b.DB.Get(kmer)
+	if err == core.ErrNotFound {
+		return [2]byte{}, false, nil
+	}
+	if err != nil {
+		return [2]byte{}, false, err
+	}
+	if len(v) != 2 {
+		return [2]byte{}, false, fmt.Errorf("kmer: bad extension code length %d", len(v))
+	}
+	return [2]byte{v[0], v[1]}, true, nil
+}
+
+// Sync migrates and settles all staged puts (papyruskv_barrier).
+func (b *PKVBackend) Sync() error { return b.DB.Barrier(core.LevelMemTable) }
+
+// ClaimSeed wins iff this rank owns the seed k-mer.
+func (b *PKVBackend) ClaimSeed(kmer []byte) (bool, error) {
+	return b.DB.Owner(kmer) == b.Rank, nil
+}
+
+// UPCBackend adapts the one-sided DSM table to the DHT interface — the UPC
+// reference implementation. Seed claiming uses the table's remote atomic.
+type UPCBackend struct {
+	Table *dsm.Table
+	Rank  int
+	// Barrier synchronises all ranks (UPC's upc_barrier).
+	Barrier func() error
+}
+
+// Put stores the extension code with one one-sided write.
+func (b *UPCBackend) Put(kmer []byte, ext [2]byte) error {
+	b.Table.Put(b.Rank, kmer, ext[:])
+	return nil
+}
+
+// Get fetches the extension code with one one-sided read.
+func (b *UPCBackend) Get(kmer []byte) ([2]byte, bool, error) {
+	v, ok := b.Table.Get(b.Rank, kmer)
+	if !ok {
+		return [2]byte{}, false, nil
+	}
+	if len(v) != 2 {
+		return [2]byte{}, false, fmt.Errorf("kmer: bad extension code length %d", len(v))
+	}
+	return [2]byte{v[0], v[1]}, true, nil
+}
+
+// Sync is a plain barrier: one-sided puts are immediately visible.
+func (b *UPCBackend) Sync() error {
+	if b.Barrier == nil {
+		return nil
+	}
+	return b.Barrier()
+}
+
+// ClaimSeed uses the remote atomic test-and-set.
+func (b *UPCBackend) ClaimSeed(kmer []byte) (bool, error) {
+	return b.Table.ClaimVisited(b.Rank, kmer), nil
+}

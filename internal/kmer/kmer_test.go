@@ -1,0 +1,207 @@
+package kmer
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"papyruskv/internal/core"
+	"papyruskv/internal/dsm"
+	"papyruskv/internal/genome"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+)
+
+func TestBuildUFX(t *testing.T) {
+	g := &genome.Genome{Scaffolds: []string{"ACGTG"}, K: 3}
+	entries := BuildUFX(g)
+	// k-mers: ACG, CGT, GTG
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	check := func(i int, kmer string, l, r byte) {
+		t.Helper()
+		e := entries[i]
+		if string(e.Kmer) != kmer || e.Ext[0] != l || e.Ext[1] != r {
+			t.Fatalf("entry %d = %q %c%c, want %q %c%c", i, e.Kmer, e.Ext[0], e.Ext[1], kmer, l, r)
+		}
+	}
+	check(0, "ACG", Terminal, 'T')
+	check(1, "CGT", 'A', 'G')
+	check(2, "GTG", 'C', Terminal)
+}
+
+func TestBuildUFXSeedsPerScaffold(t *testing.T) {
+	g, err := genome.Generate(3, 5, 120, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := BuildUFX(g)
+	seeds := 0
+	ends := 0
+	for _, e := range entries {
+		if e.Ext[0] == Terminal {
+			seeds++
+		}
+		if e.Ext[1] == Terminal {
+			ends++
+		}
+	}
+	if seeds != 5 || ends != 5 {
+		t.Fatalf("seeds = %d, ends = %d, want 5 each", seeds, ends)
+	}
+}
+
+// assemble runs the full pipeline on a backend per rank and returns the
+// union of contigs, which must equal the scaffold set.
+func checkAssembly(t *testing.T, scaffolds []string, contigs []string) {
+	t.Helper()
+	sort.Strings(scaffolds)
+	sort.Strings(contigs)
+	if len(contigs) != len(scaffolds) {
+		t.Fatalf("assembled %d contigs, want %d", len(contigs), len(scaffolds))
+	}
+	for i := range scaffolds {
+		if contigs[i] != scaffolds[i] {
+			t.Fatalf("contig %d mismatch:\n got %s\nwant %s", i, contigs[i], scaffolds[i])
+		}
+	}
+}
+
+func TestPipelineUPCBackend(t *testing.T) {
+	g, err := genome.Generate(11, 6, 200, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := BuildUFX(g)
+	const ranks = 4
+	table := dsm.New(dsm.Config{Ranks: ranks, Hash: KmerHash})
+	results := make([][]string, ranks)
+	w := mpi.NewWorld(ranks, mpi.Topology{})
+	err = w.Run(func(c *mpi.Comm) error {
+		b := &UPCBackend{Table: table, Rank: c.Rank(), Barrier: c.Barrier}
+		if err := Construct(b, entries, c.Rank(), ranks); err != nil {
+			return err
+		}
+		contigs, err := Traverse(b, entries, c.Rank(), ranks)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = contigs
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	checkAssembly(t, g.Scaffolds, all)
+}
+
+func TestPipelinePKVBackend(t *testing.T) {
+	g, err := genome.Generate(13, 6, 200, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := BuildUFX(g)
+	const ranks = 4
+	base := t.TempDir()
+	devs := make([]*nvm.Device, ranks)
+	for r := range devs {
+		d, err := nvm.Open(filepath.Join(base, fmt.Sprintf("r%d", r)), nvm.DRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[r] = d
+	}
+	results := make([][]string, ranks)
+	w := mpi.NewWorld(ranks, mpi.Topology{})
+	err = w.Run(func(c *mpi.Comm) error {
+		rt, err := core.NewRuntime(core.Config{Comm: c, Device: devs[c.Rank()]})
+		if err != nil {
+			return err
+		}
+		opt := core.DefaultOptions()
+		opt.Hash = KmerHash // same affinity as UPC (Figure 12)
+		db, err := rt.Open("dbg", opt)
+		if err != nil {
+			return err
+		}
+		b := &PKVBackend{DB: db, Rank: c.Rank()}
+		if err := Construct(b, entries, c.Rank(), ranks); err != nil {
+			return err
+		}
+		contigs, err := Traverse(b, entries, c.Rank(), ranks)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = contigs
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	checkAssembly(t, g.Scaffolds, all)
+}
+
+func TestBackendsShareAffinity(t *testing.T) {
+	// Figure 12's property: with the same hash, a k-mer's UPC affinity
+	// rank equals its PapyrusKV owner rank.
+	table := dsm.New(dsm.Config{Ranks: 8, Hash: KmerHash})
+	for i := 0; i < 100; i++ {
+		kmer := []byte(fmt.Sprintf("ACGT%04d", i))
+		if table.Owner(kmer) != KmerHash(kmer, 8) {
+			t.Fatalf("affinity mismatch for %q", kmer)
+		}
+	}
+}
+
+func TestTraverseDanglingKmer(t *testing.T) {
+	table := dsm.New(dsm.Config{Ranks: 1, Hash: KmerHash})
+	b := &UPCBackend{Table: table, Rank: 0}
+	// Seed points right to a k-mer that was never inserted.
+	b.Put([]byte("AAAA"), [2]byte{Terminal, 'C'})
+	entries := []Entry{{Kmer: []byte("AAAA"), Ext: [2]byte{Terminal, 'C'}}}
+	if _, err := Traverse(b, entries, 0, 1); err == nil {
+		t.Fatal("dangling traversal succeeded")
+	}
+}
+
+func TestSingleKmerScaffold(t *testing.T) {
+	// A scaffold of exactly k bases is both seed and terminal.
+	table := dsm.New(dsm.Config{Ranks: 2, Hash: KmerHash})
+	g := &genome.Genome{Scaffolds: []string{"ACGTACGTACGTA"}, K: 13}
+	entries := BuildUFX(g)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	var all []string
+	w := mpi.NewWorld(2, mpi.Topology{})
+	results := make([][]string, 2)
+	err := w.Run(func(c *mpi.Comm) error {
+		b := &UPCBackend{Table: table, Rank: c.Rank(), Barrier: c.Barrier}
+		if err := Construct(b, entries, c.Rank(), 2); err != nil {
+			return err
+		}
+		contigs, err := Traverse(b, entries, c.Rank(), 2)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = contigs
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	checkAssembly(t, g.Scaffolds, all)
+}

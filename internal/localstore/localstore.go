@@ -1,0 +1,306 @@
+// Package localstore is a single-node, embedded LSM key-value store — the
+// stand-in for LevelDB underneath the MDHIM baseline of Figure 11.
+//
+// It is deliberately a *separate* storage engine from PapyrusKV's: MDHIM
+// layers a communication/distribution layer over an unmodified local store,
+// and the paper attributes PapyrusKV's win to MDHIM's "two discrete memory
+// data structures ... additional duplicated memory allocation and data
+// transfer between the two layers". To reproduce that cost structurally,
+// this store owns its MemTable and table files, and copies every key and
+// value it ingests (as LevelDB does), independent of whatever buffering the
+// layer above already performed.
+package localstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/rbtree"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MemTableCapacity is the flush threshold in bytes.
+	MemTableCapacity int64
+	// CompactEvery merges all table files after this many flushes;
+	// 0 disables compaction.
+	CompactEvery int
+}
+
+// DefaultOptions mirrors LevelDB-ish defaults scaled for simulation.
+func DefaultOptions() Options {
+	return Options{MemTableCapacity: 4 << 20, CompactEvery: 8}
+}
+
+type entry struct {
+	value     []byte
+	tombstone bool
+}
+
+// Store is a single-node LSM store rooted in one directory of a device.
+type Store struct {
+	dev *nvm.Device
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	mem     *rbtree.Tree
+	memSize int64
+	tables  []uint64 // ascending file numbers; newest last
+	nextNum uint64
+	flushes int
+	closed  bool
+}
+
+// Open creates or reopens the store at dir.
+func Open(dev *nvm.Device, dir string, opt Options) (*Store, error) {
+	if opt.MemTableCapacity <= 0 {
+		opt.MemTableCapacity = DefaultOptions().MemTableCapacity
+	}
+	s := &Store{dev: dev, dir: dir, opt: opt, mem: rbtree.New(), nextNum: 1}
+	files, err := dev.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		var num uint64
+		if _, err := fmt.Sscanf(f[len(dir)+1:], "tbl-%d.ldb", &num); err == nil {
+			s.tables = append(s.tables, num)
+			if num >= s.nextNum {
+				s.nextNum = num + 1
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) tableName(num uint64) string {
+	return fmt.Sprintf("%s/tbl-%06d.ldb", s.dir, num)
+}
+
+// Put inserts or replaces key. Both slices are copied into the store's own
+// memory — the duplicated allocation the MDHIM comparison measures.
+func (s *Store) Put(key, value []byte) error {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	return s.insert(k, entry{value: v})
+}
+
+// Delete inserts a tombstone for key.
+func (s *Store) Delete(key []byte) error {
+	k := append([]byte(nil), key...)
+	return s.insert(k, entry{tombstone: true})
+}
+
+func (s *Store) insert(key []byte, e entry) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("localstore: closed")
+	}
+	prev, replaced := s.mem.Put(key, e)
+	s.memSize += int64(len(key) + len(e.value) + 32)
+	if replaced {
+		p := prev.(entry)
+		s.memSize -= int64(len(key) + len(p.value) + 32)
+	}
+	if s.memSize < s.opt.MemTableCapacity {
+		s.mu.Unlock()
+		return nil
+	}
+	// Flush synchronously: LevelDB stalls writers when the MemTable
+	// fills and the background thread is behind; a synchronous flush is
+	// the simplest faithful-enough cost model for the comparison.
+	return s.flushLocked()
+}
+
+// flushLocked writes the MemTable as a new table file. Caller holds s.mu;
+// the lock is released on return.
+func (s *Store) flushLocked() error {
+	defer s.mu.Unlock()
+	if s.mem.Len() == 0 {
+		return nil
+	}
+	num := s.nextNum
+	s.nextNum++
+	data := encodeTable(s.mem)
+	if err := s.dev.WriteFile(s.tableName(num), data); err != nil {
+		return err
+	}
+	s.tables = append(s.tables, num)
+	s.mem = rbtree.New()
+	s.memSize = 0
+	s.flushes++
+	if s.opt.CompactEvery > 0 && s.flushes%s.opt.CompactEvery == 0 && len(s.tables) > 1 {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked merges every table file into one. Caller holds s.mu.
+func (s *Store) compactLocked() error {
+	merged := rbtree.New()
+	for _, num := range s.tables { // oldest first; newer overwrite
+		recs, err := s.readTable(num)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			merged.Put(r.key, r.e)
+		}
+	}
+	num := s.nextNum
+	s.nextNum++
+	if err := s.dev.WriteFile(s.tableName(num), encodeTable(merged)); err != nil {
+		return err
+	}
+	for _, old := range s.tables {
+		if err := s.dev.Remove(s.tableName(old)); err != nil {
+			return err
+		}
+	}
+	s.tables = []uint64{num}
+	return nil
+}
+
+// Get returns the newest value for key.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("localstore: closed")
+	}
+	if v, ok := s.mem.Get(key); ok {
+		e := v.(entry)
+		s.mu.Unlock()
+		if e.tombstone {
+			return nil, false, nil
+		}
+		return append([]byte(nil), e.value...), true, nil
+	}
+	tables := append([]uint64(nil), s.tables...)
+	s.mu.Unlock()
+
+	for i := len(tables) - 1; i >= 0; i-- {
+		recs, err := s.readTable(tables[i])
+		if err != nil {
+			return nil, false, err
+		}
+		if e, ok := searchRecords(recs, key); ok {
+			if e.tombstone {
+				return nil, false, nil
+			}
+			return append([]byte(nil), e.value...), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Flush persists the MemTable.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	return s.flushLocked()
+}
+
+// Close flushes and marks the store unusable.
+func (s *Store) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// TableCount reports the number of on-device table files.
+func (s *Store) TableCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tables)
+}
+
+type record struct {
+	key []byte
+	e   entry
+}
+
+// encodeTable serialises a MemTable in sorted key order:
+// count, then (klen, vlen, flags, key, value)*.
+func encodeTable(t *rbtree.Tree) []byte {
+	var buf bytes.Buffer
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(t.Len()))
+	buf.Write(u32[:])
+	t.Ascend(func(key []byte, v any) bool {
+		e := v.(entry)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(key)))
+		buf.Write(u32[:])
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(e.value)))
+		buf.Write(u32[:])
+		var flags byte
+		if e.tombstone {
+			flags = 1
+		}
+		buf.WriteByte(flags)
+		buf.Write(key)
+		buf.Write(e.value)
+		return true
+	})
+	return buf.Bytes()
+}
+
+func (s *Store) readTable(num uint64) ([]record, error) {
+	raw, err := s.dev.ReadFile(s.tableName(num))
+	if err != nil {
+		return nil, err
+	}
+	return decodeTable(raw)
+}
+
+func decodeTable(raw []byte) ([]record, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("localstore: short table")
+	}
+	count := binary.LittleEndian.Uint32(raw)
+	raw = raw[4:]
+	recs := make([]record, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(raw) < 9 {
+			return nil, fmt.Errorf("localstore: truncated record header")
+		}
+		klen := binary.LittleEndian.Uint32(raw)
+		vlen := binary.LittleEndian.Uint32(raw[4:])
+		flags := raw[8]
+		raw = raw[9:]
+		if uint64(len(raw)) < uint64(klen)+uint64(vlen) {
+			return nil, fmt.Errorf("localstore: truncated record body")
+		}
+		recs = append(recs, record{
+			key: raw[:klen:klen],
+			e:   entry{value: raw[klen : klen+vlen : klen+vlen], tombstone: flags&1 != 0},
+		})
+		raw = raw[klen+vlen:]
+	}
+	return recs, nil
+}
+
+// searchRecords binary-searches a sorted record slice.
+func searchRecords(recs []record, key []byte) (entry, bool) {
+	lo, hi := 0, len(recs)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch c := bytes.Compare(key, recs[mid].key); {
+		case c < 0:
+			hi = mid - 1
+		case c > 0:
+			lo = mid + 1
+		default:
+			return recs[mid].e, true
+		}
+	}
+	return entry{}, false
+}

@@ -1,0 +1,208 @@
+package localstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/rbtree"
+)
+
+func testStore(t *testing.T, opt Options) *Store {
+	t.Helper()
+	dev, err := nvm.Open(t.TempDir(), nvm.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dev, "store", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := testStore(t, DefaultOptions())
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get([]byte("k")); ok {
+		t.Fatal("deleted key found")
+	}
+	if _, ok, _ := s.Get([]byte("missing")); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestCopiesInput(t *testing.T) {
+	s := testStore(t, DefaultOptions())
+	k := []byte("key")
+	v := []byte("value")
+	s.Put(k, v)
+	copy(k, "xxx")
+	copy(v, "zzzzz")
+	got, ok, _ := s.Get([]byte("key"))
+	if !ok || string(got) != "value" {
+		t.Fatalf("store aliased caller buffers: %q %v", got, ok)
+	}
+}
+
+func TestFlushAndReadFromTables(t *testing.T) {
+	opt := Options{MemTableCapacity: 1 << 10}
+	s := testStore(t, opt)
+	for i := 0; i < 200; i++ {
+		s.Put([]byte(fmt.Sprintf("key%03d", i)), bytes.Repeat([]byte("v"), 32))
+	}
+	if s.TableCount() == 0 {
+		t.Fatal("no table files after exceeding capacity")
+	}
+	for i := 0; i < 200; i += 17 {
+		v, ok, err := s.Get([]byte(fmt.Sprintf("key%03d", i)))
+		if err != nil || !ok || len(v) != 32 {
+			t.Fatalf("Get key%03d = %v %v %v", i, len(v), ok, err)
+		}
+	}
+}
+
+func TestNewestWinsAcrossTables(t *testing.T) {
+	opt := Options{MemTableCapacity: 1 << 10, CompactEvery: 0}
+	s := testStore(t, opt)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 40; i++ {
+			s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("round-%d", round)))
+		}
+		s.Flush()
+	}
+	for i := 0; i < 40; i++ {
+		v, ok, _ := s.Get([]byte(fmt.Sprintf("k%02d", i)))
+		if !ok || string(v) != "round-3" {
+			t.Fatalf("k%02d = %q, %v", i, v, ok)
+		}
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	opt := Options{MemTableCapacity: 1 << 10, CompactEvery: 3}
+	s := testStore(t, opt)
+	for i := 0; i < 600; i++ {
+		s.Put([]byte(fmt.Sprintf("k%03d", i%50)), bytes.Repeat([]byte("x"), 32))
+	}
+	s.Flush()
+	if s.TableCount() > 4 {
+		t.Fatalf("compaction not bounding tables: %d", s.TableCount())
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok, _ := s.Get([]byte(fmt.Sprintf("k%03d", i))); !ok {
+			t.Fatalf("k%03d lost in compaction", i)
+		}
+	}
+}
+
+func TestTombstoneShadowsTables(t *testing.T) {
+	s := testStore(t, Options{MemTableCapacity: 1 << 20})
+	s.Put([]byte("k"), []byte("v"))
+	s.Flush()
+	s.Delete([]byte("k"))
+	if _, ok, _ := s.Get([]byte("k")); ok {
+		t.Fatal("tombstone did not shadow table value")
+	}
+	s.Flush()
+	if _, ok, _ := s.Get([]byte("k")); ok {
+		t.Fatal("flushed tombstone did not shadow")
+	}
+}
+
+func TestReopen(t *testing.T) {
+	dev, err := nvm.Open(t.TempDir(), nvm.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := Open(dev, "store", Options{MemTableCapacity: 1 << 20})
+	s.Put([]byte("persist"), []byte("me"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dev, "store", Options{MemTableCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s2.Get([]byte("persist"))
+	if err != nil || !ok || string(v) != "me" {
+		t.Fatalf("reopened Get = %q, %v, %v", v, ok, err)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := testStore(t, DefaultOptions())
+	s.Close()
+	if err := s.Put([]byte("k"), nil); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+	if _, _, err := s.Get([]byte("k")); err == nil {
+		t.Fatal("Get on closed store succeeded")
+	}
+}
+
+func TestRandomizedMirror(t *testing.T) {
+	s := testStore(t, Options{MemTableCapacity: 2 << 10, CompactEvery: 4})
+	mirror := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		switch rng.Intn(4) {
+		case 0, 1, 2:
+			v := fmt.Sprintf("v%d", i)
+			s.Put([]byte(k), []byte(v))
+			mirror[k] = v
+		case 3:
+			s.Delete([]byte(k))
+			delete(mirror, k)
+		}
+	}
+	for k, want := range mirror {
+		v, ok, err := s.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %v, %v; want %q", k, v, ok, err, want)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		if _, inMirror := mirror[k]; !inMirror {
+			if _, ok, _ := s.Get([]byte(k)); ok {
+				t.Fatalf("deleted %s still present", k)
+			}
+		}
+	}
+}
+
+func TestQuickTableCodec(t *testing.T) {
+	f := func(m map[string][]byte) bool {
+		tr := rbtree.New()
+		for k, v := range m {
+			tr.Put([]byte(k), entry{value: v})
+		}
+		recs, err := decodeTable(encodeTable(tr))
+		if err != nil || len(recs) != len(m) {
+			return false
+		}
+		for _, r := range recs {
+			if !bytes.Equal(m[string(r.key)], r.e.value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package mdhim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVCodecRoundTrip(t *testing.T) {
+	f := func(key, value []byte) bool {
+		k, v, err := decodeKV(encodeKV(key, value))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(k, key) && bytes.Equal(v, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVCodecErrors(t *testing.T) {
+	if _, _, err := decodeKV(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, _, err := decodeKV([]byte{1, 2}); err == nil {
+		t.Fatal("short decoded")
+	}
+	// klen=100 with a 2-byte body.
+	bad := []byte{100, 0, 0, 0, 'a', 'b'}
+	if _, _, err := decodeKV(bad); err == nil {
+		t.Fatal("truncated key decoded")
+	}
+}
+
+func TestKVCodecEmpty(t *testing.T) {
+	k, v, err := decodeKV(encodeKV(nil, nil))
+	if err != nil || len(k) != 0 || len(v) != 0 {
+		t.Fatalf("empty round trip: %q %q %v", k, v, err)
+	}
+}

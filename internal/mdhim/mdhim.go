@@ -1,0 +1,276 @@
+// Package mdhim reimplements the MDHIM baseline PapyrusKV is compared with
+// in Figure 11: a parallel, embedded key-value framework for HPC that
+// layers a communication/distribution layer on top of an unmodified local
+// data store (LevelDB in the paper; internal/localstore here).
+//
+// Architecture, per Greenberg et al. (HotStorage'15) and the paper's
+// description:
+//
+//   - Each rank is a *range server* owning a hash slice of the key space
+//     and running its own private local store instance. Even when ranks
+//     share an NVM device, the stores are independent — MDHIM "cannot share
+//     the SSTables between multiple independent LevelDB instances".
+//   - Every operation is a synchronous request/response with the owner's
+//     listener thread — there is no client-side staging, batching, or
+//     caching layer equivalent to PapyrusKV's MemTables.
+//   - The communication layer keeps its own message buffers: a put is
+//     copied into a message, then copied again into the local store — the
+//     "duplicated memory allocation and data transfer between the two
+//     layers" the paper measures.
+package mdhim
+
+import (
+	"fmt"
+	"sync"
+
+	"papyruskv/internal/hashfn"
+	"papyruskv/internal/localstore"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+)
+
+const (
+	tagPut      = 1
+	tagPutAck   = 2
+	tagGet      = 3
+	tagGetResp  = 4
+	tagDel      = 5
+	tagDelAck   = 6
+	tagShutdown = 7
+)
+
+// Options configures the framework.
+type Options struct {
+	// Store configures each rank's private local data store.
+	Store localstore.Options
+	// Hash maps keys to range servers; nil uses the default hash.
+	Hash hashfn.Func
+}
+
+// Store is one rank's handle on the distributed MDHIM instance. Open is
+// collective.
+type Store struct {
+	comm  *mpi.Comm // requests (listener receives here)
+	resp  *mpi.Comm // responses
+	local *localstore.Store
+	hash  hashfn.Func
+	rank  int
+	size  int
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Open starts the range server on every rank. dev is this rank's storage
+// device; each rank's store lives in its own private subdirectory.
+func Open(c *mpi.Comm, dev *nvm.Device, name string, opt Options) (*Store, error) {
+	if opt.Hash == nil {
+		opt.Hash = hashfn.Default
+	}
+	local, err := localstore.Open(dev, fmt.Sprintf("%s/mdhim-r%d", name, c.Rank()), opt.Store)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		comm:  c.Dup(),
+		resp:  c.Dup(),
+		local: local,
+		hash:  opt.Hash,
+		rank:  c.Rank(),
+		size:  c.Size(),
+	}
+	s.wg.Add(1)
+	go s.listener()
+	// Barrier on the response communicator: the listener wildcard-
+	// receives on s.comm and would steal message-based barrier tokens.
+	if err := s.resp.Barrier(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// listener is the range-server thread answering remote operations.
+func (s *Store) listener() {
+	defer s.wg.Done()
+	for {
+		m, err := s.comm.Recv(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return
+		}
+		switch m.Tag {
+		case tagShutdown:
+			return
+		case tagPut:
+			// First copy: out of the message buffer into the comm
+			// layer's own allocation (MDHIM's msg structs); second copy
+			// happens inside the local store.
+			key, val, err := decodeKV(m.Data)
+			status := byte(0)
+			if err == nil {
+				k := append([]byte(nil), key...)
+				v := append([]byte(nil), val...)
+				if s.local.Put(k, v) != nil {
+					status = 1
+				}
+			} else {
+				status = 1
+			}
+			if s.resp.Send(m.Source, tagPutAck, []byte{status}) != nil {
+				return
+			}
+		case tagDel:
+			key, _, err := decodeKV(m.Data)
+			status := byte(0)
+			if err != nil || s.local.Delete(append([]byte(nil), key...)) != nil {
+				status = 1
+			}
+			if s.resp.Send(m.Source, tagDelAck, []byte{status}) != nil {
+				return
+			}
+		case tagGet:
+			val, ok, err := s.local.Get(m.Data)
+			resp := make([]byte, 1, 1+len(val))
+			if err != nil {
+				resp[0] = 2
+			} else if !ok {
+				resp[0] = 1
+			} else {
+				resp = append(resp, val...)
+			}
+			if s.resp.Send(m.Source, tagGetResp, resp) != nil {
+				return
+			}
+		}
+	}
+}
+
+// Put stores key/value at its range server, synchronously.
+func (s *Store) Put(key, value []byte) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	owner := s.hash(key, s.size)
+	if owner == s.rank {
+		// Even local operations pass through the layer boundary: copy
+		// into the comm layer's buffers, then into the store.
+		k := append([]byte(nil), key...)
+		v := append([]byte(nil), value...)
+		return s.local.Put(k, v)
+	}
+	if err := s.comm.Send(owner, tagPut, encodeKV(key, value)); err != nil {
+		return err
+	}
+	ack, err := s.resp.Recv(owner, tagPutAck)
+	if err != nil {
+		return err
+	}
+	if ack.Data[0] != 0 {
+		return fmt.Errorf("mdhim: put rejected by rank %d", owner)
+	}
+	return nil
+}
+
+// Get fetches the value for key from its range server, synchronously.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	if err := s.check(); err != nil {
+		return nil, false, err
+	}
+	owner := s.hash(key, s.size)
+	if owner == s.rank {
+		return s.local.Get(key)
+	}
+	if err := s.comm.Send(owner, tagGet, key); err != nil {
+		return nil, false, err
+	}
+	m, err := s.resp.Recv(owner, tagGetResp)
+	if err != nil {
+		return nil, false, err
+	}
+	switch m.Data[0] {
+	case 0:
+		return m.Data[1:], true, nil
+	case 1:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("mdhim: get failed at rank %d", owner)
+	}
+}
+
+// Delete removes key at its range server, synchronously.
+func (s *Store) Delete(key []byte) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	owner := s.hash(key, s.size)
+	if owner == s.rank {
+		return s.local.Delete(append([]byte(nil), key...))
+	}
+	if err := s.comm.Send(owner, tagDel, encodeKV(key, nil)); err != nil {
+		return err
+	}
+	ack, err := s.resp.Recv(owner, tagDelAck)
+	if err != nil {
+		return err
+	}
+	if ack.Data[0] != 0 {
+		return fmt.Errorf("mdhim: delete rejected by rank %d", owner)
+	}
+	return nil
+}
+
+// Close shuts down the range server collectively.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("mdhim: already closed")
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	// No rank may stop its listener while others still have requests in
+	// flight.
+	if err := s.resp.Barrier(); err != nil {
+		return err
+	}
+	if err := s.comm.Send(s.rank, tagShutdown, nil); err != nil {
+		return err
+	}
+	s.wg.Wait()
+	if err := s.local.Close(); err != nil {
+		return err
+	}
+	return s.resp.Barrier()
+}
+
+func (s *Store) check() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("mdhim: closed")
+	}
+	return nil
+}
+
+func encodeKV(key, value []byte) []byte {
+	out := make([]byte, 4+len(key)+len(value))
+	out[0] = byte(len(key))
+	out[1] = byte(len(key) >> 8)
+	out[2] = byte(len(key) >> 16)
+	out[3] = byte(len(key) >> 24)
+	copy(out[4:], key)
+	copy(out[4+len(key):], value)
+	return out
+}
+
+func decodeKV(data []byte) (key, value []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("mdhim: short message")
+	}
+	klen := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+	if len(data[4:]) < klen {
+		return nil, nil, fmt.Errorf("mdhim: truncated key")
+	}
+	return data[4 : 4+klen], data[4+klen:], nil
+}

@@ -1,0 +1,217 @@
+package mdhim
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"papyruskv/internal/localstore"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+)
+
+func runMDHIM(t *testing.T, ranks int, fn func(s *Store, c *mpi.Comm) error) {
+	t.Helper()
+	base := t.TempDir()
+	devs := make([]*nvm.Device, ranks)
+	for r := range devs {
+		d, err := nvm.Open(filepath.Join(base, fmt.Sprintf("r%d", r)), nvm.DRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[r] = d
+	}
+	w := mpi.NewWorld(ranks, mpi.Topology{})
+	err := w.Run(func(c *mpi.Comm) error {
+		s, err := Open(c, devs[c.Rank()], "testdb", Options{})
+		if err != nil {
+			return err
+		}
+		if err := fn(s, c); err != nil {
+			return err
+		}
+		return s.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalAndRemoteOps(t *testing.T) {
+	runMDHIM(t, 4, func(s *Store, c *mpi.Comm) error {
+		// Each rank writes 50 keys, mixed owners.
+		for i := 0; i < 50; i++ {
+			k := []byte(fmt.Sprintf("r%d-k%02d", c.Rank(), i))
+			if err := s.Put(k, []byte(fmt.Sprintf("v%d-%d", c.Rank(), i))); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Every rank reads every key: MDHIM ops are synchronous, so no
+		// other fence is needed.
+		for r := 0; r < c.Size(); r++ {
+			for i := 0; i < 50; i += 7 {
+				k := []byte(fmt.Sprintf("r%d-k%02d", r, i))
+				v, ok, err := s.Get(k)
+				if err != nil || !ok {
+					return fmt.Errorf("Get(%s) = %v, %v", k, ok, err)
+				}
+				want := fmt.Sprintf("v%d-%d", r, i)
+				if string(v) != want {
+					return fmt.Errorf("Get(%s) = %q, want %q", k, v, want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestMissingKey(t *testing.T) {
+	runMDHIM(t, 2, func(s *Store, c *mpi.Comm) error {
+		for i := 0; i < 20; i++ {
+			_, ok, err := s.Get([]byte(fmt.Sprintf("ghost-%d", i)))
+			if err != nil {
+				return err
+			}
+			if ok {
+				return fmt.Errorf("missing key found")
+			}
+		}
+		return nil
+	})
+}
+
+func TestDelete(t *testing.T) {
+	runMDHIM(t, 3, func(s *Store, c *mpi.Comm) error {
+		k := []byte(fmt.Sprintf("victim-%d", c.Rank()))
+		if err := s.Put(k, []byte("v")); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if err := s.Delete(k); err != nil {
+			return err
+		}
+		if _, ok, err := s.Get(k); err != nil || ok {
+			return fmt.Errorf("deleted key: ok=%v err=%v", ok, err)
+		}
+		return c.Barrier()
+	})
+}
+
+func TestOverwrite(t *testing.T) {
+	runMDHIM(t, 2, func(s *Store, c *mpi.Comm) error {
+		k := []byte("shared-key")
+		// Both ranks race, then agree after a barrier by writing again.
+		if err := s.Put(k, []byte("racy")); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := s.Put(k, []byte("final")); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		v, ok, err := s.Get(k)
+		if err != nil || !ok || string(v) != "final" {
+			return fmt.Errorf("Get = %q, %v, %v", v, ok, err)
+		}
+		return nil
+	})
+}
+
+func TestNoSharedStateBetweenStores(t *testing.T) {
+	// Two ranks on ONE shared device: MDHIM stores remain private
+	// (per-rank subdirectories), unlike PapyrusKV's storage groups.
+	dev, err := nvm.Open(t.TempDir(), nvm.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(2, mpi.Topology{})
+	err = w.Run(func(c *mpi.Comm) error {
+		s, err := Open(c, dev, "db", Options{
+			Store: localstore.Options{MemTableCapacity: 1 << 10},
+		})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("r%d-%03d", c.Rank(), i)), bytes.Repeat([]byte("v"), 64)); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return s.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both ranks' private table directories exist on the shared device.
+	for r := 0; r < 2; r++ {
+		files, err := dev.List(fmt.Sprintf("db/mdhim-r%d", r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("rank %d store has no table files", r)
+		}
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	runMDHIM(t, 2, func(s *Store, c *mpi.Comm) error {
+		val := bytes.Repeat([]byte("x"), 128<<10)
+		k := []byte(fmt.Sprintf("big-%d", c.Rank()))
+		if err := s.Put(k, val); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		for r := 0; r < 2; r++ {
+			v, ok, err := s.Get([]byte(fmt.Sprintf("big-%d", r)))
+			if err != nil || !ok || !bytes.Equal(v, val) {
+				return fmt.Errorf("big get %d: ok=%v err=%v len=%d", r, ok, err, len(v))
+			}
+		}
+		return nil
+	})
+}
+
+func TestClosedOps(t *testing.T) {
+	dev, _ := nvm.Open(t.TempDir(), nvm.DRAM)
+	w := mpi.NewWorld(1, mpi.Topology{})
+	err := w.Run(func(c *mpi.Comm) error {
+		s, err := Open(c, dev, "db", Options{})
+		if err != nil {
+			return err
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+		if err := s.Put([]byte("k"), nil); err == nil {
+			return fmt.Errorf("Put after close succeeded")
+		}
+		if _, _, err := s.Get([]byte("k")); err == nil {
+			return fmt.Errorf("Get after close succeeded")
+		}
+		if err := s.Close(); err == nil {
+			return fmt.Errorf("double close succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package memtable
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format for a batch of entries (migration request messages and the
+// checkpoint redistribution path):
+//
+//	uint32 count
+//	repeated: uint32 keylen, uint32 vallen, uint8 flags, key, value
+//
+// flags bit 0 = tombstone. Owner is not serialised: the receiver is the
+// owner.
+
+// EncodeEntries serialises a batch of entries.
+func EncodeEntries(entries []Entry) []byte {
+	size := 4
+	for i := range entries {
+		size += 9 + len(entries[i].Key) + len(entries[i].Value)
+	}
+	out := make([]byte, 0, size)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(entries)))
+	out = append(out, u32[:]...)
+	for i := range entries {
+		e := &entries[i]
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(e.Key)))
+		out = append(out, u32[:]...)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(e.Value)))
+		out = append(out, u32[:]...)
+		var flags byte
+		if e.Tombstone {
+			flags |= 1
+		}
+		out = append(out, flags)
+		out = append(out, e.Key...)
+		out = append(out, e.Value...)
+	}
+	return out
+}
+
+// DecodeEntries parses a batch serialised by EncodeEntries.
+func DecodeEntries(data []byte) ([]Entry, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("memtable: short batch (%d bytes)", len(data))
+	}
+	count := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	out := make([]Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(data) < 9 {
+			return nil, fmt.Errorf("memtable: truncated entry header at %d", i)
+		}
+		klen := binary.LittleEndian.Uint32(data)
+		vlen := binary.LittleEndian.Uint32(data[4:])
+		flags := data[8]
+		data = data[9:]
+		if uint64(len(data)) < uint64(klen)+uint64(vlen) {
+			return nil, fmt.Errorf("memtable: truncated entry body at %d", i)
+		}
+		out = append(out, Entry{
+			Key:       data[:klen:klen],
+			Value:     data[klen : klen+vlen : klen+vlen],
+			Tombstone: flags&1 != 0,
+		})
+		data = data[klen+vlen:]
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+// Package memtable implements the in-memory tables of PapyrusKV. A database
+// holds four kinds (§2.3): the local MemTable (pairs this rank owns), the
+// remote MemTable (pairs owned by other ranks, awaiting migration), and the
+// immutable (sealed) forms of both queued for flushing or migration.
+//
+// A MemTable is a red-black tree indexed by key, so insert, lookup, and
+// delete are O(log n). Each entry carries a tombstone flag (a delete is a
+// put of a zero-length value with the tombstone set) and, in remote
+// MemTables, the owner rank the pair must migrate to.
+package memtable
+
+import (
+	"sync"
+
+	"papyruskv/internal/rbtree"
+)
+
+// Entry is one key-value pair.
+type Entry struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+	Owner     int // owner rank; used by remote MemTables
+}
+
+// entryOverhead approximates per-entry bookkeeping bytes for capacity
+// accounting.
+const entryOverhead = 48
+
+func (e *Entry) size() int64 {
+	return int64(len(e.Key) + len(e.Value) + entryOverhead)
+}
+
+// Table is a thread-safe MemTable. The zero value is not usable; call New.
+type Table struct {
+	mu     sync.RWMutex
+	tree   *rbtree.Tree
+	bytes  int64
+	sealed bool
+}
+
+// New returns an empty MemTable.
+func New() *Table {
+	return &Table{tree: rbtree.New()}
+}
+
+// Put inserts or replaces the entry for e.Key. Inserting into a sealed
+// table reports ok=false (the caller must have rolled a new mutable table).
+func (t *Table) Put(e Entry) (ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed {
+		return false
+	}
+	stored := &Entry{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone, Owner: e.Owner}
+	prev, replaced := t.tree.Put(e.Key, stored)
+	t.bytes += stored.size()
+	if replaced {
+		t.bytes -= prev.(*Entry).size()
+	}
+	return true
+}
+
+// Get returns the entry stored under key. A found tombstone is returned as
+// found=true with Tombstone set: a MemTable hit on a tombstone terminates
+// the search with NOT_FOUND, it must not fall through to older tables.
+func (t *Table) Get(key []byte) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.tree.Get(key)
+	if !ok {
+		return Entry{}, false
+	}
+	return *(v.(*Entry)), true
+}
+
+// Len reports the number of entries (tombstones included).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tree.Len()
+}
+
+// Bytes reports the accounted size; the runtime seals a MemTable when this
+// reaches the configured capacity.
+func (t *Table) Bytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes
+}
+
+// Seal marks the table immutable. Subsequent Puts fail; reads continue.
+func (t *Table) Seal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sealed = true
+}
+
+// Sealed reports whether the table is immutable.
+func (t *Table) Sealed() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sealed
+}
+
+// Ascend visits entries in ascending key order (the order an SSTable flush
+// writes them). The callback must not mutate the table.
+func (t *Table) Ascend(fn func(Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.tree.Ascend(func(_ []byte, v any) bool {
+		return fn(*(v.(*Entry)))
+	})
+}
+
+// Entries returns all entries in ascending key order.
+func (t *Table) Entries() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Entry, 0, t.tree.Len())
+	t.tree.Ascend(func(_ []byte, v any) bool {
+		out = append(out, *(v.(*Entry)))
+		return true
+	})
+	return out
+}
+
+// ByOwner groups the entries of a (sealed) remote MemTable by owner rank,
+// each group in ascending key order — the message dispatcher sends one
+// accumulated chunk per owner (§2.4, Migration).
+func (t *Table) ByOwner() map[int][]Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[int][]Entry)
+	t.tree.Ascend(func(_ []byte, v any) bool {
+		e := *(v.(*Entry))
+		out[e.Owner] = append(out[e.Owner], e)
+		return true
+	})
+	return out
+}

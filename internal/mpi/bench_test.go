@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// Benchmarks for the message layer itself: per-op costs with the cost
+// model disabled, so they measure the runtime's own overhead.
+
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(2, Topology{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	start := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		c := w.commWorld(0)
+		<-start
+		payload := make([]byte, 64)
+		for i := 0; i < b.N; i++ {
+			if err := c.Send(1, 0, payload); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := c.Recv(1, 1); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		c := w.commWorld(1)
+		<-start
+		payload := make([]byte, 64)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Recv(0, 0); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := c.Send(0, 1, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	close(start)
+	wg.Wait()
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	w := NewWorld(8, Topology{})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := w.commWorld(r)
+			<-start
+			for i := 0; i < b.N; i++ {
+				if err := c.Barrier(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	b.ResetTimer()
+	close(start)
+	wg.Wait()
+}
+
+func BenchmarkAllreduce8(b *testing.B) {
+	w := NewWorld(8, Topology{})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := w.commWorld(r)
+			<-start
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AllreduceInt64(int64(r), OpSum); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	b.ResetTimer()
+	close(start)
+	wg.Wait()
+}

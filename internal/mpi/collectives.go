@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ReduceOp selects the combining operator of AllreduceInt64.
+type ReduceOp int
+
+const (
+	// OpSum adds the contributions.
+	OpSum ReduceOp = iota
+	// OpMax takes the maximum contribution.
+	OpMax
+	// OpMin takes the minimum contribution.
+	OpMin
+)
+
+// Collective operations use the negative tag space, disjoint from user tags,
+// sequenced per communicator so back-to-back collectives cannot cross-match.
+// As in MPI, all ranks of a communicator must call the same collectives in
+// the same order.
+func (c *Comm) nextCollTag(op int) int {
+	c.mu.Lock()
+	seq := c.collSeq
+	c.collSeq++
+	c.mu.Unlock()
+	return -(3 + seq*8 + op)
+}
+
+// Barrier blocks until every rank of the communicator has entered it. An
+// in-process world rendezvouses in memory; a distributed world runs the
+// dissemination algorithm over point-to-point messages.
+func (c *Comm) Barrier() error {
+	if err := c.world.abortedErr(); err != nil {
+		return err
+	}
+	if c.msgBarrier {
+		return c.disseminationBarrier()
+	}
+	// Charge one small control message per rank so barriers have a
+	// latency cost that grows with congestion, then rendezvous in memory.
+	c.world.transfer(c.members[c.rank], c.members[(c.rank+1)%len(c.members)], 8)
+	return c.world.barrier(c.id).wait(len(c.members))
+}
+
+// disseminationBarrier completes in ceil(log2(n)) rounds: in round k every
+// rank sends a token to the rank 2^k ahead and receives one from the rank
+// 2^k behind. After the last round every rank transitively depends on every
+// other rank's arrival.
+func (c *Comm) disseminationBarrier() error {
+	n := len(c.members)
+	if n == 1 {
+		return nil
+	}
+	tag := c.nextCollTag(7)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist%n + n) % n
+		if err := c.send(to, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv(from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root ranks
+// pass nil (their argument is ignored).
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	tag := c.nextCollTag(0)
+	if c.rank == root {
+		for r := 0; r < len(c.members); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.send(r, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	m, err := c.Recv(root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Gather collects each rank's data at root. On root the result has one entry
+// per rank, indexed by rank; other ranks receive nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	tag := c.nextCollTag(1)
+	if c.rank != root {
+		return nil, c.send(root, tag, data)
+	}
+	out := make([][]byte, len(c.members))
+	out[root] = append([]byte(nil), data...)
+	for i := 0; i < len(c.members)-1; i++ {
+		m, err := c.Recv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Source] = m.Data
+	}
+	return out, nil
+}
+
+// Allgather collects each rank's data on every rank, indexed by rank.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	gathered, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.rank == 0 {
+		packed = packSlices(gathered)
+	}
+	packed, err = c.Bcast(0, packed)
+	if err != nil {
+		return nil, err
+	}
+	return unpackSlices(packed)
+}
+
+// AllreduceInt64 combines one int64 per rank with op and returns the result
+// on every rank. PapyrusKV uses it, e.g., to agree on the maximum flushed
+// SSID during barriers.
+func (c *Comm) AllreduceInt64(v int64, op ReduceOp) (int64, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	gathered, err := c.Gather(0, buf[:])
+	if err != nil {
+		return 0, err
+	}
+	var acc int64
+	if c.rank == 0 {
+		for i, raw := range gathered {
+			x := int64(binary.LittleEndian.Uint64(raw))
+			if i == 0 {
+				acc = x
+				continue
+			}
+			switch op {
+			case OpSum:
+				acc += x
+			case OpMax:
+				if x > acc {
+					acc = x
+				}
+			case OpMin:
+				if x < acc {
+					acc = x
+				}
+			default:
+				return 0, fmt.Errorf("mpi: unknown reduce op %d", op)
+			}
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(acc))
+	}
+	out, err := c.Bcast(0, buf[:])
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(out)), nil
+}
+
+// packSlices flattens a slice-of-slices with uint32 length prefixes.
+func packSlices(parts [][]byte) []byte {
+	total := 4
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	out := make([]byte, 0, total)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(parts)))
+	out = append(out, hdr[:]...)
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unpackSlices(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("mpi: short packed slice set")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("mpi: truncated packed slice header")
+		}
+		l := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, fmt.Errorf("mpi: truncated packed slice body")
+		}
+		out = append(out, data[:l:l])
+		data = data[l:]
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package mpi
+
+import "sync"
+
+// mailbox is one rank's receive queue on one communicator. Messages are kept
+// in arrival order; matching scans from the head, preserving MPI's
+// non-overtaking guarantee for messages from the same source and tag.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) deliver(m Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return ErrAborted
+	}
+	b.queue = append(b.queue, m)
+	b.cond.Broadcast()
+	return nil
+}
+
+func matches(m Message, source, tag int) bool {
+	if source != AnySource && m.Source != source {
+		return false
+	}
+	if tag != AnyTag && m.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// recv blocks until a matching message is queued, then removes and returns
+// it. Queued messages remain receivable after an abort — a message that was
+// delivered before the failure is still valid — so the scan runs before the
+// abort check.
+func (b *mailbox) recv(source, tag int) (Message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.queue {
+			if matches(m, source, tag) {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if b.aborted {
+			return Message{}, ErrAborted
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) tryRecv(source, tag int) (Message, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, m := range b.queue {
+		if matches(m, source, tag) {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return m, true, nil
+		}
+	}
+	if b.aborted {
+		return Message{}, false, ErrAborted
+	}
+	return Message{}, false, nil
+}
+
+func (b *mailbox) probe(source, tag int) (int, int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.queue {
+		if matches(m, source, tag) {
+			return m.Source, m.Tag, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (b *mailbox) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.aborted = true
+	b.cond.Broadcast()
+}
+
+// shmBarrier is a reusable counting barrier shared by the member ranks of
+// one communicator.
+type shmBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	gen     uint64
+	aborted bool
+}
+
+func newShmBarrier() *shmBarrier {
+	b := &shmBarrier{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until n participants have arrived (or the world aborts).
+func (b *shmBarrier) wait(n int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return ErrAborted
+	}
+	gen := b.gen
+	b.count++
+	if b.count == n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+func (b *shmBarrier) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.aborted = true
+	b.cond.Broadcast()
+}

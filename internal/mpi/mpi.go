@@ -1,0 +1,388 @@
+// Package mpi is a message-passing runtime with MPI semantics for SPMD
+// programs whose ranks run as goroutines in a single process.
+//
+// PapyrusKV is implemented as a user-level library on top of MPI, requiring
+// only: tagged, source-matched point-to-point messages with FIFO ordering
+// per (source, destination, communicator); wildcard receives (ANY_SOURCE /
+// ANY_TAG); collectives (barrier, broadcast, gather, allgather, allreduce);
+// private communicators (MPI_Comm_dup) so the runtime's message dispatcher
+// and handler threads never interfere with application traffic; and full
+// thread safety (MPI_THREAD_MULTIPLE). This package reproduces exactly that
+// contract. Transfers are charged to a simnet.Fabric cost model, with
+// intra-node messages optionally routed over a faster shared-memory fabric,
+// mirroring how MPI implementations short-circuit on-node traffic.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"papyruskv/internal/simnet"
+)
+
+// Wildcards for Recv and Probe.
+const (
+	AnySource = -1
+	AnyTag    = -2
+)
+
+// ErrAborted is returned from blocked or subsequent operations after any
+// rank calls Abort or returns an error from the Run body.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// Message is a received message.
+type Message struct {
+	Source int // rank within the communicator the message arrived on
+	Tag    int
+	Data   []byte
+}
+
+// Topology describes how ranks map onto nodes and which fabric connects
+// them. RanksPerNode <= 0 places all ranks on one node.
+type Topology struct {
+	RanksPerNode int
+	Net          *simnet.Fabric // inter-node transfers; nil = free
+	Shm          *simnet.Fabric // intra-node transfers; nil = free
+}
+
+// NodeOf returns the node index hosting rank r.
+func (t Topology) NodeOf(r int) int {
+	if t.RanksPerNode <= 0 {
+		return 0
+	}
+	return r / t.RanksPerNode
+}
+
+// World is one SPMD program instance: a fixed set of ranks plus the mailbox
+// fabric connecting them.
+type World struct {
+	size int
+	topo Topology
+
+	mu       sync.Mutex
+	boxes    map[boxKey]*mailbox
+	barriers map[string]*shmBarrier
+	aborted  bool
+	abortErr error
+
+	// remote, when non-nil, makes this World one process's view of a
+	// multi-process world: sends to other ranks go through the TCP mesh
+	// and only this process's rank has local mailboxes (see JoinTCP).
+	remote *tcpMesh
+}
+
+type boxKey struct {
+	comm string
+	rank int
+}
+
+// NewWorld creates a world of size ranks connected by topo.
+func NewWorld(size int, topo Topology) *World {
+	if size < 1 {
+		size = 1
+	}
+	return &World{
+		size:     size,
+		topo:     topo,
+		boxes:    make(map[boxKey]*mailbox),
+		barriers: make(map[string]*shmBarrier),
+	}
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Topology returns the world topology.
+func (w *World) Topology() Topology { return w.topo }
+
+// Run executes fn once per rank, each on its own goroutine, passing each
+// rank its COMM_WORLD communicator. It returns the first non-nil error; a
+// failing rank aborts the world so the remaining ranks unblock with
+// ErrAborted rather than hanging.
+func (w *World) Run(fn func(*Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+					w.Abort(errs[r])
+				}
+			}()
+			c := w.commWorld(r)
+			if err := fn(c); err != nil {
+				errs[r] = err
+				w.Abort(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Prefer the root cause recorded by the first Abort over secondary
+	// ErrAborted failures from ranks that were merely unblocked.
+	w.mu.Lock()
+	rootCause := w.abortErr
+	w.mu.Unlock()
+	if rootCause != nil && !errors.Is(rootCause, ErrAborted) {
+		return rootCause
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort marks the world failed, waking every blocked operation.
+func (w *World) Abort(err error) {
+	w.mu.Lock()
+	if !w.aborted {
+		w.aborted = true
+		if err == nil {
+			err = ErrAborted
+		}
+		w.abortErr = err
+	}
+	boxes := make([]*mailbox, 0, len(w.boxes))
+	for _, b := range w.boxes {
+		boxes = append(boxes, b)
+	}
+	bars := make([]*shmBarrier, 0, len(w.barriers))
+	for _, b := range w.barriers {
+		bars = append(bars, b)
+	}
+	w.mu.Unlock()
+	for _, b := range boxes {
+		b.abort()
+	}
+	for _, b := range bars {
+		b.abort()
+	}
+}
+
+func (w *World) abortedErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.aborted {
+		return w.abortErr
+	}
+	return nil
+}
+
+func (w *World) box(comm string, rank int) *mailbox {
+	key := boxKey{comm, rank}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, ok := w.boxes[key]
+	if !ok {
+		b = newMailbox()
+		if w.aborted {
+			b.abort()
+		}
+		w.boxes[key] = b
+	}
+	return b
+}
+
+func (w *World) barrier(id string) *shmBarrier {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, ok := w.barriers[id]
+	if !ok {
+		b = newShmBarrier()
+		if w.aborted {
+			b.abort()
+		}
+		w.barriers[id] = b
+	}
+	return b
+}
+
+// transfer charges the fabric for a message of n bytes from world rank src
+// to world rank dst.
+func (w *World) transfer(src, dst, n int) {
+	if src == dst {
+		return // self-sends stay in-process
+	}
+	const header = 64 // envelope bytes per message
+	if w.topo.NodeOf(src) == w.topo.NodeOf(dst) {
+		if w.topo.Shm != nil {
+			w.topo.Shm.Transfer(n + header)
+		}
+		return
+	}
+	if w.topo.Net != nil {
+		w.topo.Net.Transfer(n + header)
+	}
+}
+
+func (w *World) commWorld(rank int) *Comm {
+	members := make([]int, w.size)
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{world: w, id: "world", rank: rank, members: members}
+}
+
+// Comm is one rank's handle on a communicator. Point-to-point and collective
+// operations address ranks in the communicator's own rank space.
+type Comm struct {
+	world   *World
+	id      string
+	rank    int   // this rank's index within members
+	members []int // communicator rank -> world rank
+
+	// msgBarrier selects the dissemination (message-based) barrier used
+	// by distributed worlds, where no shared memory exists across ranks.
+	msgBarrier bool
+
+	mu      sync.Mutex
+	dupSeq  int
+	collSeq int
+}
+
+// Rank returns the caller's rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank returns the world rank behind communicator rank r.
+func (c *Comm) WorldRank(r int) int { return c.members[r] }
+
+// World returns the underlying world.
+func (c *Comm) World() *World { return c.world }
+
+// ID returns the communicator identity, equal on all member ranks.
+func (c *Comm) ID() string { return c.id }
+
+// Send delivers data to rank dest under tag. Tags must be non-negative;
+// negative tags are reserved for collectives. Data is copied, so the caller
+// may reuse the buffer immediately. Send blocks only for the modelled
+// transfer time (buffered/eager semantics).
+func (c *Comm) Send(dest, tag int, data []byte) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: Send tag %d is negative (reserved)", tag)
+	}
+	return c.send(dest, tag, data)
+}
+
+func (c *Comm) send(dest, tag int, data []byte) error {
+	if err := c.world.abortedErr(); err != nil {
+		return err
+	}
+	if dest < 0 || dest >= len(c.members) {
+		return fmt.Errorf("mpi: Send dest %d out of range [0,%d)", dest, len(c.members))
+	}
+	c.world.transfer(c.members[c.rank], c.members[dest], len(data))
+	if m := c.world.remote; m != nil && c.members[dest] != m.rank {
+		// Distributed world: the destination rank lives in another
+		// process.
+		return m.send(c.id, c.rank, dest, c.members[dest], tag, data)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return c.world.box(c.id, dest).deliver(Message{Source: c.rank, Tag: tag, Data: buf})
+}
+
+// Recv blocks until a message matching source and tag arrives. Use AnySource
+// and/or AnyTag as wildcards.
+func (c *Comm) Recv(source, tag int) (Message, error) {
+	return c.world.box(c.id, c.rank).recv(source, tag)
+}
+
+// TryRecv returns a matching message if one is already queued.
+func (c *Comm) TryRecv(source, tag int) (Message, bool, error) {
+	return c.world.box(c.id, c.rank).tryRecv(source, tag)
+}
+
+// Probe reports whether a message matching source and tag is queued, and if
+// so its actual source and tag, without consuming it.
+func (c *Comm) Probe(source, tag int) (src, actualTag int, ok bool) {
+	return c.world.box(c.id, c.rank).probe(source, tag)
+}
+
+// Dup returns a new communicator over the same ranks. As in MPI, every
+// member must call Dup, and calls on one communicator must occur in the same
+// order on all ranks; the n-th Dup on each rank yields the same new
+// communicator. PapyrusKV dups the world communicator for its runtime
+// message traffic so it never collides with application messages.
+func (c *Comm) Dup() *Comm {
+	c.mu.Lock()
+	seq := c.dupSeq
+	c.dupSeq++
+	c.mu.Unlock()
+	return &Comm{
+		world:      c.world,
+		id:         fmt.Sprintf("%s/d%d", c.id, seq),
+		rank:       c.rank,
+		members:    c.members,
+		msgBarrier: c.msgBarrier,
+	}
+}
+
+// Split partitions the communicator by color, ordering ranks within each new
+// communicator by key (ties broken by old rank). All members must call it.
+// A negative color returns nil (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	c.mu.Lock()
+	seq := c.dupSeq
+	c.dupSeq++
+	c.mu.Unlock()
+	type ck struct{ color, key, rank int }
+	mine := fmt.Sprintf("%d %d %d", color, key, c.rank)
+	all, err := c.Allgather([]byte(mine))
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]ck, 0, len(all))
+	for _, raw := range all {
+		var e ck
+		if _, err := fmt.Sscanf(string(raw), "%d %d %d", &e.color, &e.key, &e.rank); err != nil {
+			return nil, fmt.Errorf("mpi: Split gather decode: %w", err)
+		}
+		if e.color >= 0 {
+			entries = append(entries, e)
+		}
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].color != entries[j].color {
+			return entries[i].color < entries[j].color
+		}
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].rank < entries[j].rank
+	})
+	var members []int
+	myNewRank := -1
+	for _, e := range entries {
+		if e.color != color {
+			continue
+		}
+		if e.rank == c.rank {
+			myNewRank = len(members)
+		}
+		members = append(members, c.members[e.rank])
+	}
+	return &Comm{
+		world:      c.world,
+		id:         fmt.Sprintf("%s/s%d:%d", c.id, seq, color),
+		rank:       myNewRank,
+		members:    members,
+		msgBarrier: c.msgBarrier,
+	}, nil
+}

@@ -1,0 +1,611 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"papyruskv/internal/simnet"
+)
+
+func freeTopo() Topology { return Topology{} }
+
+func runWorld(t *testing.T, n int, fn func(*Comm) error) {
+	t.Helper()
+	w := NewWorld(n, freeTopo())
+	if err := w.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvPair(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, []byte("hello"))
+		}
+		m, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "hello" || m.Source != 0 || m.Tag != 5 {
+			return fmt.Errorf("got %+v", m)
+		}
+		return nil
+	})
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("original")
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			copy(buf, "clobber!")
+			return nil
+		}
+		m, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "original" {
+			return fmt.Errorf("buffer aliased: %q", m.Data)
+		}
+		return nil
+	})
+}
+
+func TestFIFOOrderingPerSource(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		const n = 200
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			m, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if m.Data[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order: %d", i, m.Data[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	runWorld(t, 4, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return c.Send(0, 10+c.Rank(), []byte{byte(c.Rank())})
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 3; i++ {
+			m, err := c.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if m.Tag != 10+m.Source || int(m.Data[0]) != m.Source {
+				return fmt.Errorf("mismatched message %+v", m)
+			}
+			seen[m.Source] = true
+		}
+		if len(seen) != 3 {
+			return fmt.Errorf("saw %d sources", len(seen))
+		}
+		return nil
+	})
+}
+
+func TestTagSelectiveRecv(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []byte("first")); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("second"))
+		}
+		// Receive tag 2 first even though tag 1 arrived earlier.
+		m2, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		m1, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(m2.Data) != "second" || string(m1.Data) != "first" {
+			return fmt.Errorf("tag matching broken: %q %q", m2.Data, m1.Data)
+		}
+		return nil
+	})
+}
+
+func TestNegativeUserTagRejected(t *testing.T) {
+	runWorld(t, 1, func(c *Comm) error {
+		if err := c.Send(0, -1, nil); err == nil {
+			return errors.New("negative tag accepted")
+		}
+		return nil
+	})
+}
+
+func TestSendOutOfRange(t *testing.T) {
+	runWorld(t, 1, func(c *Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			return errors.New("out-of-range dest accepted")
+		}
+		return nil
+	})
+}
+
+func TestTryRecvAndProbe(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, ok, err := c.TryRecv(AnySource, AnyTag); err != nil || ok {
+				return fmt.Errorf("TryRecv on empty box: ok=%v err=%v", ok, err)
+			}
+			if _, _, ok := c.Probe(AnySource, AnyTag); ok {
+				return errors.New("Probe on empty box succeeded")
+			}
+			if err := c.Barrier(); err != nil { // rank 1 sends after this
+				return err
+			}
+			for {
+				src, tag, ok := c.Probe(1, 7)
+				if ok {
+					if src != 1 || tag != 7 {
+						return fmt.Errorf("Probe = %d,%d", src, tag)
+					}
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			m, ok, err := c.TryRecv(1, 7)
+			if err != nil || !ok || string(m.Data) != "x" {
+				return fmt.Errorf("TryRecv = %+v, %v, %v", m, ok, err)
+			}
+			return nil
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.Send(0, 7, []byte("x"))
+	})
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	const n = 8
+	var phase atomic.Int32
+	runWorld(t, n, func(c *Comm) error {
+		phase.Add(1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if got := phase.Load(); got != n {
+			return fmt.Errorf("rank %d passed barrier with phase=%d", c.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	var counter atomic.Int64
+	runWorld(t, 4, func(c *Comm) error {
+		for round := 0; round < 10; round++ {
+			counter.Add(1)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if got := counter.Load(); got != int64(4*(round+1)) {
+				return fmt.Errorf("round %d: counter=%d", round, got)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestBcast(t *testing.T) {
+	runWorld(t, 5, func(c *Comm) error {
+		var in []byte
+		if c.Rank() == 2 {
+			in = []byte("payload")
+		}
+		out, err := c.Bcast(2, in)
+		if err != nil {
+			return err
+		}
+		if string(out) != "payload" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), out)
+		}
+		return nil
+	})
+}
+
+func TestGather(t *testing.T) {
+	runWorld(t, 6, func(c *Comm) error {
+		out, err := c.Gather(3, []byte{byte(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 3 {
+			if out != nil {
+				return errors.New("non-root got data")
+			}
+			return nil
+		}
+		for r, d := range out {
+			if len(d) != 1 || d[0] != byte(r*10) {
+				return fmt.Errorf("gather[%d] = %v", r, d)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	runWorld(t, 7, func(c *Comm) error {
+		out, err := c.Allgather([]byte(fmt.Sprintf("rank%d", c.Rank())))
+		if err != nil {
+			return err
+		}
+		if len(out) != 7 {
+			return fmt.Errorf("len = %d", len(out))
+		}
+		for r, d := range out {
+			if string(d) != fmt.Sprintf("rank%d", r) {
+				return fmt.Errorf("allgather[%d] = %q", r, d)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	runWorld(t, 8, func(c *Comm) error {
+		sum, err := c.AllreduceInt64(int64(c.Rank()+1), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 36 {
+			return fmt.Errorf("sum = %d, want 36", sum)
+		}
+		max, err := c.AllreduceInt64(int64(c.Rank()), OpMax)
+		if err != nil {
+			return err
+		}
+		if max != 7 {
+			return fmt.Errorf("max = %d, want 7", max)
+		}
+		min, err := c.AllreduceInt64(int64(c.Rank())-3, OpMin)
+		if err != nil {
+			return err
+		}
+		if min != -3 {
+			return fmt.Errorf("min = %d, want -3", min)
+		}
+		return nil
+	})
+}
+
+func TestDupIsolation(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		priv := c.Dup()
+		if c.Rank() == 0 {
+			// Same tag on both communicators must not cross.
+			if err := c.Send(1, 9, []byte("app")); err != nil {
+				return err
+			}
+			return priv.Send(1, 9, []byte("runtime"))
+		}
+		mp, err := priv.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		ma, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if string(mp.Data) != "runtime" || string(ma.Data) != "app" {
+			return fmt.Errorf("crossed: priv=%q app=%q", mp.Data, ma.Data)
+		}
+		return nil
+	})
+}
+
+func TestDupDeterministicIdentity(t *testing.T) {
+	ids := make([]string, 4)
+	runWorld(t, 4, func(c *Comm) error {
+		d1 := c.Dup()
+		d2 := c.Dup()
+		if d1.ID() == d2.ID() {
+			return errors.New("successive dups share an ID")
+		}
+		ids[c.Rank()] = d2.ID()
+		return nil
+	})
+	for r := 1; r < 4; r++ {
+		if ids[r] != ids[0] {
+			t.Fatalf("rank %d dup ID %q != rank 0 %q", r, ids[r], ids[0])
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	runWorld(t, 6, func(c *Comm) error {
+		color := c.Rank() % 2
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		// Even ranks 0,2,4 -> sub ranks 0,1,2; odd 1,3,5 likewise.
+		wantRank := c.Rank() / 2
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("world %d: sub rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		if sub.WorldRank(sub.Rank()) != c.Rank() {
+			return fmt.Errorf("WorldRank mapping broken")
+		}
+		// Collectives work on the split communicator.
+		sum, err := sub.AllreduceInt64(int64(c.Rank()), OpSum)
+		if err != nil {
+			return err
+		}
+		want := int64(0 + 2 + 4)
+		if color == 1 {
+			want = 1 + 3 + 5
+		}
+		if sum != want {
+			return fmt.Errorf("split sum = %d, want %d", sum, want)
+		}
+		return sub.Barrier()
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	runWorld(t, 4, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			if sub != nil {
+				return errors.New("undefined color got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d, want 3", sub.Size())
+		}
+		return nil
+	})
+}
+
+func TestAbortUnblocksRecv(t *testing.T) {
+	w := NewWorld(2, freeTopo())
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Recv(1, 0) // never sent
+			if !errors.Is(err, ErrAborted) && err == nil {
+				return errors.New("Recv returned without abort")
+			}
+			return nil
+		}
+		return errors.New("rank 1 fails")
+	})
+	if err == nil || err.Error() != "rank 1 fails" {
+		t.Fatalf("Run error = %v", err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	w := NewWorld(2, freeTopo())
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		_, err := c.Recv(1, 0)
+		_ = err
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run did not report panic")
+	}
+}
+
+func TestThreadMultiple(t *testing.T) {
+	// Multiple goroutines per rank using separate dup'd communicators,
+	// mirroring PapyrusKV's app thread + dispatcher + handler layout.
+	runWorld(t, 4, func(c *Comm) error {
+		handlerComm := c.Dup()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		stop := make(chan struct{})
+		go func() { // message handler thread
+			defer wg.Done()
+			for {
+				m, ok, err := handlerComm.TryRecv(AnySource, 1)
+				if err != nil {
+					return
+				}
+				if ok {
+					if err := handlerComm.Send(m.Source, 2, m.Data); err != nil {
+						return
+					}
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}()
+		// App thread: request-response with every other rank's handler.
+		for peer := 0; peer < c.Size(); peer++ {
+			if peer == c.Rank() {
+				continue
+			}
+			if err := handlerComm.Send(peer, 1, []byte{byte(c.Rank())}); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < c.Size()-1; i++ {
+			m, err := handlerComm.Recv(AnySource, 2)
+			if err != nil {
+				return err
+			}
+			if int(m.Data[0]) != c.Rank() {
+				return fmt.Errorf("echo mismatch: %d", m.Data[0])
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		close(stop)
+		wg.Wait()
+		return nil
+	})
+}
+
+func TestTopologyNodeOf(t *testing.T) {
+	topo := Topology{RanksPerNode: 4}
+	if topo.NodeOf(0) != 0 || topo.NodeOf(3) != 0 || topo.NodeOf(4) != 1 || topo.NodeOf(11) != 2 {
+		t.Fatal("NodeOf mapping wrong")
+	}
+	flat := Topology{}
+	if flat.NodeOf(99) != 0 {
+		t.Fatal("flat topology must be single-node")
+	}
+}
+
+func TestFabricCharged(t *testing.T) {
+	net := simnet.New(simnet.NoDelay)
+	shm := simnet.New(simnet.NoDelay)
+	w := NewWorld(4, Topology{RanksPerNode: 2, Net: net, Shm: shm})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, make([]byte, 100)); err != nil { // intra-node
+				return err
+			}
+			if err := c.Send(2, 0, make([]byte, 100)); err != nil { // inter-node
+				return err
+			}
+		}
+		if c.Rank() == 1 || c.Rank() == 2 {
+			if _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netMsgs, _ := net.Stats()
+	shmMsgs, _ := shm.Stats()
+	if netMsgs != 1 {
+		t.Fatalf("net messages = %d, want 1", netMsgs)
+	}
+	if shmMsgs != 1 {
+		t.Fatalf("shm messages = %d, want 1", shmMsgs)
+	}
+}
+
+func TestSelfSendFree(t *testing.T) {
+	net := simnet.New(simnet.NoDelay)
+	w := NewWorld(1, Topology{Net: net})
+	err := w.Run(func(c *Comm) error {
+		if err := c.Send(0, 0, []byte("self")); err != nil {
+			return err
+		}
+		m, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "self" {
+			return fmt.Errorf("self message = %q", m.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs, _ := net.Stats(); msgs != 0 {
+		t.Fatalf("self send charged the fabric: %d msgs", msgs)
+	}
+}
+
+func TestPackUnpackSlices(t *testing.T) {
+	in := [][]byte{[]byte("a"), nil, []byte("ccc"), {}}
+	out, err := unpackSlices(packSlices(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if !bytes.Equal(out[i], in[i]) {
+			t.Fatalf("slice %d: %v != %v", i, out[i], in[i])
+		}
+	}
+	if _, err := unpackSlices([]byte{1, 2}); err == nil {
+		t.Fatal("unpack of garbage succeeded")
+	}
+	if _, err := unpackSlices([]byte{1, 0, 0, 0, 5, 0, 0, 0, 1}); err == nil {
+		t.Fatal("unpack of truncated body succeeded")
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const n = 64
+	runWorld(t, n, func(c *Comm) error {
+		// Ring exchange followed by allreduce, several rounds.
+		for round := 0; round < 5; round++ {
+			next := (c.Rank() + 1) % n
+			prev := (c.Rank() + n - 1) % n
+			if err := c.Send(next, round, []byte{byte(c.Rank())}); err != nil {
+				return err
+			}
+			m, err := c.Recv(prev, round)
+			if err != nil {
+				return err
+			}
+			if int(m.Data[0]) != prev {
+				return fmt.Errorf("ring round %d: got %d want %d", round, m.Data[0], prev)
+			}
+			sum, err := c.AllreduceInt64(1, OpSum)
+			if err != nil {
+				return err
+			}
+			if sum != n {
+				return fmt.Errorf("allreduce = %d", sum)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,363 @@
+// TCP transport: a World whose ranks live in different OS processes.
+//
+// The in-process World runs ranks as goroutines; JoinTCP instead joins this
+// process, as a single rank, to a multi-process world connected by a TCP
+// full mesh. The Comm it returns has identical semantics (tagged matched
+// pt2pt, wildcards, collectives, Dup/Split), so PapyrusKV's runtime works
+// unmodified across processes; ranks of one storage group then share NVM
+// through the file system, exactly as ranks of one node would.
+//
+// Bootstrap: rank 0 listens on the coordinator address; every rank dials
+// it and registers its own listener address; once all ranks are known, the
+// coordinator broadcasts the address list; each pair of ranks establishes
+// one connection (the higher rank dials the lower).
+//
+// Collectives run over point-to-point messages; the barrier uses the
+// dissemination algorithm, so no shared memory is needed anywhere.
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// JoinTCP joins this process to a size-rank world as rank. coordAddr is the
+// address rank 0 listens on (e.g. "127.0.0.1:7777"); every rank passes the
+// same value. It returns the world communicator and a closer that tears the
+// mesh down. The transfer cost fabric, if any, applies on top of real
+// network time.
+func JoinTCP(coordAddr string, rank, size int, topo Topology) (*Comm, io.Closer, error) {
+	if rank < 0 || rank >= size {
+		return nil, nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, size)
+	}
+	w := NewWorld(size, topo)
+	w.remote = &tcpMesh{world: w, rank: rank, size: size, conns: make([]*meshConn, size)}
+	if err := w.remote.bootstrap(coordAddr); err != nil {
+		return nil, nil, err
+	}
+	c := w.commWorld(rank)
+	c.msgBarrier = true
+	return c, w.remote, nil
+}
+
+// tcpMesh is the remote transport of a distributed world.
+type tcpMesh struct {
+	world *World
+	rank  int
+	size  int
+
+	mu       sync.Mutex
+	conns    []*meshConn
+	listener net.Listener
+	closed   bool
+}
+
+type meshConn struct {
+	mu sync.Mutex // serialises frame writes
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// frame layout: u32 total length, then JSON header length (u32), JSON
+// header {Comm, Src, Dst, Tag}, payload bytes.
+type frameHeader struct {
+	Comm string `json:"c"`
+	Src  int    `json:"s"`
+	Dst  int    `json:"d"`
+	Tag  int    `json:"t"`
+}
+
+// send delivers a message addressed to communicator-local rank dstComm,
+// which lives in the process hosting world rank dstWorld.
+func (m *tcpMesh) send(commID string, src, dstComm, dstWorld, tag int, data []byte) error {
+	m.mu.Lock()
+	conn := m.conns[dstWorld]
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ErrAborted
+	}
+	if conn == nil {
+		return fmt.Errorf("mpi: no connection to rank %d", dstWorld)
+	}
+	hdr, err := json.Marshal(frameHeader{Comm: commID, Src: src, Dst: dstComm, Tag: tag})
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(4+len(hdr)+len(data)))
+	if _, err := conn.w.Write(u32[:]); err != nil {
+		return fmt.Errorf("mpi: send to %d: %w", dstWorld, err)
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(hdr)))
+	if _, err := conn.w.Write(u32[:]); err != nil {
+		return fmt.Errorf("mpi: send to %d: %w", dstWorld, err)
+	}
+	if _, err := conn.w.Write(hdr); err != nil {
+		return fmt.Errorf("mpi: send to %d: %w", dstWorld, err)
+	}
+	if _, err := conn.w.Write(data); err != nil {
+		return fmt.Errorf("mpi: send to %d: %w", dstWorld, err)
+	}
+	return conn.w.Flush()
+}
+
+// receiveLoop demultiplexes inbound frames into the local rank's mailboxes.
+func (m *tcpMesh) receiveLoop(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	for {
+		var u32 [4]byte
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			m.abortOnIOError(err)
+			return
+		}
+		total := binary.LittleEndian.Uint32(u32[:])
+		if total < 4 || total > 1<<30 {
+			m.abortOnIOError(fmt.Errorf("mpi: bad frame length %d", total))
+			return
+		}
+		buf := make([]byte, total)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			m.abortOnIOError(err)
+			return
+		}
+		hlen := binary.LittleEndian.Uint32(buf)
+		if 4+hlen > total {
+			m.abortOnIOError(fmt.Errorf("mpi: bad frame header length %d", hlen))
+			return
+		}
+		var hdr frameHeader
+		if err := json.Unmarshal(buf[4:4+hlen], &hdr); err != nil {
+			m.abortOnIOError(err)
+			return
+		}
+		if hdr.Comm == byeComm {
+			// Graceful peer shutdown: stop this loop without aborting.
+			return
+		}
+		payload := buf[4+hlen:]
+		msg := Message{Source: hdr.Src, Tag: hdr.Tag, Data: payload}
+		// hdr.Dst is the communicator-local rank of this process's one
+		// world rank, so the mailbox key is unambiguous here.
+		if err := m.world.box(hdr.Comm, hdr.Dst).deliver(msg); err != nil {
+			return
+		}
+	}
+}
+
+func (m *tcpMesh) abortOnIOError(err error) {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return // normal teardown
+	}
+	m.world.Abort(fmt.Errorf("mpi: peer connection failed: %w", err))
+}
+
+// byeComm is the control pseudo-communicator announcing a graceful
+// shutdown; a peer that disappears without it crashed, and crashes abort
+// the world.
+const byeComm = "!bye"
+
+// Close tears down the mesh gracefully: each peer is told goodbye first so
+// its receive loop stops without aborting its world. A rank may close while
+// peers are still exchanging messages among themselves (barrier completion
+// is staggered); once a rank has completed its final collective, no further
+// traffic targets it, so closing is safe.
+func (m *tcpMesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	conns := append([]*meshConn(nil), m.conns...)
+	m.mu.Unlock()
+	for i, c := range conns {
+		if c != nil && i != m.rank {
+			// Best effort: the peer may already be gone.
+			_ = m.send(byeComm, m.rank, 0, i, 0, nil)
+		}
+	}
+	m.mu.Lock()
+	m.closed = true
+	l := m.listener
+	m.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for i, c := range conns {
+		if c != nil && i != m.rank {
+			c.c.Close()
+		}
+	}
+	return nil
+}
+
+// registration is the bootstrap record each rank sends the coordinator.
+type registration struct {
+	Rank int    `json:"rank"`
+	Addr string `json:"addr"`
+}
+
+// bootstrap wires the full mesh via the coordinator at coordAddr.
+func (m *tcpMesh) bootstrap(coordAddr string) error {
+	// Every rank, including 0, runs its own peer listener.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("mpi: peer listener: %w", err)
+	}
+	m.listener = l
+
+	addrs := make([]string, m.size)
+	addrs[m.rank] = l.Addr().String()
+
+	if m.rank == 0 {
+		if err := m.coordinate(coordAddr, addrs); err != nil {
+			l.Close()
+			return err
+		}
+	} else {
+		if err := m.register(coordAddr, addrs); err != nil {
+			l.Close()
+			return err
+		}
+	}
+
+	// Mesh: accept connections from higher ranks, dial lower ranks. The
+	// dialer announces its rank in a one-line preamble.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() { // accept side
+		defer wg.Done()
+		for i := m.rank + 1; i < m.size; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				errs[0] = err
+				return
+			}
+			var peer int32
+			if err := binary.Read(conn, binary.LittleEndian, &peer); err != nil {
+				errs[0] = err
+				return
+			}
+			m.adopt(int(peer), conn)
+		}
+	}()
+	wg.Add(1)
+	go func() { // dial side
+		defer wg.Done()
+		for i := 0; i < m.rank; i++ {
+			conn, err := dialRetry(addrs[i])
+			if err != nil {
+				errs[1] = err
+				return
+			}
+			if err := binary.Write(conn, binary.LittleEndian, int32(m.rank)); err != nil {
+				errs[1] = err
+				return
+			}
+			m.adopt(i, conn)
+		}
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			m.Close()
+			return fmt.Errorf("mpi: mesh bootstrap: %w", err)
+		}
+	}
+	return nil
+}
+
+func (m *tcpMesh) adopt(peer int, conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	m.mu.Lock()
+	m.conns[peer] = &meshConn{c: conn, w: bufio.NewWriter(conn)}
+	m.mu.Unlock()
+	go m.receiveLoop(conn)
+}
+
+// coordinate is rank 0's side of the bootstrap: collect every rank's peer
+// address, then send the full list to everyone.
+func (m *tcpMesh) coordinate(coordAddr string, addrs []string) error {
+	cl, err := net.Listen("tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("mpi: coordinator listen: %w", err)
+	}
+	defer cl.Close()
+	conns := make([]net.Conn, 0, m.size-1)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 1; i < m.size; i++ {
+		conn, err := cl.Accept()
+		if err != nil {
+			return fmt.Errorf("mpi: coordinator accept: %w", err)
+		}
+		conns = append(conns, conn)
+		var reg registration
+		if err := json.NewDecoder(conn).Decode(&reg); err != nil {
+			return fmt.Errorf("mpi: coordinator decode: %w", err)
+		}
+		if reg.Rank < 1 || reg.Rank >= m.size || addrs[reg.Rank] != "" {
+			return fmt.Errorf("mpi: duplicate or invalid registration for rank %d", reg.Rank)
+		}
+		addrs[reg.Rank] = reg.Addr
+	}
+	for _, conn := range conns {
+		if err := json.NewEncoder(conn).Encode(addrs); err != nil {
+			return fmt.Errorf("mpi: coordinator broadcast: %w", err)
+		}
+	}
+	return nil
+}
+
+// register is every other rank's side of the bootstrap.
+func (m *tcpMesh) register(coordAddr string, addrs []string) error {
+	conn, err := dialRetry(coordAddr)
+	if err != nil {
+		return fmt.Errorf("mpi: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(registration{Rank: m.rank, Addr: addrs[m.rank]}); err != nil {
+		return err
+	}
+	var all []string
+	if err := json.NewDecoder(conn).Decode(&all); err != nil {
+		return fmt.Errorf("mpi: address list: %w", err)
+	}
+	if len(all) != m.size {
+		return fmt.Errorf("mpi: address list has %d entries, want %d", len(all), m.size)
+	}
+	copy(addrs, all)
+	return nil
+}
+
+// dialRetry dials with backoff: peers come up in arbitrary order.
+func dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

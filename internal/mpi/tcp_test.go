@@ -1,0 +1,251 @@
+package mpi
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freePort reserves a localhost port for a coordinator.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// runTCPWorld joins `size` ranks over real TCP connections. Each rank gets
+// its own World (separate state, exactly as separate processes would),
+// so this exercises the full wire path.
+func runTCPWorld(t *testing.T, size int, fn func(*Comm) error) {
+	t.Helper()
+	coord := freePort(t)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, closer, err := JoinTCP(coord, r, size, Topology{})
+			if err != nil {
+				errs[r] = fmt.Errorf("rank %d join: %w", r, err)
+				return
+			}
+			defer closer.Close()
+			if err := fn(c); err != nil {
+				errs[r] = fmt.Errorf("rank %d: %w", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runTCPWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, []byte("over the wire"))
+		}
+		m, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "over the wire" || m.Source != 0 || m.Tag != 5 {
+			return fmt.Errorf("got %+v", m)
+		}
+		return nil
+	})
+}
+
+func TestTCPFIFOOrdering(t *testing.T) {
+	runTCPWorld(t, 2, func(c *Comm) error {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 1, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			m, err := c.Recv(0, 1)
+			if err != nil {
+				return err
+			}
+			if m.Data[0] != byte(i) {
+				return fmt.Errorf("message %d out of order: %d", i, m.Data[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPDisseminationBarrier(t *testing.T) {
+	runTCPWorld(t, 5, func(c *Comm) error {
+		// Repeated barriers must not deadlock or cross-match.
+		for round := 0; round < 10; round++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	runTCPWorld(t, 4, func(c *Comm) error {
+		sum, err := c.AllreduceInt64(int64(c.Rank()+1), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 10 {
+			return fmt.Errorf("allreduce = %d", sum)
+		}
+		out, err := c.Bcast(2, []byte(fmt.Sprintf("from-%d", c.Rank())))
+		if err != nil {
+			return err
+		}
+		if string(out) != "from-2" {
+			return fmt.Errorf("bcast = %q", out)
+		}
+		all, err := c.Allgather([]byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		for r, d := range all {
+			if len(d) != 1 || d[0] != byte(r) {
+				return fmt.Errorf("allgather[%d] = %v", r, d)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPDupIsolationAndSplit(t *testing.T) {
+	runTCPWorld(t, 4, func(c *Comm) error {
+		priv := c.Dup()
+		if c.Rank() == 0 {
+			if err := c.Send(1, 9, []byte("app")); err != nil {
+				return err
+			}
+			if err := priv.Send(1, 9, []byte("runtime")); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 1 {
+			mp, err := priv.Recv(0, 9)
+			if err != nil {
+				return err
+			}
+			ma, err := c.Recv(0, 9)
+			if err != nil {
+				return err
+			}
+			if string(mp.Data) != "runtime" || string(ma.Data) != "app" {
+				return fmt.Errorf("crossed: %q %q", mp.Data, ma.Data)
+			}
+		}
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 2 {
+			return fmt.Errorf("split size = %d", sub.Size())
+		}
+		sum, err := sub.AllreduceInt64(1, OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 2 {
+			return fmt.Errorf("split allreduce = %d", sum)
+		}
+		return sub.Barrier()
+	})
+}
+
+func TestTCPLargeMessages(t *testing.T) {
+	runTCPWorld(t, 2, func(c *Comm) error {
+		big := make([]byte, 4<<20)
+		for i := range big {
+			big[i] = byte(i * 31)
+		}
+		if c.Rank() == 0 {
+			return c.Send(1, 0, big)
+		}
+		m, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if len(m.Data) != len(big) {
+			return fmt.Errorf("len = %d", len(m.Data))
+		}
+		for i := 0; i < len(big); i += 65537 {
+			if m.Data[i] != big[i] {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPRankValidation(t *testing.T) {
+	if _, _, err := JoinTCP("127.0.0.1:1", 5, 4, Topology{}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, _, err := JoinTCP("127.0.0.1:1", -1, 4, Topology{}); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+}
+
+func TestTCPPeerFailureAborts(t *testing.T) {
+	coord := freePort(t)
+	var wg sync.WaitGroup
+	results := make([]error, 2)
+	closers := make([]io.Closer, 2)
+	comms := make([]*Comm, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, closer, err := JoinTCP(coord, r, 2, Topology{})
+			if err != nil {
+				results[r] = err
+				return
+			}
+			comms[r] = c
+			closers[r] = closer
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range results {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	// Rank 1 "crashes": its mesh closes, but rank 0's world must not be
+	// left hanging — the dead connection aborts rank 0's blocked Recv.
+	// (Closing the mesh marks rank 1's own world closed, which is the
+	// clean path; killing the raw connections models the crash.)
+	done := make(chan error, 1)
+	go func() {
+		_, err := comms[0].Recv(1, 0)
+		done <- err
+	}()
+	closers[1].(*tcpMesh).conns[0].c.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Recv survived peer connection loss")
+	}
+	closers[0].Close()
+	closers[1].Close()
+}

@@ -1,0 +1,321 @@
+package nvm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Device is one NVM storage target rooted at a directory. All ranks of a
+// storage group share a single Device instance, which is what makes their
+// SSTables directly readable by each other (§2.7); every operation is
+// charged to the device's performance model. Device is safe for concurrent
+// use.
+type Device struct {
+	dir string
+	th  throttle
+
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	reads        atomic.Uint64
+	writes       atomic.Uint64
+	opens        atomic.Uint64
+}
+
+// Open creates (if needed) and returns the device rooted at dir.
+func Open(dir string, model PerfModel) (*Device, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("nvm: open device %s: %w", dir, err)
+	}
+	return &Device{dir: dir, th: throttle{model: model}}, nil
+}
+
+// Dir returns the device root directory.
+func (d *Device) Dir() string { return d.dir }
+
+// Model returns the device performance model.
+func (d *Device) Model() PerfModel { return d.th.model }
+
+func (d *Device) path(name string) string { return filepath.Join(d.dir, filepath.FromSlash(name)) }
+
+// WriteFile atomically creates or replaces name with data, charging one open
+// plus one write per 1MB chunk (modelling request-sized transfers).
+func (d *Device) WriteFile(name string, data []byte) error {
+	d.th.open()
+	d.opens.Add(1)
+	p := d.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("nvm: %w", err)
+	}
+	tmp := p + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("nvm: %w", err)
+	}
+	const chunk = 1 << 20
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		d.th.write(end - off)
+		d.writes.Add(1)
+		if _, err := f.Write(data[off:end]); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("nvm: %w", err)
+		}
+	}
+	if len(data) == 0 {
+		d.th.write(0)
+		d.writes.Add(1)
+	}
+	d.bytesWritten.Add(uint64(len(data)))
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("nvm: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("nvm: %w", err)
+	}
+	return nil
+}
+
+// ReadFile returns the full contents of name as one sequential read.
+func (d *Device) ReadFile(name string) ([]byte, error) {
+	d.th.open()
+	d.opens.Add(1)
+	data, err := os.ReadFile(d.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("nvm: %w", err)
+	}
+	const chunk = 1 << 20
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		d.th.read(end - off)
+		d.reads.Add(1)
+	}
+	if len(data) == 0 {
+		d.th.read(0)
+		d.reads.Add(1)
+	}
+	d.bytesRead.Add(uint64(len(data)))
+	return data, nil
+}
+
+// File is an open random-access handle, used by SSTable binary search. Each
+// ReadAt pays one device read operation — the cost structure that makes
+// binary search a win on NVM and a loss on Lustre.
+type File struct {
+	dev *Device
+	f   *os.File
+	sz  int64
+}
+
+// OpenFile opens name for random-access reads, charging the open latency.
+func (d *Device) OpenFile(name string) (*File, error) {
+	d.th.open()
+	d.opens.Add(1)
+	f, err := os.Open(d.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("nvm: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: %w", err)
+	}
+	return &File{dev: d, f: f, sz: st.Size()}, nil
+}
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.sz }
+
+// ReadAt reads len(p) bytes at offset off as one random-access operation.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.dev.th.read(len(p))
+	f.dev.reads.Add(1)
+	f.dev.bytesRead.Add(uint64(len(p)))
+	n, err := f.f.ReadAt(p, off)
+	if err != nil && err != io.EOF {
+		return n, fmt.Errorf("nvm: %w", err)
+	}
+	return n, err
+}
+
+// Close releases the handle.
+func (f *File) Close() error { return f.f.Close() }
+
+// Writer streams a new file onto the device; the compaction thread uses it
+// to write SSTables chunk by chunk. Close makes the file visible atomically.
+type Writer struct {
+	dev  *Device
+	tmp  string
+	dst  string
+	f    *os.File
+	size int64
+}
+
+// Create begins writing name, charging the open latency.
+func (d *Device) Create(name string) (*Writer, error) {
+	d.th.open()
+	d.opens.Add(1)
+	p := d.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("nvm: %w", err)
+	}
+	tmp := p + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: %w", err)
+	}
+	return &Writer{dev: d, tmp: tmp, dst: p, f: f}, nil
+}
+
+// Write appends p as one device write operation.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.dev.th.write(len(p))
+	w.dev.writes.Add(1)
+	w.dev.bytesWritten.Add(uint64(len(p)))
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("nvm: %w", err)
+	}
+	return n, nil
+}
+
+// Size returns the bytes written so far.
+func (w *Writer) Size() int64 { return w.size }
+
+// Close finishes the file and publishes it under its final name.
+func (w *Writer) Close() error {
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("nvm: %w", err)
+	}
+	if err := os.Rename(w.tmp, w.dst); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("nvm: %w", err)
+	}
+	return nil
+}
+
+// Abort discards the partially written file.
+func (w *Writer) Abort() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// Remove deletes name. Removing a missing file is not an error (compaction
+// may race with checkpoint cleanup).
+func (d *Device) Remove(name string) error {
+	err := os.Remove(d.path(name))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("nvm: %w", err)
+	}
+	return nil
+}
+
+// Exists reports whether name is present.
+func (d *Device) Exists(name string) bool {
+	_, err := os.Stat(d.path(name))
+	return err == nil
+}
+
+// FileSize returns the size of name in bytes.
+func (d *Device) FileSize(name string) (int64, error) {
+	st, err := os.Stat(d.path(name))
+	if err != nil {
+		return 0, fmt.Errorf("nvm: %w", err)
+	}
+	return st.Size(), nil
+}
+
+// List returns the device-relative names of all files under prefix (a
+// directory path within the device), sorted, recursing into subdirectories.
+func (d *Device) List(prefix string) ([]string, error) {
+	root := d.path(prefix)
+	var out []string
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if info.IsDir() || strings.HasSuffix(p, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(d.dir, p)
+		if err != nil {
+			return err
+		}
+		out = append(out, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nvm: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RemoveAll deletes the subtree under prefix.
+func (d *Device) RemoveAll(prefix string) error {
+	if err := os.RemoveAll(d.path(prefix)); err != nil {
+		return fmt.Errorf("nvm: %w", err)
+	}
+	return nil
+}
+
+// Trim wipes the entire device, modelling the scratch-space trim HPC
+// centres apply between jobs (§4).
+func (d *Device) Trim() error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("nvm: %w", err)
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(d.dir, e.Name())); err != nil {
+			return fmt.Errorf("nvm: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats reports cumulative device activity.
+type Stats struct {
+	BytesRead, BytesWritten uint64
+	Reads, Writes, Opens    uint64
+}
+
+// Stats returns cumulative counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		BytesRead:    d.bytesRead.Load(),
+		BytesWritten: d.bytesWritten.Load(),
+		Reads:        d.reads.Load(),
+		Writes:       d.writes.Load(),
+		Opens:        d.opens.Load(),
+	}
+}
+
+// Copy moves src's file srcName to dst as dstName, paying read costs on src
+// and write costs on dst. Checkpoint and restart use it to move SSTables
+// between NVM and the parallel file system.
+func Copy(dst *Device, dstName string, src *Device, srcName string) error {
+	data, err := src.ReadFile(srcName)
+	if err != nil {
+		return err
+	}
+	return dst.WriteFile(dstName, data)
+}

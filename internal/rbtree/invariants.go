@@ -1,0 +1,75 @@
+package rbtree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// CheckInvariants verifies the red-black tree properties and the BST key
+// ordering. It is exported for tests (including property-based tests) and
+// returns a descriptive error on the first violation found.
+//
+// Properties checked:
+//  1. The root is black.
+//  2. No red node has a red child.
+//  3. Every root-to-leaf path contains the same number of black nodes.
+//  4. An in-order walk yields strictly increasing keys.
+//  5. The recorded size matches the number of reachable nodes.
+func (t *Tree) CheckInvariants() error {
+	if t.root.color != black {
+		return fmt.Errorf("rbtree: root is not black")
+	}
+	if t.nil_.color != black {
+		return fmt.Errorf("rbtree: sentinel is not black")
+	}
+	count := 0
+	if _, err := t.check(t.root, &count); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rbtree: size %d but %d reachable nodes", t.size, count)
+	}
+	var prev []byte
+	first := true
+	ok := true
+	t.Ascend(func(key []byte, _ any) bool {
+		if !first && bytes.Compare(prev, key) >= 0 {
+			ok = false
+			return false
+		}
+		prev, first = key, false
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("rbtree: in-order walk is not strictly increasing")
+	}
+	return nil
+}
+
+// check returns the black height of the subtree rooted at n.
+func (t *Tree) check(n *node, count *int) (int, error) {
+	if n == t.nil_ {
+		return 1, nil
+	}
+	*count++
+	if n.color == red {
+		if n.left.color == red || n.right.color == red {
+			return 0, fmt.Errorf("rbtree: red node %q has a red child", n.key)
+		}
+	}
+	lh, err := t.check(n.left, count)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.check(n.right, count)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("rbtree: black-height mismatch at %q: %d vs %d", n.key, lh, rh)
+	}
+	if n.color == black {
+		lh++
+	}
+	return lh, nil
+}

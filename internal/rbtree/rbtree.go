@@ -1,0 +1,336 @@
+// Package rbtree implements a self-balancing red-black binary search tree
+// keyed by byte slices. PapyrusKV uses it as the index structure of every
+// MemTable: insert, lookup, and delete all take O(log n) time, and an
+// in-order walk yields the key-sorted sequence an SSTable flush requires.
+//
+// The implementation is the classic CLRS formulation with a shared sentinel
+// leaf. Keys are compared with bytes.Compare; inserting an existing key
+// replaces the stored value (the paper's semantics: a new put deletes the old
+// pair before inserting the new one).
+package rbtree
+
+import "bytes"
+
+type color byte
+
+const (
+	red color = iota
+	black
+)
+
+// node is a tree node. The sentinel leaf is a *node with color black.
+type node struct {
+	key                 []byte
+	value               any
+	left, right, parent *node
+	color               color
+}
+
+// Tree is a red-black tree mapping []byte keys to arbitrary values.
+// The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	nil_ *node // shared sentinel leaf
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	sentinel := &node{color: black}
+	return &Tree{root: sentinel, nil_: sentinel}
+}
+
+// Len reports the number of keys stored in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under key and whether it was present.
+func (t *Tree) Get(key []byte) (any, bool) {
+	n := t.lookup(key)
+	if n == t.nil_ {
+		return nil, false
+	}
+	return n.value, true
+}
+
+func (t *Tree) lookup(key []byte) *node {
+	n := t.root
+	for n != t.nil_ {
+		switch c := bytes.Compare(key, n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return t.nil_
+}
+
+// Put inserts key with value, replacing any existing value. It returns the
+// previous value and whether a previous value existed.
+func (t *Tree) Put(key []byte, value any) (prev any, replaced bool) {
+	parent := t.nil_
+	cur := t.root
+	for cur != t.nil_ {
+		parent = cur
+		switch c := bytes.Compare(key, cur.key); {
+		case c < 0:
+			cur = cur.left
+		case c > 0:
+			cur = cur.right
+		default:
+			prev = cur.value
+			cur.value = value
+			return prev, true
+		}
+	}
+	n := &node{key: key, value: value, left: t.nil_, right: t.nil_, parent: parent, color: red}
+	switch {
+	case parent == t.nil_:
+		t.root = n
+	case bytes.Compare(key, parent.key) < 0:
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	t.size++
+	t.insertFixup(n)
+	return nil, false
+}
+
+// Delete removes key from the tree. It returns the removed value and whether
+// the key was present.
+func (t *Tree) Delete(key []byte) (any, bool) {
+	z := t.lookup(key)
+	if z == t.nil_ {
+		return nil, false
+	}
+	removed := z.value
+	t.deleteNode(z)
+	t.size--
+	return removed, true
+}
+
+// Min returns the smallest key and its value, or ok=false on an empty tree.
+func (t *Tree) Min() (key []byte, value any, ok bool) {
+	if t.root == t.nil_ {
+		return nil, nil, false
+	}
+	n := t.minimum(t.root)
+	return n.key, n.value, true
+}
+
+// Max returns the largest key and its value, or ok=false on an empty tree.
+func (t *Tree) Max() (key []byte, value any, ok bool) {
+	if t.root == t.nil_ {
+		return nil, nil, false
+	}
+	n := t.root
+	for n.right != t.nil_ {
+		n = n.right
+	}
+	return n.key, n.value, true
+}
+
+// Ascend walks the tree in ascending key order, calling fn for each pair.
+// The walk stops early if fn returns false.
+func (t *Tree) Ascend(fn func(key []byte, value any) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree) ascend(n *node, fn func([]byte, any) bool) bool {
+	if n == t.nil_ {
+		return true
+	}
+	if !t.ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.value) {
+		return false
+	}
+	return t.ascend(n.right, fn)
+}
+
+func (t *Tree) minimum(n *node) *node {
+	for n.left != t.nil_ {
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree) leftRotate(x *node) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree) rightRotate(x *node) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree) insertFixup(z *node) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.leftRotate(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rightRotate(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rightRotate(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.leftRotate(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree) transplant(u, v *node) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree) deleteNode(z *node) {
+	y := z
+	yOrig := y.color
+	var x *node
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOrig = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOrig == black {
+		t.deleteFixup(x)
+	}
+}
+
+func (t *Tree) deleteFixup(x *node) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.leftRotate(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rightRotate(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.leftRotate(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rightRotate(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.leftRotate(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rightRotate(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}

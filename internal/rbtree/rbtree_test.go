@@ -1,0 +1,298 @@
+package rbtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get([]byte("a")); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, ok := tr.Delete([]byte("a")); ok {
+		t.Fatal("Delete on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("key%03d", i)), i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := tr.Get([]byte(fmt.Sprintf("key%03d", i)))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(key%03d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("Get(missing) returned ok")
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New()
+	if prev, replaced := tr.Put([]byte("k"), 1); replaced || prev != nil {
+		t.Fatalf("first Put: prev=%v replaced=%v", prev, replaced)
+	}
+	prev, replaced := tr.Put([]byte("k"), 2)
+	if !replaced || prev.(int) != 1 {
+		t.Fatalf("second Put: prev=%v replaced=%v", prev, replaced)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	v, _ := tr.Get([]byte("k"))
+	if v.(int) != 2 {
+		t.Fatalf("Get = %v, want 2", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	keys := []string{"d", "b", "f", "a", "c", "e", "g"}
+	for i, k := range keys {
+		tr.Put([]byte(k), i)
+	}
+	for i, k := range keys {
+		v, ok := tr.Delete([]byte(k))
+		if !ok || v.(int) != i {
+			t.Fatalf("Delete(%s) = %v, %v", k, v, ok)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Delete(%s): %v", k, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, k := range []string{"m", "c", "x", "a", "z"} {
+		tr.Put([]byte(k), k)
+	}
+	k, _, _ := tr.Min()
+	if string(k) != "a" {
+		t.Fatalf("Min = %q, want a", k)
+	}
+	k, _, _ = tr.Max()
+	if string(k) != "z" {
+		t.Fatalf("Max = %q, want z", k)
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	want := make([]string, 0, 500)
+	seen := map[string]bool{}
+	for len(want) < 500 {
+		k := fmt.Sprintf("%08x", rng.Uint32())
+		if !seen[k] {
+			seen[k] = true
+			want = append(want, k)
+			tr.Put([]byte(k), nil)
+		}
+	}
+	sort.Strings(want)
+	var got []string
+	tr.Ascend(func(key []byte, _ any) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walk yielded %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Put([]byte{byte('a' + i)}, i)
+	}
+	n := 0
+	tr.Ascend(func(_ []byte, _ any) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early-stopped walk visited %d, want 3", n)
+	}
+}
+
+// TestRandomizedMirror runs a long random op sequence against a map mirror
+// and checks invariants periodically.
+func TestRandomizedMirror(t *testing.T) {
+	tr := New()
+	mirror := map[string]int{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("%04d", rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Put([]byte(k), i)
+			mirror[k] = i
+		case 2:
+			_, okT := tr.Delete([]byte(k))
+			_, okM := mirror[k]
+			if okT != okM {
+				t.Fatalf("Delete(%s) ok=%v, mirror ok=%v", k, okT, okM)
+			}
+			delete(mirror, k)
+		}
+		if i%2000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != len(mirror) {
+		t.Fatalf("Len = %d, mirror %d", tr.Len(), len(mirror))
+	}
+	for k, v := range mirror {
+		got, ok := tr.Get([]byte(k))
+		if !ok || got.(int) != v {
+			t.Fatalf("Get(%s) = %v, %v; want %d", k, got, ok, v)
+		}
+	}
+}
+
+// TestQuickInvariants is a property-based test: any key set, inserted in any
+// order with arbitrary interleaved deletions, keeps the red-black invariants.
+func TestQuickInvariants(t *testing.T) {
+	f := func(keys [][]byte, deletes []byte) bool {
+		tr := New()
+		for _, k := range keys {
+			tr.Put(k, len(k))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("after inserts: %v", err)
+			return false
+		}
+		for _, d := range deletes {
+			if int(d) < len(keys) {
+				tr.Delete(keys[d])
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("after deletes: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSortedWalk: the in-order walk of arbitrary inserted keys equals
+// the sort of the deduplicated key set.
+func TestQuickSortedWalk(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr := New()
+		set := map[string]bool{}
+		for _, k := range keys {
+			tr.Put(k, nil)
+			set[string(k)] = true
+		}
+		want := make([]string, 0, len(set))
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		got := make([]string, 0, tr.Len())
+		tr.Ascend(func(k []byte, _ any) bool {
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroLengthAndBinaryKeys(t *testing.T) {
+	tr := New()
+	tr.Put([]byte{}, "empty")
+	tr.Put([]byte{0}, "zero")
+	tr.Put([]byte{0, 0}, "zerozero")
+	tr.Put([]byte{0xff}, "ff")
+	if v, ok := tr.Get([]byte{}); !ok || v != "empty" {
+		t.Fatalf("empty key: %v %v", v, ok)
+	}
+	var first []byte
+	got := false
+	tr.Ascend(func(k []byte, _ any) bool {
+		if !got {
+			first, got = k, true
+		}
+		return true
+	})
+	if !bytes.Equal(first, []byte{}) {
+		t.Fatalf("first key = %v, want empty", first)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	keys := make([][]byte, 1<<16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%016d", i*2654435761))
+	}
+	b.ResetTimer()
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i&(len(keys)-1)], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, 1<<16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%016d", i*2654435761))
+		tr.Put(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i&(len(keys)-1)])
+	}
+}

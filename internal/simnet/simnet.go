@@ -1,0 +1,144 @@
+// Package simnet models the interconnection network of a distributed HPC
+// system. PapyrusKV's evaluation ran over Mellanox EDR InfiniBand
+// (Summitdev), Intel Omni-Path (Stampede), and the Cray Aries Dragonfly
+// (Cori); with ranks running as goroutines inside one process, this package
+// substitutes a calibrated cost model for the real fabric.
+//
+// Every transfer pays a per-message latency plus a serialisation time at the
+// link bandwidth. Concurrent transfers contend: in-flight transfers share
+// the modelled bandwidth and add a small congestion penalty per extra
+// in-flight message. That contention term is what reproduces the paper's
+// Figure 7 observation that the all-to-all flood at a relaxed-consistency
+// barrier congests the network more than sequential-mode's already-paid
+// synchronous sends.
+//
+// All delays are multiplied by a TimeScale so the benchmark harness can
+// shrink the simulation uniformly (preserving every ratio) and unit tests
+// can set the scale to zero to disable delays entirely.
+package simnet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Config describes one fabric.
+type Config struct {
+	// Latency is the one-way per-message latency.
+	Latency time.Duration
+	// Bandwidth is the link bandwidth in bytes per second. Zero means
+	// infinite (no serialisation delay).
+	Bandwidth float64
+	// CongestionFactor adds this fraction of Latency per concurrent
+	// in-flight transfer beyond the first, and divides effective
+	// bandwidth among in-flight transfers. Zero disables contention.
+	CongestionFactor float64
+	// TimeScale multiplies every delay. 1.0 is real scale; the benchmark
+	// harness uses ~0.01-0.05; zero disables delays.
+	TimeScale float64
+}
+
+// Profiles for the paper's three systems (Table 2). Latency/bandwidth are
+// public figures for the respective interconnect generations.
+var (
+	// EDRInfiniBand models Summitdev's Mellanox EDR fabric.
+	EDRInfiniBand = Config{Latency: 1500 * time.Nanosecond, Bandwidth: 12.5e9, CongestionFactor: 0.08, TimeScale: 1}
+	// OmniPath models Stampede's Intel Omni-Path fabric.
+	OmniPath = Config{Latency: 1100 * time.Nanosecond, Bandwidth: 12.5e9, CongestionFactor: 0.10, TimeScale: 1}
+	// AriesDragonfly models Cori's Cray Aries interconnect.
+	AriesDragonfly = Config{Latency: 1700 * time.Nanosecond, Bandwidth: 15.0e9, CongestionFactor: 0.06, TimeScale: 1}
+	// NoDelay disables all modelling; unit tests use it.
+	NoDelay = Config{}
+)
+
+// Fabric is a shared interconnect instance. All ranks of a cluster transfer
+// through one Fabric so contention is global, like a real switch.
+type Fabric struct {
+	cfg      Config
+	inflight atomic.Int64
+
+	// cumulative statistics
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// New creates a fabric with the given configuration.
+func New(cfg Config) *Fabric {
+	return &Fabric{cfg: cfg}
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Transfer accounts for and delays one message of n payload bytes. It blocks
+// the caller for the modelled duration and returns that duration.
+func (f *Fabric) Transfer(n int) time.Duration {
+	f.messages.Add(1)
+	f.bytes.Add(uint64(n))
+	if f.cfg.TimeScale <= 0 {
+		return 0
+	}
+	concurrent := f.inflight.Add(1)
+	defer f.inflight.Add(-1)
+
+	d := f.cost(n, concurrent)
+	Sleep(d)
+	return d
+}
+
+// Estimate returns the modelled duration of an n-byte transfer at the
+// current congestion level without performing it.
+func (f *Fabric) Estimate(n int) time.Duration {
+	if f.cfg.TimeScale <= 0 {
+		return 0
+	}
+	return f.cost(n, f.inflight.Load()+1)
+}
+
+func (f *Fabric) cost(n int, concurrent int64) time.Duration {
+	lat := float64(f.cfg.Latency)
+	if f.cfg.CongestionFactor > 0 && concurrent > 1 {
+		lat *= 1 + f.cfg.CongestionFactor*float64(concurrent-1)
+	}
+	ser := 0.0
+	if f.cfg.Bandwidth > 0 {
+		bw := f.cfg.Bandwidth
+		if f.cfg.CongestionFactor > 0 && concurrent > 1 {
+			bw /= float64(concurrent)
+		}
+		ser = float64(n) / bw * float64(time.Second)
+	}
+	return time.Duration((lat + ser) * f.cfg.TimeScale)
+}
+
+// Stats returns the cumulative message and byte counts.
+func (f *Fabric) Stats() (messages, bytes uint64) {
+	return f.messages.Load(), f.bytes.Load()
+}
+
+// ResetStats zeroes the cumulative counters.
+func (f *Fabric) ResetStats() {
+	f.messages.Store(0)
+	f.bytes.Store(0)
+}
+
+// spinThreshold is the boundary below which Sleep busy-waits. The Go runtime
+// cannot reliably sleep for less than a few tens of microseconds, and the
+// fabric/device models routinely need sub-10µs delays with correct ratios.
+const spinThreshold = 80 * time.Microsecond
+
+// Sleep delays the caller for d with microsecond fidelity: short delays
+// busy-wait on the monotonic clock, long delays use the timer. Exported for
+// the NVM device model, which needs the same fidelity.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= spinThreshold {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,184 @@
+package sstable
+
+import (
+	"fmt"
+	"testing"
+
+	"papyruskv/internal/memtable"
+	"papyruskv/internal/nvm"
+)
+
+// Corrupt-file behaviour: PapyrusKV reads SSTables it may not have written
+// itself (storage-group peers, restored snapshots), so malformed files must
+// fail with errors, never panic or return wrong data.
+
+func corruptDev(t *testing.T) *nvm.Device {
+	t.Helper()
+	d, err := nvm.Open(t.TempDir(), nvm.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGetCorruptIndex(t *testing.T) {
+	dev := corruptDev(t)
+	if _, err := WriteTable(dev, "d", 1, sortedEntries(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dev.WriteFile(IndexName("d", 1), []byte("garbage-index"))
+	if _, _, _, err := Get(dev, "d", 1, []byte("k"), BinarySearch, false); err == nil {
+		t.Fatal("corrupt index accepted")
+	}
+}
+
+func TestGetCorruptBloom(t *testing.T) {
+	dev := corruptDev(t)
+	if _, err := WriteTable(dev, "d", 1, sortedEntries(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dev.WriteFile(BloomName("d", 1), []byte("xx"))
+	if _, _, _, err := Get(dev, "d", 1, []byte("k"), BinarySearch, true); err == nil {
+		t.Fatal("corrupt bloom accepted")
+	}
+	// With bloom checks off, the same table still reads fine.
+	entries := sortedEntries(10, 1)
+	if _, _, found, err := Get(dev, "d", 1, entries[3].Key, BinarySearch, false); err != nil || !found {
+		t.Fatalf("bloom-off get = %v, %v", found, err)
+	}
+}
+
+func TestGetTruncatedData(t *testing.T) {
+	dev := corruptDev(t)
+	entries := sortedEntries(20, 2)
+	if _, err := WriteTable(dev, "d", 1, entries); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := dev.ReadFile(DataName("d", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record (a clean record-boundary cut would just look
+	// like a shorter table).
+	dev.WriteFile(DataName("d", 1), raw[:len(raw)/2+3])
+	// Sequential scan must detect the truncation.
+	hadErr := false
+	for _, e := range entries {
+		if _, _, _, err := Get(dev, "d", 1, e.Key, SequentialSearch, false); err != nil {
+			hadErr = true
+			break
+		}
+	}
+	if !hadErr {
+		t.Fatal("truncated data file read cleanly for every key")
+	}
+}
+
+func TestScannerTruncatedHeader(t *testing.T) {
+	dev := corruptDev(t)
+	if _, err := WriteTable(dev, "d", 1, sortedEntries(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := dev.ReadFile(DataName("d", 1))
+	dev.WriteFile(DataName("d", 1), raw[:3]) // shorter than a record header
+	sc, err := NewScanner(dev, "d", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if _, _, err := sc.Next(); err == nil {
+		t.Fatal("truncated header scanned cleanly")
+	}
+}
+
+func TestParseIndexErrors(t *testing.T) {
+	if _, err := parseIndex(nil); err == nil {
+		t.Fatal("nil index parsed")
+	}
+	if _, err := parseIndex(make([]byte, 5)); err == nil {
+		t.Fatal("short index parsed")
+	}
+	bad := make([]byte, 12)
+	if _, err := parseIndex(bad); err == nil {
+		t.Fatal("zero-magic index parsed")
+	}
+	// Valid magic but truncated entry table.
+	hdr := make([]byte, 12)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0x49, 0x56, 0x4b, 0x50 // little-endian PKVI
+	hdr[4] = 5                                              // count=5, no entries
+	if _, err := parseIndex(hdr); err == nil {
+		t.Fatal("truncated entry table parsed")
+	}
+}
+
+func TestMergeScanNewestWins(t *testing.T) {
+	dev := corruptDev(t)
+	WriteTable(dev, "d", 1, []memtable.Entry{
+		{Key: []byte("a"), Value: []byte("old")},
+		{Key: []byte("b"), Value: []byte("keep")},
+	})
+	WriteTable(dev, "d", 2, []memtable.Entry{
+		{Key: []byte("a"), Value: []byte("new")},
+		{Key: []byte("c"), Tombstone: true},
+	})
+	var got []string
+	err := MergeScan(dev, "d", []uint64{1, 2}, func(e memtable.Entry) error {
+		got = append(got, fmt.Sprintf("%s=%s/%v", e.Key, e.Value, e.Tombstone))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a=new/false", "b=keep/false", "c=/true"}
+	if len(got) != len(want) {
+		t.Fatalf("MergeScan yielded %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeScan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Inputs must survive (MergeScan never deletes).
+	ids, _ := ListSSIDs(dev, "d")
+	if len(ids) != 2 {
+		t.Fatalf("MergeScan deleted inputs: %v", ids)
+	}
+}
+
+func TestMergeScanCallbackError(t *testing.T) {
+	dev := corruptDev(t)
+	WriteTable(dev, "d", 1, sortedEntries(10, 4))
+	wantErr := fmt.Errorf("stop here")
+	calls := 0
+	err := MergeScan(dev, "d", []uint64{1}, func(memtable.Entry) error {
+		calls++
+		if calls == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("callback ran %d times after error", calls)
+	}
+}
+
+func TestMergeScanMissingInput(t *testing.T) {
+	dev := corruptDev(t)
+	if err := MergeScan(dev, "d", []uint64{42}, func(memtable.Entry) error { return nil }); err == nil {
+		t.Fatal("missing input scanned")
+	}
+}
+
+func TestMergeScanEmptyInputs(t *testing.T) {
+	dev := corruptDev(t)
+	called := false
+	if err := MergeScan(dev, "d", nil, func(memtable.Entry) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("callback ran with no inputs")
+	}
+}

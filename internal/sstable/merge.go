@@ -1,0 +1,161 @@
+package sstable
+
+import (
+	"bytes"
+	"container/heap"
+
+	"papyruskv/internal/memtable"
+	"papyruskv/internal/nvm"
+)
+
+// Merge compacts the SSTables listed in ssids (any order) into a single new
+// SSTable newSSID, then deletes the inputs. When several inputs hold the
+// same key, the record from the input with the highest SSID — the newest —
+// wins (§2.5). Tombstones are carried into the merged table: a compaction
+// over a subset of SSTables cannot prove the key is absent from older,
+// unmerged tables, so dropping the tombstone would resurrect deleted keys.
+//
+// The merge is a streaming k-way heap merge over sequential scanners, so it
+// performs the sequential file reads the paper describes and never holds
+// more than one record per input in memory.
+func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, error) {
+	scanners := make([]*Scanner, 0, len(ssids))
+	defer func() {
+		for _, sc := range scanners {
+			sc.Close()
+		}
+	}()
+
+	h := &mergeHeap{}
+	expected := 0
+	for _, id := range ssids {
+		sc, err := NewScanner(dev, dir, id)
+		if err != nil {
+			return Meta{}, err
+		}
+		scanners = append(scanners, sc)
+		e, ok, err := sc.Next()
+		if err != nil {
+			return Meta{}, err
+		}
+		if ok {
+			heap.Push(h, mergeItem{entry: e, ssid: id, scanner: sc})
+		}
+		// Rough size estimate for the bloom filter: count via index header
+		// would cost an extra read per input; overestimating is harmless.
+		expected += 1024
+	}
+
+	w, err := NewWriter(dev, dir, newSSID, expected)
+	if err != nil {
+		return Meta{}, err
+	}
+
+	var lastKey []byte
+	haveLast := false
+	for h.Len() > 0 {
+		item := heap.Pop(h).(mergeItem)
+		// The heap orders equal keys by descending SSID, so the first
+		// occurrence of a key is the newest; later duplicates are stale.
+		if !haveLast || !bytes.Equal(item.entry.Key, lastKey) {
+			if err := w.Add(item.entry); err != nil {
+				w.Abort()
+				return Meta{}, err
+			}
+			lastKey = append(lastKey[:0], item.entry.Key...)
+			haveLast = true
+		}
+		next, ok, err := item.scanner.Next()
+		if err != nil {
+			w.Abort()
+			return Meta{}, err
+		}
+		if ok {
+			heap.Push(h, mergeItem{entry: next, ssid: item.ssid, scanner: item.scanner})
+		}
+	}
+
+	meta, err := w.Close()
+	if err != nil {
+		return Meta{}, err
+	}
+	for _, id := range ssids {
+		if err := Remove(dev, dir, id); err != nil {
+			return Meta{}, err
+		}
+	}
+	return meta, nil
+}
+
+// MergeScan streams the logical merge of the given SSTables — each key's
+// newest version only, in ascending key order — to fn without writing a new
+// table. Restart-with-redistribution uses it to re-put each snapshot pair
+// exactly once (§4.2). A non-nil error from fn aborts the scan.
+func MergeScan(dev *nvm.Device, dir string, ssids []uint64, fn func(memtable.Entry) error) error {
+	scanners := make([]*Scanner, 0, len(ssids))
+	defer func() {
+		for _, sc := range scanners {
+			sc.Close()
+		}
+	}()
+	h := &mergeHeap{}
+	for _, id := range ssids {
+		sc, err := NewScanner(dev, dir, id)
+		if err != nil {
+			return err
+		}
+		scanners = append(scanners, sc)
+		e, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(h, mergeItem{entry: e, ssid: id, scanner: sc})
+		}
+	}
+	var lastKey []byte
+	haveLast := false
+	for h.Len() > 0 {
+		item := heap.Pop(h).(mergeItem)
+		if !haveLast || !bytes.Equal(item.entry.Key, lastKey) {
+			if err := fn(item.entry); err != nil {
+				return err
+			}
+			lastKey = append(lastKey[:0], item.entry.Key...)
+			haveLast = true
+		}
+		next, ok, err := item.scanner.Next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(h, mergeItem{entry: next, ssid: item.ssid, scanner: item.scanner})
+		}
+	}
+	return nil
+}
+
+type mergeItem struct {
+	entry   memtable.Entry
+	ssid    uint64
+	scanner *Scanner
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].entry.Key, h[j].entry.Key); c != 0 {
+		return c < 0
+	}
+	return h[i].ssid > h[j].ssid // newest first among equal keys
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

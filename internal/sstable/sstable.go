@@ -1,0 +1,377 @@
+// Package sstable implements PapyrusKV's Sorted String Tables: the
+// immutable, key-sorted on-NVM representation an immutable local MemTable
+// is flushed into, and the unit of compaction, checkpointing, and
+// storage-group sharing.
+//
+// An SSTable is three files (§2.4):
+//
+//	sst-<ssid>.data   SSData — the key-value records, sorted by key
+//	sst-<ssid>.idx    SSIndex — offsets and lengths of the keys in SSData
+//	sst-<ssid>.bloom  bloom filter over the keys
+//
+// SSIDs are per-database, per-rank, unique increasing integers starting at
+// one. A get opens the bloom filter first to decide whether the SSTable can
+// be skipped; on a possible hit it loads the SSIndex into memory and
+// searches SSData — either by binary search (O(log n) random reads,
+// profitable on NVM's fast random access) or by sequential scan (the
+// baseline the paper's Figure 8 "B" configurations toggle).
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"papyruskv/internal/bloom"
+	"papyruskv/internal/memtable"
+	"papyruskv/internal/nvm"
+)
+
+const (
+	indexMagic = 0x504b5649 // "PKVI"
+	recHeader  = 9          // klen u32, vlen u32, flags u8
+	indexEntry = 16         // offset u64, keylen u32, reclen u32
+)
+
+// DataName, IndexName, and BloomName build the device-relative file names of
+// SSTable ssid under directory dir.
+func DataName(dir string, ssid uint64) string  { return fmt.Sprintf("%s/sst-%06d.data", dir, ssid) }
+func IndexName(dir string, ssid uint64) string { return fmt.Sprintf("%s/sst-%06d.idx", dir, ssid) }
+func BloomName(dir string, ssid uint64) string { return fmt.Sprintf("%s/sst-%06d.bloom", dir, ssid) }
+
+// Meta summarises a written SSTable.
+type Meta struct {
+	SSID      uint64
+	Count     int
+	DataBytes int64
+}
+
+// Writer streams one SSTable onto a device. Add must be called with strictly
+// ascending keys; Close writes the SSIndex and bloom filter and publishes
+// all three files.
+type Writer struct {
+	dev     *nvm.Device
+	dir     string
+	ssid    uint64
+	data    *nvm.Writer
+	index   []byte
+	filter  *bloom.Filter
+	count   int
+	lastKey []byte
+	buf     []byte
+	pending []byte // write-behind buffer: records stream to the device in
+	// large sequential chunks, as the compaction thread would, instead of
+	// paying one device operation per record
+	written int64 // logical SSData bytes emitted (pending included)
+}
+
+// writeChunk is the streaming granularity of SSData writes.
+const writeChunk = 1 << 20
+
+// NewWriter starts SSTable ssid in dir. expectedCount sizes the bloom
+// filter; passing a low estimate only raises its false-positive rate.
+func NewWriter(dev *nvm.Device, dir string, ssid uint64, expectedCount int) (*Writer, error) {
+	data, err := dev.Create(DataName(dir, ssid))
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{
+		dev:    dev,
+		dir:    dir,
+		ssid:   ssid,
+		data:   data,
+		filter: bloom.New(expectedCount, 0.01),
+	}, nil
+}
+
+// Add appends entry e. Keys must be strictly ascending.
+func (w *Writer) Add(e memtable.Entry) error {
+	if w.lastKey != nil && bytes.Compare(e.Key, w.lastKey) <= 0 {
+		return fmt.Errorf("sstable: keys not strictly ascending: %q after %q", e.Key, w.lastKey)
+	}
+	w.lastKey = append(w.lastKey[:0], e.Key...)
+	offset := w.written
+	recLen := recHeader + len(e.Key) + len(e.Value)
+
+	w.buf = w.buf[:0]
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(e.Key)))
+	w.buf = append(w.buf, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(e.Value)))
+	w.buf = append(w.buf, u32[:]...)
+	var flags byte
+	if e.Tombstone {
+		flags |= 1
+	}
+	w.buf = append(w.buf, flags)
+	w.buf = append(w.buf, e.Key...)
+	w.buf = append(w.buf, e.Value...)
+	w.pending = append(w.pending, w.buf...)
+	w.written += int64(len(w.buf))
+	if len(w.pending) >= writeChunk {
+		if _, err := w.data.Write(w.pending); err != nil {
+			return err
+		}
+		w.pending = w.pending[:0]
+	}
+
+	var ie [indexEntry]byte
+	binary.LittleEndian.PutUint64(ie[0:], uint64(offset))
+	binary.LittleEndian.PutUint32(ie[8:], uint32(len(e.Key)))
+	binary.LittleEndian.PutUint32(ie[12:], uint32(recLen))
+	w.index = append(w.index, ie[:]...)
+
+	w.filter.Add(e.Key)
+	w.count++
+	return nil
+}
+
+// Count returns the number of entries added so far.
+func (w *Writer) Count() int { return w.count }
+
+// Close finishes the SSTable, writing the index and bloom files.
+func (w *Writer) Close() (Meta, error) {
+	if len(w.pending) > 0 {
+		if _, err := w.data.Write(w.pending); err != nil {
+			return Meta{}, err
+		}
+		w.pending = nil
+	}
+	dataBytes := w.data.Size()
+	if err := w.data.Close(); err != nil {
+		return Meta{}, err
+	}
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(w.count))
+	if err := w.dev.WriteFile(IndexName(w.dir, w.ssid), append(hdr, w.index...)); err != nil {
+		return Meta{}, err
+	}
+	if err := w.dev.WriteFile(BloomName(w.dir, w.ssid), w.filter.Marshal()); err != nil {
+		return Meta{}, err
+	}
+	return Meta{SSID: w.ssid, Count: w.count, DataBytes: dataBytes}, nil
+}
+
+// Abort discards the partial SSTable.
+func (w *Writer) Abort() {
+	w.data.Abort()
+}
+
+// WriteTable flushes a sorted entry slice (a sealed MemTable's contents) as
+// SSTable ssid.
+func WriteTable(dev *nvm.Device, dir string, ssid uint64, entries []memtable.Entry) (Meta, error) {
+	w, err := NewWriter(dev, dir, ssid, len(entries))
+	if err != nil {
+		return Meta{}, err
+	}
+	for _, e := range entries {
+		if err := w.Add(e); err != nil {
+			w.Abort()
+			return Meta{}, err
+		}
+	}
+	return w.Close()
+}
+
+// indexRec is one parsed SSIndex entry.
+type indexRec struct {
+	offset uint64
+	keyLen uint32
+	recLen uint32
+}
+
+func parseIndex(raw []byte) ([]indexRec, error) {
+	if len(raw) < 12 {
+		return nil, fmt.Errorf("sstable: short index (%d bytes)", len(raw))
+	}
+	if binary.LittleEndian.Uint32(raw) != indexMagic {
+		return nil, fmt.Errorf("sstable: bad index magic")
+	}
+	count := binary.LittleEndian.Uint64(raw[4:])
+	raw = raw[12:]
+	if uint64(len(raw)) < count*indexEntry {
+		return nil, fmt.Errorf("sstable: index truncated: %d entries, %d bytes", count, len(raw))
+	}
+	recs := make([]indexRec, count)
+	for i := range recs {
+		base := i * indexEntry
+		recs[i] = indexRec{
+			offset: binary.LittleEndian.Uint64(raw[base:]),
+			keyLen: binary.LittleEndian.Uint32(raw[base+8:]),
+			recLen: binary.LittleEndian.Uint32(raw[base+12:]),
+		}
+	}
+	return recs, nil
+}
+
+// SearchMode selects how Get locates a key inside SSData.
+type SearchMode int
+
+const (
+	// BinarySearch does O(log n) random key reads through the SSIndex —
+	// the PAPYRUSKV_BIN_SEARCH optimisation.
+	BinarySearch SearchMode = iota
+	// SequentialSearch scans SSData from the start, the pre-optimisation
+	// baseline of Figure 8.
+	SequentialSearch
+)
+
+// Get searches SSTable ssid in dir for key. found=false with a nil error
+// means the key is not in this SSTable (the caller continues to the next
+// lower SSID). A found tombstone reports found=true, tombstone=true: the
+// search is over, the key is deleted.
+//
+// useBloom controls whether the bloom filter file is consulted first.
+func Get(dev *nvm.Device, dir string, ssid uint64, key []byte, mode SearchMode, useBloom bool) (value []byte, tombstone, found bool, err error) {
+	if useBloom {
+		raw, err := dev.ReadFile(BloomName(dir, ssid))
+		if err != nil {
+			return nil, false, false, err
+		}
+		f, err := bloom.Load(raw)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if !f.MayContain(key) {
+			return nil, false, false, nil
+		}
+	}
+	if mode == SequentialSearch {
+		return seqSearch(dev, dir, ssid, key)
+	}
+	return binSearch(dev, dir, ssid, key)
+}
+
+func binSearch(dev *nvm.Device, dir string, ssid uint64, key []byte) ([]byte, bool, bool, error) {
+	rawIdx, err := dev.ReadFile(IndexName(dir, ssid))
+	if err != nil {
+		return nil, false, false, err
+	}
+	recs, err := parseIndex(rawIdx)
+	if err != nil {
+		return nil, false, false, err
+	}
+	f, err := dev.OpenFile(DataName(dir, ssid))
+	if err != nil {
+		return nil, false, false, err
+	}
+	defer f.Close()
+
+	lo, hi := 0, len(recs)-1
+	var keyBuf []byte
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		r := recs[mid]
+		if cap(keyBuf) < int(r.keyLen) {
+			keyBuf = make([]byte, r.keyLen)
+		}
+		keyBuf = keyBuf[:r.keyLen]
+		if _, err := f.ReadAt(keyBuf, int64(r.offset)+recHeader); err != nil && err != io.EOF {
+			return nil, false, false, err
+		}
+		switch c := bytes.Compare(key, keyBuf); {
+		case c < 0:
+			hi = mid - 1
+		case c > 0:
+			lo = mid + 1
+		default:
+			return readRecordValue(f, r)
+		}
+	}
+	return nil, false, false, nil
+}
+
+func readRecordValue(f *nvm.File, r indexRec) ([]byte, bool, bool, error) {
+	rec := make([]byte, r.recLen)
+	if _, err := f.ReadAt(rec, int64(r.offset)); err != nil && err != io.EOF {
+		return nil, false, false, err
+	}
+	if len(rec) < recHeader {
+		return nil, false, false, fmt.Errorf("sstable: corrupt record")
+	}
+	klen := binary.LittleEndian.Uint32(rec)
+	vlen := binary.LittleEndian.Uint32(rec[4:])
+	flags := rec[8]
+	if uint32(len(rec)) < recHeader+klen+vlen {
+		return nil, false, false, fmt.Errorf("sstable: truncated record")
+	}
+	val := make([]byte, vlen)
+	copy(val, rec[recHeader+klen:recHeader+klen+vlen])
+	return val, flags&1 != 0, true, nil
+}
+
+func seqSearch(dev *nvm.Device, dir string, ssid uint64, key []byte) ([]byte, bool, bool, error) {
+	sc, err := NewScanner(dev, dir, ssid)
+	if err != nil {
+		return nil, false, false, err
+	}
+	defer sc.Close()
+	for {
+		e, ok, err := sc.Next()
+		if err != nil {
+			return nil, false, false, err
+		}
+		if !ok {
+			return nil, false, false, nil
+		}
+		switch c := bytes.Compare(e.Key, key); {
+		case c == 0:
+			return e.Value, e.Tombstone, true, nil
+		case c > 0:
+			// Records are sorted; the key cannot appear later.
+			return nil, false, false, nil
+		}
+	}
+}
+
+// ListSSIDs returns the SSIDs of all complete SSTables in dir, ascending. A
+// table is complete when all three files exist (a crashed writer can leave
+// partial sets behind; they are ignored).
+func ListSSIDs(dev *nvm.Device, dir string) ([]uint64, error) {
+	files, err := dev.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	parts := map[uint64]int{}
+	for _, f := range files {
+		base := f[strings.LastIndex(f, "/")+1:]
+		if !strings.HasPrefix(base, "sst-") {
+			continue
+		}
+		dot := strings.LastIndex(base, ".")
+		if dot < 0 {
+			continue
+		}
+		id, err := strconv.ParseUint(base[4:dot], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch base[dot+1:] {
+		case "data", "idx", "bloom":
+			parts[id]++
+		}
+	}
+	var out []uint64
+	for id, n := range parts {
+		if n == 3 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Remove deletes all three files of SSTable ssid.
+func Remove(dev *nvm.Device, dir string, ssid uint64) error {
+	for _, name := range []string{DataName(dir, ssid), IndexName(dir, ssid), BloomName(dir, ssid)} {
+		if err := dev.Remove(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

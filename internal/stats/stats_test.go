@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAgg(t *testing.T) {
+	var a Agg
+	a.Add(10 * time.Millisecond)
+	a.Add(20 * time.Millisecond)
+	a.Add(30 * time.Millisecond)
+	if a.N() != 3 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Avg() != 20*time.Millisecond {
+		t.Fatalf("Avg = %v", a.Avg())
+	}
+	if a.Min() != 10*time.Millisecond {
+		t.Fatalf("Min = %v", a.Min())
+	}
+	if a.Max() != 30*time.Millisecond {
+		t.Fatalf("Max = %v", a.Max())
+	}
+	s := a.String()
+	if !strings.Contains(s, "avg=") || !strings.Contains(s, "min=") || !strings.Contains(s, "max=") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAggEmpty(t *testing.T) {
+	var a Agg
+	if a.Avg() != 0 || a.Min() != 0 || a.Max() != 0 || a.N() != 0 {
+		t.Fatal("empty Agg not zero")
+	}
+}
+
+func TestAggConcurrent(t *testing.T) {
+	var a Agg
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				a.Add(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.N() != 1600 {
+		t.Fatalf("N = %d", a.N())
+	}
+}
+
+func TestKRPS(t *testing.T) {
+	if got := KRPS(10000, time.Second); got != 10 {
+		t.Fatalf("KRPS = %f", got)
+	}
+	if KRPS(10, 0) != 0 {
+		t.Fatal("KRPS with zero elapsed")
+	}
+}
+
+func TestMBPS(t *testing.T) {
+	if got := MBPS(100e6, time.Second); got != 100 {
+		t.Fatalf("MBPS = %f", got)
+	}
+	if MBPS(10, 0) != 0 {
+		t.Fatal("MBPS with zero elapsed")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("system", "value", "krps")
+	tb.AddRow("Cori", "128KB")                      // short row padded
+	tb.AddRow("Summitdev", "256B", "42.5", "extra") // long row truncated
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "system") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "Summitdev") || !strings.Contains(out, "42.5") {
+		t.Fatalf("table content missing:\n%s", out)
+	}
+	if strings.Contains(out, "extra") {
+		t.Fatal("overflow cell retained")
+	}
+}
+
+func TestTableSortBy(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.AddRow("b", "2")
+	tb.AddRow("a", "1")
+	tb.SortBy(0)
+	out := tb.String()
+	if strings.Index(out, "a") > strings.Index(out, "b") {
+		t.Fatalf("not sorted:\n%s", out)
+	}
+	tb.SortBy(99) // out of range: no-op, no panic
+}

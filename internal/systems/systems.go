@@ -1,0 +1,108 @@
+// Package systems encodes Table 2 of the paper: the three evaluation
+// machines, their NVM architectures, interconnects, and the per-rank
+// iteration counts the paper's microbenchmarks use on each. Every benchmark
+// in this repository is parameterised by one of these profiles, so the
+// harness regenerates each figure's series per system exactly as the paper
+// organises them.
+package systems
+
+import (
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/simnet"
+)
+
+// Arch distinguishes the two distributed NVM architectures of §2.7.
+type Arch int
+
+const (
+	// LocalNVM: every compute node has private NVM; ranks on one node
+	// form a storage group (Summitdev, Stampede).
+	LocalNVM Arch = iota
+	// DedicatedNVM: NVM lives on shared burst-buffer nodes reachable by
+	// all ranks; every rank is in one storage group (Cori).
+	DedicatedNVM
+)
+
+// System is one evaluation machine profile.
+type System struct {
+	// Name as used in the paper's figures.
+	Name string
+	// Arch is the NVM architecture class.
+	Arch Arch
+	// CoresPerNode is the number of active physical cores per node; the
+	// paper runs that many MPI ranks per node (20/68/32).
+	CoresPerNode int
+	// NVM is the node-local (or burst-buffer) storage model.
+	NVM nvm.PerfModel
+	// PFS is the parallel-file-system (Lustre) model used as the slow
+	// comparison storage and the checkpoint target.
+	PFS nvm.PerfModel
+	// Net and Shm model the inter- and intra-node interconnect.
+	Net simnet.Config
+	Shm simnet.Config
+	// OpsPerRank is the microbenchmark iteration count the paper uses on
+	// the system (10K on Summitdev/Cori, 1K on Stampede due to SSD size).
+	OpsPerRank int
+}
+
+// Shared-memory transport inside a node: sub-microsecond, tens of GB/s.
+var shm = simnet.Config{Latency: 300, Bandwidth: 40e9, CongestionFactor: 0.02, TimeScale: 1}
+
+// The three target systems of Table 2.
+var (
+	Summitdev = System{
+		Name:         "Summitdev",
+		Arch:         LocalNVM,
+		CoresPerNode: 20,
+		NVM:          nvm.NVMe,
+		PFS:          nvm.Lustre,
+		Net:          simnet.EDRInfiniBand,
+		Shm:          shm,
+		OpsPerRank:   10000,
+	}
+	Stampede = System{
+		Name:         "Stampede",
+		Arch:         LocalNVM,
+		CoresPerNode: 68,
+		NVM:          nvm.SATASSD,
+		PFS:          nvm.Lustre,
+		Net:          simnet.OmniPath,
+		Shm:          shm,
+		OpsPerRank:   1000,
+	}
+	Cori = System{
+		Name:         "Cori",
+		Arch:         DedicatedNVM,
+		CoresPerNode: 32,
+		NVM:          nvm.BurstBuffer,
+		PFS:          nvm.Lustre,
+		Net:          simnet.AriesDragonfly,
+		Shm:          shm,
+		OpsPerRank:   10000,
+	}
+)
+
+// All lists the three systems in the paper's order.
+var All = []System{Summitdev, Stampede, Cori}
+
+// GroupSize returns the storage-group size for n total ranks: ranks per node
+// for local NVM architectures, all ranks for dedicated NVM (§2.7).
+func (s System) GroupSize(n int) int {
+	if s.Arch == DedicatedNVM {
+		return n
+	}
+	if n < s.CoresPerNode {
+		return n
+	}
+	return s.CoresPerNode
+}
+
+// Scaled returns a copy with all device and network time scales multiplied
+// by f, preserving every ratio; the bench harness runs at f ≈ 0.02.
+func (s System) Scaled(f float64) System {
+	s.NVM = s.NVM.Scaled(f)
+	s.PFS = s.PFS.Scaled(f)
+	s.Net.TimeScale = f
+	s.Shm.TimeScale = f
+	return s
+}

@@ -1,0 +1,78 @@
+package systems
+
+import "testing"
+
+func TestTable2Profiles(t *testing.T) {
+	// The paper's Table 2: ranks per node used in the evaluation.
+	if Summitdev.CoresPerNode != 20 {
+		t.Fatalf("Summitdev cores = %d, want 20", Summitdev.CoresPerNode)
+	}
+	if Stampede.CoresPerNode != 68 {
+		t.Fatalf("Stampede cores = %d, want 68", Stampede.CoresPerNode)
+	}
+	if Cori.CoresPerNode != 32 {
+		t.Fatalf("Cori cores = %d, want 32", Cori.CoresPerNode)
+	}
+	// Iteration counts: 10K on Summitdev and Cori, 1K on Stampede.
+	if Summitdev.OpsPerRank != 10000 || Cori.OpsPerRank != 10000 || Stampede.OpsPerRank != 1000 {
+		t.Fatal("OpsPerRank do not match the paper")
+	}
+	// NVM architectures.
+	if Summitdev.Arch != LocalNVM || Stampede.Arch != LocalNVM || Cori.Arch != DedicatedNVM {
+		t.Fatal("NVM architecture classes do not match §2.7")
+	}
+	if len(All) != 3 {
+		t.Fatalf("All = %d systems", len(All))
+	}
+}
+
+func TestGroupSizePolicy(t *testing.T) {
+	// Local NVM: one group per node (Fig 8 sets 20 and 68).
+	if g := Summitdev.GroupSize(320); g != 20 {
+		t.Fatalf("Summitdev group size = %d, want 20", g)
+	}
+	if g := Stampede.GroupSize(4352); g != 68 {
+		t.Fatalf("Stampede group size = %d, want 68", g)
+	}
+	// Dedicated NVM: all ranks share storage (Fig 8 sets 512).
+	if g := Cori.GroupSize(512); g != 512 {
+		t.Fatalf("Cori group size = %d, want 512", g)
+	}
+	// Fewer ranks than a node: the group is the whole (sub-node) run.
+	if g := Summitdev.GroupSize(4); g != 4 {
+		t.Fatalf("sub-node group size = %d, want 4", g)
+	}
+}
+
+func TestScaledPreservesStructure(t *testing.T) {
+	s := Summitdev.Scaled(0.5)
+	if s.NVM.TimeScale != 0.5 || s.PFS.TimeScale != 0.5 || s.Net.TimeScale != 0.5 || s.Shm.TimeScale != 0.5 {
+		t.Fatalf("Scaled did not propagate: %+v", s)
+	}
+	if Summitdev.NVM.TimeScale != 1 {
+		t.Fatal("Scaled mutated the source profile")
+	}
+	if s.CoresPerNode != Summitdev.CoresPerNode || s.Name != Summitdev.Name {
+		t.Fatal("Scaled changed non-time fields")
+	}
+}
+
+func TestStorageRatiosMatchPaperShape(t *testing.T) {
+	// The relative device characteristics everything depends on:
+	// NVM random reads are far faster than Lustre's.
+	for _, sys := range All {
+		if sys.NVM.ReadLatency >= sys.PFS.ReadLatency {
+			t.Fatalf("%s: NVM read latency %v >= PFS %v", sys.Name, sys.NVM.ReadLatency, sys.PFS.ReadLatency)
+		}
+		if sys.NVM.OpenLatency >= sys.PFS.OpenLatency {
+			t.Fatalf("%s: NVM open latency not below PFS", sys.Name)
+		}
+	}
+	// Lustre's striped write aggregate rivals node-local NVM write
+	// bandwidth (Fig 6's large-value barrier crossover).
+	lustreAgg := Summitdev.PFS.WriteBandwidth * float64(Summitdev.PFS.Stripes)
+	nvmeAgg := Summitdev.NVM.WriteBandwidth * float64(Summitdev.NVM.Stripes)
+	if lustreAgg < nvmeAgg {
+		t.Fatalf("Lustre write aggregate %.0f < NVMe %.0f: Fig 6 barrier crossover impossible", lustreAgg, nvmeAgg)
+	}
+}

@@ -1,0 +1,81 @@
+// Package workload generates the microbenchmark workloads of §5: uniformly
+// distributed random keys of letters (a-Z) and digits (0-9), values of a
+// configurable size, and the read/update mixes of the workload application
+// (50/50, 95/5, 100/0).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// alphabet matches the paper: random strings of letters and digits.
+const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+// KeyGen produces deterministic pseudo-random keys. Two KeyGens with equal
+// seed, length, and count produce the same sequence, which the read phase
+// of a workload relies on to re-request initialization-phase keys.
+type KeyGen struct {
+	rng    *rand.Rand
+	keyLen int
+}
+
+// NewKeyGen creates a key generator for keys of keyLen bytes.
+func NewKeyGen(seed int64, keyLen int) *KeyGen {
+	return &KeyGen{rng: rand.New(rand.NewSource(seed)), keyLen: keyLen}
+}
+
+// Next returns the next random key.
+func (g *KeyGen) Next() []byte {
+	k := make([]byte, g.keyLen)
+	for i := range k {
+		k[i] = alphabet[g.rng.Intn(len(alphabet))]
+	}
+	return k
+}
+
+// Keys returns n keys from a fresh generator with the given seed: the
+// canonical per-rank key set (seed = rank) of the paper's microbenchmarks.
+func Keys(seed int64, keyLen, n int) [][]byte {
+	g := NewKeyGen(seed, keyLen)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Value builds a deterministic value of size bytes tagged with its key index
+// so correctness checks can verify retrieved values.
+func Value(size int, idx int) []byte {
+	v := make([]byte, size)
+	tag := fmt.Sprintf("val-%d-", idx)
+	copy(v, tag)
+	for i := len(tag); i < size; i++ {
+		v[i] = alphabet[(idx+i)%len(alphabet)]
+	}
+	return v
+}
+
+// Op is one read/update-phase operation.
+type Op struct {
+	// Read is true for a get, false for a put (update).
+	Read bool
+	// KeyIdx selects which initialization-phase key to target.
+	KeyIdx int
+}
+
+// Mix generates n operations with the given read percentage (0-100) over a
+// key space of nkeys, deterministic in seed. readPct=95 models the paper's
+// 95/5 read/update workload.
+func Mix(seed int64, n, nkeys, readPct int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{
+			Read:   rng.Intn(100) < readPct,
+			KeyIdx: rng.Intn(nkeys),
+		}
+	}
+	return ops
+}

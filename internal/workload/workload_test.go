@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKeyGenDeterministic(t *testing.T) {
+	a := Keys(7, 16, 100)
+	b := Keys(7, 16, 100)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("key %d differs between equal-seed generators", i)
+		}
+	}
+	c := Keys(8, 16, 100)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i], c[i]) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d equal keys", same)
+	}
+}
+
+func TestKeyAlphabetAndLength(t *testing.T) {
+	for _, k := range Keys(1, 16, 500) {
+		if len(k) != 16 {
+			t.Fatalf("key length %d", len(k))
+		}
+		for _, b := range k {
+			if !strings.ContainsRune(alphabet, rune(b)) {
+				t.Fatalf("key byte %q outside alphabet", b)
+			}
+		}
+	}
+}
+
+func TestKeysMostlyUnique(t *testing.T) {
+	ks := Keys(3, 16, 10000)
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if seen[string(k)] {
+			t.Fatalf("duplicate 16B random key %q", k)
+		}
+		seen[string(k)] = true
+	}
+}
+
+func TestValueTaggedAndSized(t *testing.T) {
+	v := Value(128, 42)
+	if len(v) != 128 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if !bytes.HasPrefix(v, []byte("val-42-")) {
+		t.Fatalf("prefix = %q", v[:16])
+	}
+	if !bytes.Equal(Value(128, 42), v) {
+		t.Fatal("Value not deterministic")
+	}
+	// Tiny values (8B, Figure 11) must not panic even when the tag is
+	// longer than the value.
+	small := Value(8, 123456)
+	if len(small) != 8 {
+		t.Fatalf("small len = %d", len(small))
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	ops := Mix(1, 10000, 100, 95)
+	reads := 0
+	for _, op := range ops {
+		if op.Read {
+			reads++
+		}
+		if op.KeyIdx < 0 || op.KeyIdx >= 100 {
+			t.Fatalf("KeyIdx %d out of range", op.KeyIdx)
+		}
+	}
+	pct := float64(reads) / 100.0
+	if pct < 92 || pct > 98 {
+		t.Fatalf("read pct = %.1f, want ~95", pct)
+	}
+}
+
+func TestMixExtremes(t *testing.T) {
+	for _, op := range Mix(2, 1000, 10, 100) {
+		if !op.Read {
+			t.Fatal("100/0 mix produced an update")
+		}
+	}
+	for _, op := range Mix(2, 1000, 10, 0) {
+		if op.Read {
+			t.Fatal("0/100 mix produced a read")
+		}
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	a := Mix(5, 100, 50, 50)
+	b := Mix(5, 100, 50, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package papyruskv is a Go implementation of PapyrusKV, the parallel
+// embedded key-value store for distributed NVM architectures of Kim, Lee &
+// Vetter (SC'17, DOI 10.1145/3126908.3126943).
+//
+// PapyrusKV stores keys with their values in arbitrary byte arrays across
+// the NVM devices of a distributed system. It is embedded in SPMD-style
+// programs: every rank runs the same code, and the store is partitioned
+// across ranks by a (customisable) key hash. On top of the standard put /
+// get / delete operations it provides the paper's HPC-oriented features:
+// dynamic consistency control (relaxed vs sequential), protection
+// attributes that drive its caches, storage groups that let ranks sharing
+// an NVM device read each other's SSTables directly, zero-copy workflows
+// across application runs, and asynchronous checkpoint/restart — including
+// restart with redistribution onto a different rank count.
+//
+// Because Go has no MPI bindings, the SPMD substrate is provided by this
+// package too: a Cluster runs N ranks as goroutines connected by an
+// MPI-semantics message layer, with NVM devices and the interconnect
+// governed by calibrated performance models of the paper's three evaluation
+// systems (OLCF Summitdev, TACC Stampede, NERSC Cori). Set TimeScale to 0
+// to disable all performance modelling and run at native speed.
+//
+// A minimal SPMD program:
+//
+//	cluster, _ := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 4, Dir: dir})
+//	err := cluster.Run(func(ctx *papyruskv.Context) error {
+//		db, err := ctx.Open("mydb", nil)
+//		if err != nil {
+//			return err
+//		}
+//		if err := db.Put([]byte("key"), []byte("value")); err != nil {
+//			return err
+//		}
+//		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+//			return err
+//		}
+//		val, err := db.Get([]byte("key"))
+//		_ = val
+//		return db.Close()
+//	})
+package papyruskv
+
+import (
+	"papyruskv/internal/core"
+	"papyruskv/internal/hashfn"
+)
+
+// Re-exported core types. The paper's papyruskv_option_t, consistency
+// modes, protection attributes, barrier levels, events, and error codes all
+// surface here so applications never import internal packages.
+type (
+	// Options configures a database at open time (papyruskv_option_t).
+	Options = core.Options
+	// Consistency selects relaxed or sequential mode (§3.1).
+	Consistency = core.Consistency
+	// Protection is RDWR, WRONLY, or RDONLY (§3.2).
+	Protection = core.Protection
+	// BarrierLevel is the papyruskv_barrier flushing level.
+	BarrierLevel = core.BarrierLevel
+	// DB is an open database handle; Open is collective and every rank
+	// holds an identical descriptor.
+	DB = core.DB
+	// Event identifies an asynchronous checkpoint/restart/destroy
+	// operation (papyruskv_event_t); Wait blocks for completion.
+	Event = core.Event
+	// Metrics exposes per-rank data-path counters.
+	Metrics = core.Metrics
+	// HashFunc maps a key to its owner rank; install a custom one via
+	// Options.Hash for application-specific load balancing.
+	HashFunc = hashfn.Func
+)
+
+// Consistency modes (PAPYRUSKV_RELAXED, PAPYRUSKV_SEQUENTIAL).
+const (
+	Relaxed    = core.Relaxed
+	Sequential = core.Sequential
+)
+
+// Protection attributes (PAPYRUSKV_RDWR, PAPYRUSKV_WRONLY, PAPYRUSKV_RDONLY).
+const (
+	RDWR   = core.RDWR
+	WRONLY = core.WRONLY
+	RDONLY = core.RDONLY
+)
+
+// Barrier levels (PAPYRUSKV_MEMTABLE, PAPYRUSKV_SSTABLE).
+const (
+	MemTableLevel = core.LevelMemTable
+	SSTableLevel  = core.LevelSSTable
+)
+
+// Error codes (PAPYRUSKV_NOT_FOUND, PAPYRUSKV_INVALID_DB, ...).
+var (
+	ErrNotFound        = core.ErrNotFound
+	ErrInvalidDB       = core.ErrInvalidDB
+	ErrProtected       = core.ErrProtected
+	ErrInvalidArgument = core.ErrInvalidArgument
+	ErrNoSnapshot      = core.ErrNoSnapshot
+)
+
+// DefaultOptions returns the paper's default database configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultHash is the built-in owner-rank hash function.
+func DefaultHash(key []byte, nranks int) int { return hashfn.Default(key, nranks) }

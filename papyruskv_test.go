@@ -1,0 +1,318 @@
+package papyruskv_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"papyruskv"
+)
+
+func TestClusterQuickstart(t *testing.T) {
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("quick", nil)
+		if err != nil {
+			return err
+		}
+		k := fmt.Sprintf("rank-%d", ctx.Rank())
+		if err := db.Put([]byte(k), []byte("hello")); err != nil {
+			return err
+		}
+		if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+			return err
+		}
+		for r := 0; r < ctx.Size(); r++ {
+			v, err := db.Get([]byte(fmt.Sprintf("rank-%d", r)))
+			if err != nil {
+				return err
+			}
+			if string(v) != "hello" {
+				return fmt.Errorf("got %q", v)
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Dir: t.TempDir()}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: t.TempDir(), System: "frontier"}); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestSystemProfiles(t *testing.T) {
+	for _, sys := range []string{"summitdev", "stampede", "cori", "Cori", "SUMMITDEV"} {
+		cl, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+			Ranks: 4, Dir: t.TempDir(), System: sys,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		err = cl.Run(func(ctx *papyruskv.Context) error {
+			db, err := ctx.Open("db", nil)
+			if err != nil {
+				return err
+			}
+			if err := db.Put([]byte(fmt.Sprintf("k%d", ctx.Rank())), []byte("v")); err != nil {
+				return err
+			}
+			if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+				return err
+			}
+			return db.Close()
+		})
+		if err != nil {
+			t.Fatalf("%s run: %v", sys, err)
+		}
+	}
+}
+
+func TestCoupledApplicationsZeroCopy(t *testing.T) {
+	// Figure 5(a): two Run calls on one Cluster model two coupled
+	// applications inside a single job; the second composes the database
+	// from retained SSTables.
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("interim", nil)
+		if err != nil {
+			return err
+		}
+		if err := db.Put([]byte(fmt.Sprintf("produced-%d", ctx.Rank())), []byte("result")); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("interim", nil)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < ctx.Size(); r++ {
+			v, err := db.Get([]byte(fmt.Sprintf("produced-%d", r)))
+			if err != nil {
+				return fmt.Errorf("consumer get %d: %w", r, err)
+			}
+			if string(v) != "result" {
+				return fmt.Errorf("consumer got %q", v)
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimClearsNVM(t *testing.T) {
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("scratch", nil)
+		if err != nil {
+			return err
+		}
+		db.Put([]byte("k"), []byte("v"))
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Trim(); err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("scratch", nil)
+		if err != nil {
+			return err
+		}
+		if _, err := db.Get([]byte("k")); !errors.Is(err, papyruskv.ErrNotFound) {
+			return fmt.Errorf("data survived trim: %v", err)
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointSurvivesTrim(t *testing.T) {
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("jobdata", nil)
+		if err != nil {
+			return err
+		}
+		if err := db.Put([]byte(fmt.Sprintf("k%d", ctx.Rank())), []byte("persisted")); err != nil {
+			return err
+		}
+		ev, err := db.Checkpoint("ckpt/run1")
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Trim(); err != nil { // job boundary
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, ev, err := ctx.Restart("ckpt/run1", "jobdata", nil, false)
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		for r := 0; r < ctx.Size(); r++ {
+			v, err := db.Get([]byte(fmt.Sprintf("k%d", r)))
+			if err != nil || string(v) != "persisted" {
+				return fmt.Errorf("restart get k%d = %q, %v", r, v, err)
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomHashOption(t *testing.T) {
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.Hash = func(key []byte, n int) int { return 0 } // everything on rank 0
+		db, err := ctx.Open("db", &opt)
+		if err != nil {
+			return err
+		}
+		if err := db.Put([]byte(fmt.Sprintf("k%d", ctx.Rank())), []byte("v")); err != nil {
+			return err
+		}
+		if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			if db.Metrics().PutsLocal.Load() == 0 {
+				return fmt.Errorf("rank 0 saw no local puts")
+			}
+		} else if db.Metrics().PutsLocal.Load() != 0 {
+			return fmt.Errorf("rank %d saw local puts under all-to-0 hash", ctx.Rank())
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyEnv(t *testing.T) {
+	t.Setenv(papyruskv.EnvConsistency, "1")
+	t.Setenv(papyruskv.EnvBinSearch, "1")
+	t.Setenv(papyruskv.EnvCacheRemote, "1")
+	opt := papyruskv.ApplyEnv(papyruskv.DefaultOptions())
+	if opt.Consistency != papyruskv.Sequential {
+		t.Fatalf("Consistency = %v", opt.Consistency)
+	}
+	if opt.SearchMode != papyruskv.SearchModeSequential {
+		t.Fatalf("SearchMode = %v", opt.SearchMode)
+	}
+	if opt.Protection != papyruskv.RDONLY {
+		t.Fatalf("Protection = %v", opt.Protection)
+	}
+
+	t.Setenv(papyruskv.EnvConsistency, "2")
+	t.Setenv(papyruskv.EnvBinSearch, "2")
+	opt = papyruskv.ApplyEnv(papyruskv.DefaultOptions())
+	if opt.Consistency != papyruskv.Relaxed || opt.SearchMode != papyruskv.SearchModeBinary {
+		t.Fatalf("opt = %+v", opt)
+	}
+
+	t.Setenv(papyruskv.EnvConsistency, "garbage")
+	opt = papyruskv.ApplyEnv(papyruskv.DefaultOptions())
+	if opt.Consistency != papyruskv.Relaxed {
+		t.Fatal("malformed env mutated option")
+	}
+
+	t.Setenv(papyruskv.EnvGroupSize, "20")
+	if v, ok := papyruskv.EnvGroupSizeValue(); !ok || v != 20 {
+		t.Fatalf("EnvGroupSizeValue = %d, %v", v, ok)
+	}
+	t.Setenv(papyruskv.EnvForceRedistribute, "1")
+	if !papyruskv.EnvForceRedistributeValue() {
+		t.Fatal("EnvForceRedistributeValue = false")
+	}
+	t.Setenv(papyruskv.EnvRepository, "/scratch/x")
+	if v, ok := papyruskv.EnvRepositoryValue(); !ok || v != "/scratch/x" {
+		t.Fatalf("EnvRepositoryValue = %q, %v", v, ok)
+	}
+}
+
+func TestScaledSystemStillCorrect(t *testing.T) {
+	// With performance modelling on (tiny scale), results stay correct.
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks: 4, Dir: t.TempDir(), System: "summitdev", TimeScale: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.MemTableCapacity = 4 << 10
+		db, err := ctx.Open("scaled", &opt)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 50; i++ {
+			k := fmt.Sprintf("r%d-%02d", ctx.Rank(), i)
+			if err := db.Put([]byte(k), bytes.Repeat([]byte("x"), 128)); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(papyruskv.SSTableLevel); err != nil {
+			return err
+		}
+		for r := 0; r < ctx.Size(); r++ {
+			k := fmt.Sprintf("r%d-%02d", r, 25)
+			if v, err := db.Get([]byte(k)); err != nil || len(v) != 128 {
+				return fmt.Errorf("get %s: %v", k, err)
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package papyruskv_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"papyruskv"
+)
+
+// TestPersistentReservationZeroCopyAcrossJobs covers §4.1's second
+// scenario: on a dedicated NVM architecture with a persistent reservation,
+// the database survives the end-of-job trim and a later job reopens it
+// with zero data movement — no checkpoint required.
+func TestPersistentReservationZeroCopyAcrossJobs(t *testing.T) {
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks:                 4,
+		Dir:                   t.TempDir(),
+		System:                "cori", // dedicated NVM architecture
+		PersistentReservation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 writes.
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("reserved", nil)
+		if err != nil {
+			return err
+		}
+		if err := db.Put([]byte(fmt.Sprintf("k%d", ctx.Rank())), []byte("kept")); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job boundary: with the reservation, the burst-buffer space stays.
+	if err := cluster.Trim(); err != nil {
+		t.Fatal(err)
+	}
+	// Job 2 reads zero-copy.
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("reserved", nil)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < ctx.Size(); r++ {
+			v, err := db.Get([]byte(fmt.Sprintf("k%d", r)))
+			if err != nil || string(v) != "kept" {
+				return fmt.Errorf("reserved data lost: %q %v", v, err)
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Without a reservation the same sequence loses the data — the default
+// scratch policy of §4.
+func TestNoReservationTrimsData(t *testing.T) {
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks:  2,
+		Dir:    t.TempDir(),
+		System: "cori",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("scratch", nil)
+		if err != nil {
+			return err
+		}
+		db.Put([]byte(fmt.Sprintf("k%d", ctx.Rank())), []byte("v"))
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Trim(); err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		db, err := ctx.Open("scratch", nil)
+		if err != nil {
+			return err
+		}
+		if _, err := db.Get([]byte("k0")); !errors.Is(err, papyruskv.ErrNotFound) {
+			return fmt.Errorf("unreserved data survived the trim: %v", err)
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
