@@ -1,0 +1,29 @@
+GO ?= go
+
+# Fast packages whose tests exercise the concurrency-heavy layers; the race
+# subset keeps CI latency bounded while still racing every lock-order-
+# sensitive path (queues, caches, message layer, fault/event machinery).
+RACE_PKGS = ./internal/fifo ./internal/lru ./internal/mpi
+RACE_CORE = ./internal/core
+
+.PHONY: all build vet test race ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -run 'TestFault|TestEvent' $(RACE_CORE)
+
+ci: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -79,6 +79,11 @@ type ClusterConfig struct {
 	// workflow without a checkpoint. Meaningful on dedicated NVM
 	// architectures; on node-local NVM real systems always trim.
 	PersistentReservation bool
+	// Faults, when non-nil, arms deterministic fault injection across all
+	// three failure domains: the NVM devices (and the PFS device), the
+	// message layer, and the per-rank core threads. See NewFaultInjector
+	// and the "Failure model" section of the README.
+	Faults *FaultInjector
 }
 
 // Cluster owns the ranks, devices, and fabrics of one SPMD program.
@@ -147,6 +152,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	pfs.InjectFaults(cfg.Faults)
 	dataModel := nvmModel
 	if cfg.UsePFSForData {
 		dataModel = pfsModel
@@ -159,6 +165,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
+			d.InjectFaults(cfg.Faults)
 			devices[g] = d
 		}
 	}
@@ -183,12 +190,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 func (cl *Cluster) Run(fn func(*Context) error) error {
 	// Each Run needs a fresh world: a new application execution.
 	cl.world = mpi.NewWorld(cl.cfg.Ranks, cl.world.Topology())
+	cl.world.InjectFaults(cl.cfg.Faults)
 	return cl.world.Run(func(c *mpi.Comm) error {
 		rt, err := core.NewRuntime(core.Config{
 			Comm:    c,
 			Device:  cl.devices[cl.groupOf(c.Rank())],
 			PFS:     cl.pfs,
 			GroupOf: cl.groupOf,
+			Faults:  cl.cfg.Faults,
 		})
 		if err != nil {
 			return err

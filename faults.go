@@ -1,0 +1,64 @@
+package papyruskv
+
+import (
+	"papyruskv/internal/core"
+	"papyruskv/internal/faults"
+)
+
+// Fault injection: the deterministic, seedable framework of internal/faults
+// re-exported for applications and tests. Arm an injector with rules and
+// hand it to ClusterConfig.Faults; every decision is a pure function of the
+// seed and the rule set, so a failing run reproduces from its seed alone.
+type (
+	// FaultInjector evaluates armed FaultRules at the store's named
+	// injection points. The nil injector is valid and never fires.
+	FaultInjector = faults.Injector
+	// FaultRule arms one injection point, scoped by rank, message tag,
+	// and location, firing by op count or probability.
+	FaultRule = faults.Rule
+	// FaultPoint names one injection point.
+	FaultPoint = faults.Point
+	// FaultFiring records one triggered fault for reproduction reports.
+	FaultFiring = faults.Firing
+)
+
+// NewFaultInjector returns an injector whose decisions derive from seed.
+func NewFaultInjector(seed uint64) *FaultInjector { return faults.New(seed) }
+
+// Injection points, grouped by failure domain.
+const (
+	// NVM device domain.
+	FaultNVMWriteError   = faults.NVMWriteError
+	FaultNVMWriteNoSpace = faults.NVMWriteNoSpace
+	FaultNVMTornWrite    = faults.NVMTornWrite
+	FaultNVMReadBitFlip  = faults.NVMReadBitFlip
+	// Network domain (point-to-point messages only; collectives are
+	// immune, modelling a reliable transport under a lossy session layer).
+	FaultNetDrop  = faults.NetDrop
+	FaultNetDelay = faults.NetDelay
+	FaultNetDup   = faults.NetDup
+	// Core domain: kill one rank's background threads mid-run.
+	FaultCoreKill = faults.CoreKill
+)
+
+// Wildcard filters for FaultRule fields.
+const (
+	AnyRank = faults.AnyRank
+	AnyTag  = faults.AnyTag
+)
+
+// Fault-related error sentinels.
+var (
+	// ErrInjected is the root of every injector-produced error; match with
+	// errors.Is to tell injected faults from organic ones.
+	ErrInjected = faults.ErrInjected
+	// ErrNoSpace is the injected out-of-space (ENOSPC) error.
+	ErrNoSpace = faults.ErrNoSpace
+	// ErrRankFailed wraps the root cause returned by every operation on a
+	// rank whose failure domain is marked failed.
+	ErrRankFailed = core.ErrRankFailed
+	// ErrCorrupt marks data whose checksum did not verify — a corrupt
+	// SSTable record, index, bloom filter, or snapshot file. The store
+	// returns it instead of ever returning silently wrong data.
+	ErrCorrupt = core.ErrCorrupt
+)

@@ -1,0 +1,63 @@
+package papyruskv_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"papyruskv"
+)
+
+// TestFaultInjectionPublicAPI arms the injector through ClusterConfig.Faults
+// and checks the full public path: a dropped migration batch is retried and
+// applied, and the firing is recorded for seeded reproduction.
+func TestFaultInjectionPublicAPI(t *testing.T) {
+	inj := papyruskv.NewFaultInjector(99).
+		Enable(papyruskv.FaultRule{
+			Point: papyruskv.FaultNetDrop, Rank: 1, Tag: 1 /* migration batch */, Count: 1, Fires: 1,
+		})
+	cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{
+		Ranks: 2, Dir: t.TempDir(), Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(ctx *papyruskv.Context) error {
+		opt := papyruskv.DefaultOptions()
+		opt.RetryTimeout = 200 * time.Millisecond
+		db, err := ctx.Open("pubfaults", &opt)
+		if err != nil {
+			return err
+		}
+		if err := db.Health(); err != nil {
+			return fmt.Errorf("fresh db unhealthy: %w", err)
+		}
+		if ctx.Rank() == 1 {
+			for i := 0; i < 10; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+					return err
+				}
+			}
+		}
+		if err := db.Barrier(papyruskv.MemTableLevel); err != nil {
+			return fmt.Errorf("barrier across the dropped batch: %w", err)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := db.Get([]byte(fmt.Sprintf("k%02d", i))); err != nil {
+				return fmt.Errorf("pair lost to the dropped batch: %w", err)
+			}
+		}
+		return db.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Fired(papyruskv.FaultNetDrop) != 1 {
+		t.Fatalf("NetDrop fired %d times, want 1; log: %v", inj.Fired(papyruskv.FaultNetDrop), inj.Log())
+	}
+	if papyruskv.ErrCorrupt == nil || papyruskv.ErrRankFailed == nil ||
+		!errors.Is(papyruskv.ErrNoSpace, papyruskv.ErrInjected) {
+		t.Fatal("error sentinels not exported coherently")
+	}
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"papyruskv/internal/faults"
 	"papyruskv/internal/fifo"
 	"papyruskv/internal/lru"
 	"papyruskv/internal/memtable"
@@ -22,9 +24,12 @@ type DB struct {
 	// reqComm carries requests into message handlers; respComm carries
 	// their replies. Both are private duplicates of the world
 	// communicator, so runtime traffic can never collide with
-	// application messages (§2.4, Migration).
+	// application messages (§2.4, Migration). ckptComm carries the
+	// checkpoint commit collectives, which run on a goroutine concurrent
+	// with application-thread collectives on respComm.
 	reqComm  *mpi.Comm
 	respComm *mpi.Comm
+	ckptComm *mpi.Comm
 
 	// mu guards the MemTables, immutable-table lists, consistency and
 	// protection state.
@@ -59,6 +64,21 @@ type DB struct {
 
 	metrics Metrics
 
+	// failMu guards the failure-domain state (see health.go): this rank's
+	// root-cause failure and the peers known to have failed.
+	failMu     sync.Mutex
+	failedErr  error
+	peerFailed map[int]error
+
+	// sendSeq numbers this database's outbound reliable requests; acks
+	// echo the seq so retries and duplicates are matched exactly.
+	sendSeq atomic.Uint64
+	// dedup is the handler-side duplicate-request window.
+	dedup dedupWindow
+
+	// inj arms the CoreKill injection point; nil when faults are off.
+	inj *faults.Injector
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -84,6 +104,8 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 		opt:           opt,
 		reqComm:       rt.cfg.Comm.Dup(),
 		respComm:      rt.cfg.Comm.Dup(),
+		ckptComm:      rt.cfg.Comm.Dup(),
+		inj:           rt.cfg.Faults,
 		localMT:       memtable.New(),
 		remoteMT:      memtable.New(),
 		consistency:   opt.Consistency,
@@ -148,6 +170,11 @@ func (db *DB) Owner(key []byte) int {
 // Close closes the database collectively. All in-flight migrations are
 // fenced and all MemTables flushed so the SSTables on NVM are a complete
 // image — this is what makes the zero-copy reopen of §4.1 possible.
+//
+// Close stays collective-aligned even on a failed rank: the barrier and the
+// shutdown sequence run regardless, so healthy ranks are never left waiting
+// on a failed one, and the failure (skipped flush included) is reported in
+// the return value.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
@@ -156,30 +183,35 @@ func (db *DB) Close() error {
 	}
 	db.mu.Unlock()
 
-	// Flush everything so on-NVM state is complete, and synchronise so
-	// no rank can still be sending requests at shutdown.
-	if err := db.Barrier(LevelSSTable); err != nil {
-		return err
-	}
+	// Flush everything so on-NVM state is complete, and synchronise so no
+	// rank can still be sending requests at shutdown. On a failed rank
+	// Barrier performs the same collectives but skips the flush and
+	// returns the root cause; proceed with teardown either way.
+	barErr := db.Barrier(LevelSSTable)
 
 	db.mu.Lock()
 	db.closed = true
 	db.mu.Unlock()
 
-	var err error
+	var sendErr error
 	db.closeOnce.Do(func() {
 		// Stop the handler with a self-addressed control message, then
 		// close the queues to stop the compactor and dispatcher.
-		err = db.reqComm.Send(db.rt.rank, tagShutdown, nil)
+		sendErr = db.reqComm.Send(db.rt.rank, tagShutdown, nil)
 		db.flushQ.Close()
 		db.migrateQ.Close()
 	})
 	db.wg.Wait()
-	if err != nil {
-		return err
-	}
 	// Final barrier: every rank's handler is down together.
-	return db.respComm.Barrier()
+	finalErr := db.respComm.Barrier()
+	switch {
+	case barErr != nil:
+		return barErr
+	case sendErr != nil:
+		return sendErr
+	default:
+		return finalErr
+	}
 }
 
 func (db *DB) checkOpen() error {

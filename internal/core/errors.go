@@ -14,7 +14,11 @@
 // communicator).
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"papyruskv/internal/sstable"
+)
 
 // Error codes mirroring the paper's PAPYRUSKV_* return codes.
 var (
@@ -30,4 +34,16 @@ var (
 	ErrInvalidArgument = errors.New("papyruskv: invalid argument")
 	// ErrNoSnapshot reports a restart from a path with no usable snapshot.
 	ErrNoSnapshot = errors.New("papyruskv: no snapshot at path")
+	// ErrRankFailed reports that this rank's database is in the failed
+	// state: a background flush, compaction, or migration hit an
+	// unrecoverable error, or fault injection killed the rank. The root
+	// cause is wrapped; Health returns the same error. Other ranks keep
+	// serving — only operations involving the failed rank see it.
+	ErrRankFailed = errors.New("papyruskv: rank failed")
 )
+
+// ErrCorrupt reports data that failed checksum or structural validation —
+// an SSTable record, index, or bloom filter, or a snapshot whose files
+// contradict its manifest. It is sstable.ErrCorrupt re-exported so callers
+// match one sentinel for every corruption site.
+var ErrCorrupt = sstable.ErrCorrupt

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"strings"
+	"time"
 
 	"papyruskv/internal/memtable"
+	"papyruskv/internal/mpi"
 	"papyruskv/internal/sstable"
 )
 
@@ -16,6 +19,10 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: empty key", ErrInvalidArgument)
 	}
 	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	db.maybeKill()
+	if err := db.Health(); err != nil {
 		return nil, err
 	}
 	owner := db.opt.Hash(key, db.rt.size)
@@ -160,16 +167,31 @@ func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
 		return v, nil
 	}
 
-	for attempt := 0; attempt < 3; attempt++ {
-		req := encodeGetRequest(getRequest{Key: key, Group: db.rt.group})
+	if err := db.peerErr(owner); err != nil {
+		return nil, err
+	}
+	// Each attempt sends a fresh request (fresh seq) and waits up to the
+	// retry timeout for its response; responses to earlier timed-out
+	// attempts are discarded by seq. A shared-SSTable search that races
+	// compaction also re-asks, consuming an attempt.
+	backoff := db.opt.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < db.opt.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			db.metrics.GetRetries.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		seq := db.sendSeq.Add(1)
+		req := encodeGetRequest(getRequest{Seq: seq, Key: key, Group: db.rt.group})
 		if err := db.reqComm.Send(owner, tagGet, req); err != nil {
 			return nil, err
 		}
-		m, err := db.respComm.Recv(owner, tagGetResp)
-		if err != nil {
-			return nil, err
+		resp, err := db.recvGetResp(owner, seq)
+		if errors.Is(err, mpi.ErrTimeout) {
+			lastErr = err
+			continue
 		}
-		resp, err := decodeGetResponse(m.Data)
 		if err != nil {
 			return nil, err
 		}
@@ -187,6 +209,7 @@ func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
 			val, tomb, found, err := db.searchSSTableList(db.dir(owner), resp.SSIDs, key)
 			if err != nil {
 				if errors.Is(err, fs.ErrNotExist) {
+					lastErr = err
 					continue // compaction deleted a table under us; re-ask
 				}
 				return nil, err
@@ -198,11 +221,64 @@ func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
 			}
 			db.localCache.Put(key, val, true)
 			return val, nil
+		case getError, getErrorCorrupt, getErrorFailed:
+			return nil, remoteGetError(owner, resp.Status, resp.Err)
 		default:
 			return nil, fmt.Errorf("papyruskv: bad get response status %d", resp.Status)
 		}
 	}
-	return nil, fmt.Errorf("papyruskv: shared SSTable search kept racing compaction")
+	if errors.Is(lastErr, mpi.ErrTimeout) {
+		err := fmt.Errorf("papyruskv: rank %d did not answer after %d attempts: %w",
+			owner, db.opt.RetryAttempts, lastErr)
+		db.peerFail(owner, err)
+		return nil, err
+	}
+	return nil, fmt.Errorf("papyruskv: shared SSTable search kept racing compaction: %w", lastErr)
+}
+
+// remoteGetError rebuilds a typed error from a remote get error status. The
+// owner's error crossed the wire as text, so its sentinel identity was lost;
+// the typed statuses let the caller re-wrap the matching sentinel so
+// errors.Is(err, ErrCorrupt) and errors.Is(err, ErrRankFailed) hold on both
+// sides of the wire.
+func remoteGetError(owner, status int, msg string) error {
+	var sentinel error
+	switch status {
+	case getErrorCorrupt:
+		sentinel = ErrCorrupt
+	case getErrorFailed:
+		sentinel = ErrRankFailed
+	default:
+		return fmt.Errorf("papyruskv: get from rank %d: %s", owner, msg)
+	}
+	// The transported text already begins with the sentinel's own message;
+	// trim it so re-wrapping does not print the prefix twice.
+	msg = strings.TrimPrefix(msg, sentinel.Error()+": ")
+	return fmt.Errorf("papyruskv: get from rank %d: %w: %s", owner, sentinel, msg)
+}
+
+// recvGetResp waits up to the retry timeout for the response matching seq,
+// consuming and discarding responses to stale attempts.
+func (db *DB) recvGetResp(owner int, seq uint64) (getResponse, error) {
+	deadline := time.Now().Add(db.opt.RetryTimeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return getResponse{}, mpi.ErrTimeout
+		}
+		m, err := db.respComm.RecvTimeout(owner, tagGetResp, remain)
+		if err != nil {
+			return getResponse{}, err
+		}
+		resp, err := decodeGetResponse(m.Data)
+		if err != nil {
+			return getResponse{}, err
+		}
+		if resp.Seq != seq {
+			continue
+		}
+		return resp, nil
+	}
 }
 
 func remoteEntryResult(e memtable.Entry) ([]byte, error) {

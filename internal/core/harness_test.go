@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"papyruskv/internal/faults"
 	"papyruskv/internal/mpi"
 	"papyruskv/internal/nvm"
 )
@@ -16,6 +17,7 @@ type clusterSpec struct {
 	baseDir   string
 	nvmModel  nvm.PerfModel
 	pfsModel  nvm.PerfModel
+	faults    *faults.Injector // nil: no fault injection
 }
 
 // runCluster executes fn SPMD on a fresh cluster: ranks as goroutines, one
@@ -39,6 +41,7 @@ func runCluster(t *testing.T, spec clusterSpec, fn func(rt *Runtime, c *mpi.Comm
 			if err != nil {
 				t.Fatal(err)
 			}
+			d.InjectFaults(spec.faults)
 			devices[g] = d
 		}
 	}
@@ -46,13 +49,16 @@ func runCluster(t *testing.T, spec clusterSpec, fn func(rt *Runtime, c *mpi.Comm
 	if err != nil {
 		t.Fatal(err)
 	}
+	pfs.InjectFaults(spec.faults)
 	world := mpi.NewWorld(spec.ranks, mpi.Topology{})
+	world.InjectFaults(spec.faults)
 	err = world.Run(func(c *mpi.Comm) error {
 		rt, err := NewRuntime(Config{
 			Comm:    c,
 			Device:  devices[groupOf(c.Rank())],
 			PFS:     pfs,
 			GroupOf: groupOf,
+			Faults:  spec.faults,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"papyruskv/internal/faults"
+)
+
+// Failure-domain isolation. A background error (failed flush, failed
+// compaction, injected kill) used to abort the whole world like an
+// MPI_Abort; instead it now marks only the owning rank's database failed.
+// A failed rank's Put/Get/Barrier return ErrRankFailed wrapping the root
+// cause, its background threads drain their queues without doing work (so
+// Fence and Barrier never hang), and its message handler stays alive
+// answering remote requests with error responses — healthy ranks keep
+// serving everything that does not involve the failed rank.
+
+// fail records err as this database's root-cause failure. Only the first
+// call wins; later errors are usually consequences of the first.
+func (db *DB) fail(err error) {
+	if err == nil {
+		return
+	}
+	db.failMu.Lock()
+	if db.failedErr == nil {
+		db.failedErr = err
+	}
+	db.failMu.Unlock()
+}
+
+// Fail marks this rank's database failed with the given root cause, exactly
+// as an internal background error would. Applications and tests use it to
+// take a rank out of service deliberately.
+func (db *DB) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("failed by application")
+	}
+	db.fail(err)
+}
+
+// Health returns nil while this rank's database is healthy, or ErrRankFailed
+// wrapping the first root-cause error once it has failed. Remote ranks'
+// failures do not show up here — they surface per-operation.
+func (db *DB) Health() error {
+	db.failMu.Lock()
+	defer db.failMu.Unlock()
+	if db.failedErr == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrRankFailed, db.failedErr)
+}
+
+// peerFail records that requests to rank r failed with err; later requests
+// to r fail fast instead of burning their full retry budget. A failed peer
+// is never resurrected within a run — recovery is by checkpoint restart.
+func (db *DB) peerFail(r int, err error) {
+	db.failMu.Lock()
+	if db.peerFailed == nil {
+		db.peerFailed = make(map[int]error)
+	}
+	if _, ok := db.peerFailed[r]; !ok {
+		db.peerFailed[r] = err
+	}
+	db.failMu.Unlock()
+}
+
+// peerErr returns the recorded failure of rank r, or nil.
+func (db *DB) peerErr(r int) error {
+	db.failMu.Lock()
+	defer db.failMu.Unlock()
+	return db.peerFailed[r]
+}
+
+// anyPeerErr returns one recorded peer failure, or nil if all peers are
+// believed healthy. Fence reports it so relaxed-mode writers learn that
+// staged pairs could not reach their owner.
+func (db *DB) anyPeerErr() error {
+	db.failMu.Lock()
+	defer db.failMu.Unlock()
+	for r, err := range db.peerFailed {
+		return fmt.Errorf("papyruskv: pairs owned by rank %d were not applied: %w", r, err)
+	}
+	return nil
+}
+
+// maybeKill evaluates the CoreKill injection point at this rank's site and,
+// if it fires, fails the database as if the rank's service threads died.
+func (db *DB) maybeKill() {
+	if db.inj == nil {
+		return
+	}
+	site := faults.Site{Rank: db.rt.rank, Tag: faults.AnyTag, Where: db.name}
+	if db.inj.Eval(faults.CoreKill, site).Fire {
+		db.fail(fmt.Errorf("%w: rank %d killed", faults.ErrInjected, db.rt.rank))
+	}
+}
+
+// dedupWindow remembers the most recent request sequence numbers applied per
+// source rank, with the ack each produced. A retried or duplicated request
+// whose seq is still in the window is not re-applied; its original ack is
+// replayed. Sequence numbers are allocated from one per-database counter on
+// the sender, so the window can be shared by every request type.
+type dedupWindow struct {
+	bySource map[int]*sourceWindow
+}
+
+// dedupDepth bounds remembered seqs per source. It only needs to cover
+// requests that can still be retried or duplicated in flight — attempts x
+// in-flight requests — for which 256 is orders of magnitude of headroom.
+const dedupDepth = 256
+
+type sourceWindow struct {
+	order []uint64 // insertion ring, oldest first
+	acks  map[uint64]ackRecord
+}
+
+type ackRecord struct {
+	status byte
+	msg    string
+}
+
+// seen reports whether (source, seq) was already applied and, if so, the ack
+// it produced. The handler thread is the window's only reader and writer, so
+// no locking is needed.
+func (w *dedupWindow) seen(source int, seq uint64) (ackRecord, bool) {
+	sw := w.bySource[source]
+	if sw == nil {
+		return ackRecord{}, false
+	}
+	rec, ok := sw.acks[seq]
+	return rec, ok
+}
+
+// record remembers the ack for (source, seq), evicting the oldest entry once
+// the window is full.
+func (w *dedupWindow) record(source int, seq uint64, rec ackRecord) {
+	if w.bySource == nil {
+		w.bySource = make(map[int]*sourceWindow)
+	}
+	sw := w.bySource[source]
+	if sw == nil {
+		sw = &sourceWindow{acks: make(map[uint64]ackRecord)}
+		w.bySource[source] = sw
+	}
+	if _, ok := sw.acks[seq]; ok {
+		return
+	}
+	if len(sw.order) >= dedupDepth {
+		delete(sw.acks, sw.order[0])
+		sw.order = sw.order[1:]
+	}
+	sw.order = append(sw.order, seq)
+	sw.acks[seq] = rec
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"papyruskv/internal/hashfn"
 	"papyruskv/internal/sstable"
 )
@@ -82,6 +84,21 @@ type Options struct {
 	// QueueDepth bounds the flushing and migration queues; a full queue
 	// blocks puts (back-pressure, §2.4).
 	QueueDepth int
+	// RetryAttempts bounds how many times a remote request (migration
+	// batch, synchronous put, remote get) is resent when no matching
+	// acknowledgement arrives within RetryTimeout. Retries reuse the
+	// request's sequence number, and receivers deduplicate, so a retried
+	// request is applied at most once. 0 selects the default (5).
+	RetryAttempts int
+	// RetryTimeout is the per-attempt acknowledgement deadline. It must
+	// comfortably exceed the modelled round-trip plus handler service time
+	// or slow-but-healthy peers will be retried spuriously; the default
+	// (10s) is generous for that reason. Tests injecting message loss
+	// shrink it to keep retries fast. 0 selects the default.
+	RetryTimeout time.Duration
+	// RetryBackoff is the first inter-attempt delay; it doubles per retry.
+	// 0 selects the default (2ms).
+	RetryBackoff time.Duration
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -96,6 +113,9 @@ func DefaultOptions() Options {
 		UseBloom:            true,
 		CompactionEvery:     8,
 		QueueDepth:          4,
+		RetryAttempts:       5,
+		RetryTimeout:        10 * time.Second,
+		RetryBackoff:        2 * time.Millisecond,
 	}
 }
 
@@ -110,6 +130,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Hash == nil {
 		o.Hash = hashfn.Default
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = d.RetryAttempts
+	}
+	if o.RetryTimeout <= 0 {
+		o.RetryTimeout = d.RetryTimeout
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = d.RetryBackoff
 	}
 	return o
 }

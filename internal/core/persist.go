@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/nvm"
@@ -10,11 +11,13 @@ import (
 )
 
 // Event identifies an asynchronous pending operation (papyruskv_event_t).
-// Wait blocks until the operation completes and returns its error.
+// Wait blocks until the operation completes and returns its error. Wait is
+// safe to call from multiple goroutines concurrently; every caller observes
+// the same result.
 type Event struct {
 	done chan error
+	once sync.Once
 	err  error
-	got  bool
 }
 
 func newEvent() *Event { return &Event{done: make(chan error, 1)} }
@@ -22,34 +25,56 @@ func newEvent() *Event { return &Event{done: make(chan error, 1)} }
 func (e *Event) complete(err error) { e.done <- err }
 
 // Wait blocks until the pending operation completes (papyruskv_wait). It may
-// be called multiple times.
+// be called multiple times, from any number of goroutines.
 func (e *Event) Wait() error {
-	if !e.got {
-		e.err = <-e.done
-		e.got = true
-	}
+	e.once.Do(func() { e.err = <-e.done })
 	return e.err
 }
 
-// manifest describes a snapshot on the parallel file system.
-type manifest struct {
-	Name   string `json:"name"`
-	Ranks  int    `json:"ranks"`
-	Format int    `json:"format"`
+// manifestFile fingerprints one snapshot file: restart refuses to restore a
+// file whose size or CRC32C no longer matches what checkpoint recorded.
+type manifestFile struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc"`
 }
 
-const manifestFormat = 1
+// manifest describes a snapshot on the parallel file system. It is written
+// by rank 0 only after every rank has finished its transfers (two-phase
+// commit), so a manifest's existence implies the snapshot is complete.
+type manifest struct {
+	Name   string           `json:"name"`
+	Ranks  int              `json:"ranks"`
+	Format int              `json:"format"`
+	Files  [][]manifestFile `json:"files"` // indexed by snapshot rank
+}
+
+const manifestFormat = 2
 
 func manifestName(path string) string       { return path + "/MANIFEST" }
 func snapshotDir(path string, r int) string { return fmt.Sprintf("%s/r%d", path, r) }
+
+// ckptReport is one rank's phase-1 outcome, gathered to rank 0 on the
+// dedicated checkpoint communicator before the manifest is committed.
+type ckptReport struct {
+	Files []manifestFile `json:"files"`
+	Err   string         `json:"err,omitempty"`
+}
 
 // Checkpoint generates a snapshot of the database under path on the
 // parallel file system (papyruskv_checkpoint). It is collective. The
 // snapshot is built by an internal Barrier(LevelSSTable), so all MemTables
 // land in SSTables on NVM; the file transfer to the PFS then runs
-// asynchronously — the returned Event completes when this rank's transfer
-// is done. Updates issued meanwhile are safe: they never touch existing
+// asynchronously — the returned Event completes when the whole snapshot is
+// committed. Updates issued meanwhile are safe: they never touch existing
 // SSTables, and compaction is pinned for the duration of the copy.
+//
+// Commit is two-phase: every rank transfers its files and reports the file
+// list (with sizes and CRC32C checksums) to rank 0, which writes the
+// MANIFEST only after all reports arrive clean, then broadcasts the verdict.
+// A failed rank still participates in the commit protocol — reporting its
+// failure instead of transferring — so the healthy ranks' events complete
+// with an error rather than a partial snapshot, and nobody deadlocks.
 func (db *DB) Checkpoint(path string) (*Event, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
@@ -61,48 +86,169 @@ func (db *DB) Checkpoint(path string) (*Event, error) {
 	// put again, and an incoming migration could otherwise trigger a
 	// compaction that deletes snapshot files while they are being copied.
 	db.checkpointPin.add(1)
-	if err := db.Barrier(LevelSSTable); err != nil {
-		db.checkpointPin.done()
-		return nil, err
-	}
+	rankErr := db.Barrier(LevelSSTable)
+
 	db.sstMu.RLock()
 	snapshot := append([]uint64(nil), db.ssids...)
 	db.sstMu.RUnlock()
 
 	ev := newEvent()
 	go func() {
-		ev.complete(db.copyOut(path, snapshot))
+		ev.complete(db.copyOut(path, snapshot, rankErr))
 		db.checkpointPin.done()
 	}()
 	return ev, nil
 }
 
-func (db *DB) copyOut(path string, ssids []uint64) error {
+// copyOut runs both commit phases for this rank. rankErr, when non-nil, is
+// this rank's barrier failure: the transfer is skipped and the error is
+// carried into the commit protocol so every rank learns the snapshot is
+// incomplete.
+func (db *DB) copyOut(path string, ssids []uint64, rankErr error) error {
 	pfs := db.rt.cfg.PFS
 	rank := db.rt.rank
-	src := db.dir(rank)
-	dst := snapshotDir(path, rank)
-	if err := pfs.RemoveAll(dst); err != nil {
+
+	// Phase 1: transfer this rank's SSTable files, fingerprinting each.
+	var files []manifestFile
+	xferErr := rankErr
+	if xferErr == nil {
+		files, xferErr = db.transferFiles(pfs, path, ssids)
+	}
+
+	// Phase 2: gather every rank's report to rank 0 on the dedicated
+	// checkpoint communicator, commit the manifest there, and broadcast
+	// the verdict. The broadcast doubles as the release barrier: no event
+	// completes before the manifest is durable (or refused).
+	rep := ckptReport{Files: files}
+	if xferErr != nil {
+		rep.Err = xferErr.Error()
+	}
+	payload, err := json.Marshal(rep)
+	if err != nil {
+		payload, _ = json.Marshal(ckptReport{Err: err.Error()})
+	}
+	reports, err := db.ckptComm.Gather(0, payload)
+	if err != nil {
+		if xferErr != nil {
+			return xferErr
+		}
 		return err
 	}
+
+	var verdict []byte
+	if rank == 0 {
+		if err := db.commitManifest(pfs, path, reports); err != nil {
+			verdict = []byte(err.Error())
+		}
+	}
+	verdict, err = db.ckptComm.Bcast(0, verdict)
+	switch {
+	case xferErr != nil:
+		return xferErr
+	case err != nil:
+		return err
+	case len(verdict) > 0:
+		return fmt.Errorf("papyruskv: checkpoint not committed: %s", verdict)
+	default:
+		return nil
+	}
+}
+
+// transferFiles copies this rank's snapshot files to the PFS and returns
+// their manifest fingerprints.
+func (db *DB) transferFiles(pfs *nvm.Device, path string, ssids []uint64) ([]manifestFile, error) {
+	src := db.dir(db.rt.rank)
+	dst := snapshotDir(path, db.rt.rank)
+	if err := pfs.RemoveAll(dst); err != nil {
+		return nil, err
+	}
+	files := []manifestFile{}
 	for _, id := range ssids {
 		for _, name := range []string{"data", "idx", "bloom"} {
 			file := fmt.Sprintf("sst-%06d.%s", id, name)
-			if err := nvm.Copy(pfs, dst+"/"+file, db.rt.cfg.Device, src+"/"+file); err != nil {
-				return err
+			size, crc, err := nvm.CopySum(pfs, dst+"/"+file, db.rt.cfg.Device, src+"/"+file)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, manifestFile{Name: file, Size: size, CRC: crc})
+		}
+	}
+	return files, nil
+}
+
+// commitManifest (rank 0 only) validates every rank's report and writes the
+// MANIFEST last, making the snapshot visible atomically. If any rank failed,
+// any stale manifest from a previous snapshot at the same path is removed,
+// so a later Restart reports ErrNoSnapshot instead of restoring a mix of
+// old and new files.
+func (db *DB) commitManifest(pfs *nvm.Device, path string, reports [][]byte) error {
+	m := manifest{Name: db.name, Ranks: db.rt.size, Format: manifestFormat,
+		Files: make([][]manifestFile, len(reports))}
+	var commitErr error
+	for r, raw := range reports {
+		var rep ckptReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			commitErr = fmt.Errorf("rank %d sent a malformed report: %v", r, err)
+			break
+		}
+		if rep.Err != "" {
+			commitErr = fmt.Errorf("rank %d: %s", r, rep.Err)
+			break
+		}
+		m.Files[r] = rep.Files
+	}
+	if commitErr == nil {
+		var raw []byte
+		if raw, commitErr = json.Marshal(m); commitErr == nil {
+			commitErr = pfs.WriteFile(manifestName(path), raw)
+		}
+	}
+	if commitErr != nil {
+		if pfs.Exists(manifestName(path)) {
+			_ = pfs.Remove(manifestName(path))
+		}
+		return commitErr
+	}
+	return nil
+}
+
+// readManifest loads and validates the snapshot manifest at path: a missing
+// manifest is ErrNoSnapshot (the snapshot was never committed), a manifest
+// that does not parse or whose file list disagrees with the files actually
+// present is ErrCorrupt.
+func readManifest(pfs *nvm.Device, path string) (manifest, error) {
+	var m manifest
+	raw, err := pfs.ReadFile(manifestName(path))
+	if err != nil {
+		return m, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("%w: manifest does not parse: %v", ErrCorrupt, err)
+	}
+	if m.Format != manifestFormat {
+		return m, fmt.Errorf("%w: unsupported snapshot format %d", ErrNoSnapshot, m.Format)
+	}
+	if len(m.Files) != m.Ranks {
+		return m, fmt.Errorf("%w: manifest lists %d ranks' files for %d ranks",
+			ErrCorrupt, len(m.Files), m.Ranks)
+	}
+	// Cheap structural validation up front: every listed file must exist
+	// with the recorded size. Content (CRC) is verified as files are read
+	// back during the restore itself.
+	for r, files := range m.Files {
+		dir := snapshotDir(path, r)
+		for _, f := range files {
+			size, err := pfs.FileSize(dir + "/" + f.Name)
+			if err != nil {
+				return m, fmt.Errorf("%w: snapshot missing %s/%s", ErrCorrupt, dir, f.Name)
+			}
+			if size != f.Size {
+				return m, fmt.Errorf("%w: %s/%s is %d bytes, manifest says %d",
+					ErrCorrupt, dir, f.Name, size, f.Size)
 			}
 		}
 	}
-	if rank == 0 {
-		m, err := json.Marshal(manifest{Name: db.name, Ranks: db.rt.size, Format: manifestFormat})
-		if err != nil {
-			return err
-		}
-		if err := pfs.WriteFile(manifestName(path), m); err != nil {
-			return err
-		}
-	}
-	return nil
+	return m, nil
 }
 
 // Restart reverts database name from the snapshot stored at path
@@ -119,27 +265,21 @@ func (rt *Runtime) Restart(path, name string, opt Options, forceRedistribute boo
 	if rt.cfg.PFS == nil {
 		return nil, nil, fmt.Errorf("%w: no parallel file system configured", ErrInvalidArgument)
 	}
-	raw, err := rt.cfg.PFS.ReadFile(manifestName(path))
+	m, err := readManifest(rt.cfg.PFS, path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
-	}
-	var m manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, nil, fmt.Errorf("%w: corrupt manifest: %v", ErrNoSnapshot, err)
-	}
-	if m.Format != manifestFormat {
-		return nil, nil, fmt.Errorf("%w: unsupported snapshot format %d", ErrNoSnapshot, m.Format)
+		return nil, nil, err
 	}
 
 	if m.Ranks == rt.size && !forceRedistribute {
-		return rt.restartVerbatim(path, name, opt)
+		return rt.restartVerbatim(path, name, opt, m)
 	}
 	return rt.restartRedistribute(path, name, opt, m.Ranks)
 }
 
-// restartVerbatim copies this rank's snapshot files back to NVM, then opens
-// the database over them.
-func (rt *Runtime) restartVerbatim(path, name string, opt Options) (*DB, *Event, error) {
+// restartVerbatim copies this rank's snapshot files back to NVM — exactly
+// the files the manifest lists, re-verifying each one's CRC32C on the way —
+// then opens the database over them.
+func (rt *Runtime) restartVerbatim(path, name string, opt Options, m manifest) (*DB, *Event, error) {
 	ev := newEvent()
 	// Clear any stale on-NVM state for this database first so the
 	// restored image is exact.
@@ -152,16 +292,16 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options) (*DB, *Event,
 	}
 	go func() {
 		src := snapshotDir(path, rt.rank)
-		files, err := rt.cfg.PFS.List(src)
-		if err != nil {
-			ev.complete(err)
-			return
-		}
 		dst := db.dir(rt.rank)
-		for _, f := range files {
-			base := f[len(src)+1:]
-			if err := nvm.Copy(rt.cfg.Device, dst+"/"+base, rt.cfg.PFS, f); err != nil {
+		for _, f := range m.Files[rt.rank] {
+			size, crc, err := nvm.CopySum(rt.cfg.Device, dst+"/"+f.Name, rt.cfg.PFS, src+"/"+f.Name)
+			if err != nil {
 				ev.complete(err)
+				return
+			}
+			if size != f.Size || crc != f.CRC {
+				ev.complete(fmt.Errorf("%w: snapshot file %s/%s fails its manifest checksum",
+					ErrCorrupt, src, f.Name))
 				return
 			}
 		}
@@ -180,7 +320,7 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options) (*DB, *Event,
 		// All ranks must finish composing before any rank's event
 		// completes: otherwise a restarted rank could issue remote gets
 		// against an owner that has not adopted its SSTables yet.
-		ev.complete(db.respComm.Barrier())
+		ev.complete(db.ckptComm.Barrier())
 	}()
 	return db, ev, nil
 }

@@ -25,6 +25,10 @@ func (db *DB) put(key, value []byte, tombstone bool) error {
 	if len(key) == 0 {
 		return fmt.Errorf("%w: empty key", ErrInvalidArgument)
 	}
+	db.maybeKill()
+	if err := db.Health(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -131,18 +135,20 @@ func (db *DB) rollRemoteLocked() *memtable.Table {
 
 // putSync sends a single put/delete directly and synchronously to the owner
 // rank (sequential consistency, Figure 2): the caller halts until the
-// owner's message handler acknowledges the migration.
+// owner's message handler acknowledges the migration. The request rides the
+// reliable path — retried on ack timeout, deduplicated at the owner — so a
+// lost or duplicated message still applies the put exactly once. Errors are
+// returned to the caller; they do not fail this rank's domain.
 func (db *DB) putSync(owner int, e memtable.Entry) error {
-	msg := encodePutOne(putOne{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone})
-	if err := db.reqComm.Send(owner, tagPutOne, msg); err != nil {
+	if err := db.peerErr(owner); err != nil {
 		return err
 	}
-	ack, err := db.respComm.Recv(owner, tagPutAck)
+	seq := db.sendSeq.Add(1)
+	msg := prependSeq(seq, encodePutOne(putOne{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone}))
+	err := db.sendReliable(owner, tagPutOne, tagPutAck, seq, msg, &db.metrics.MigrationRetries)
 	if err != nil {
+		db.peerFail(owner, err)
 		return err
-	}
-	if len(ack.Data) != 1 || ack.Data[0] != 0 {
-		return fmt.Errorf("papyruskv: synchronous put rejected by rank %d", owner)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"papyruskv/internal/faults"
 	"papyruskv/internal/mpi"
 	"papyruskv/internal/nvm"
 )
@@ -22,6 +23,11 @@ type Config struct {
 	// GroupOf maps a world rank to its storage group ID. Nil puts every
 	// rank in its own group (no SSTable sharing).
 	GroupOf func(rank int) int
+	// Faults, when non-nil, arms the core injection points (CoreKill) for
+	// this rank's databases. Each database reports Site{Rank: this rank,
+	// Where: database name}. Device- and network-level points are armed
+	// separately on the Device and World.
+	Faults *faults.Injector
 }
 
 func (c Config) groupOf(rank int) int {

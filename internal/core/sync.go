@@ -16,9 +16,14 @@ const (
 // Fence migrates this rank's remote MemTable and every immutable remote
 // MemTable in the migration queue to their owner ranks immediately
 // (papyruskv_fence). It returns once every owner has applied and
-// acknowledged the pairs. Fence is not collective.
+// acknowledged the pairs; if some owner has failed, it still drains and then
+// reports that the pairs owned by the failed rank were not applied. Fence is
+// not collective.
 func (db *DB) Fence() error {
 	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	if err := db.Health(); err != nil {
 		return err
 	}
 	db.mu.Lock()
@@ -37,47 +42,65 @@ func (db *DB) Fence() error {
 		}
 	}
 	db.pendingMigr.wait()
-	return nil
+	return db.anyPeerErr()
 }
 
 // Barrier is the collective memory fence of papyruskv_barrier: after it
 // returns, all ranks observe the same latest database contents. With
 // LevelSSTable the contents are additionally flushed to SSTables, which is
 // how checkpoint builds its snapshot image.
+//
+// Barrier is failure-domain safe: a failed rank executes the same collective
+// sequence as the healthy ranks — so nobody deadlocks waiting for it — but
+// skips the fence and flush work and returns its root-cause error. Healthy
+// ranks whose migrations could not reach a failed owner get that error here.
 func (db *DB) Barrier(level BarrierLevel) error {
 	if err := db.checkOpen(); err != nil {
 		return err
 	}
+	db.maybeKill()
 	// Phase 1: everyone drains outgoing migrations. Each batch is acked
 	// only after the owner applied it, so once every rank passes the MPI
 	// barrier, every pair is in its owner's MemTables.
-	if err := db.Fence(); err != nil {
-		return err
+	rankErr := db.Health()
+	if rankErr == nil {
+		rankErr = db.Fence()
 	}
 	if err := db.respComm.Barrier(); err != nil {
 		return err
 	}
 	if level != LevelSSTable {
-		return nil
+		return rankErr
 	}
 	// Phase 2: flush local MemTables — after receiving everyone's pairs,
-	// per the paper — and wait for the compaction thread to drain.
-	db.mu.Lock()
-	table := db.localMT
-	roll := table.Len() > 0
-	if roll {
-		db.rollLocalLocked()
-	}
-	db.mu.Unlock()
-	if roll {
-		db.pendingFlush.add(1)
-		if !db.flushQ.Enqueue(table) {
-			db.pendingFlush.done()
-			return ErrInvalidDB
+	// per the paper — and wait for the compaction thread to drain. A
+	// failed rank skips the flush: its compaction thread is draining
+	// without writing, so enqueueing would silently discard the table.
+	if db.Health() == nil {
+		db.mu.Lock()
+		table := db.localMT
+		roll := table.Len() > 0
+		if roll {
+			db.rollLocalLocked()
+		}
+		db.mu.Unlock()
+		if roll {
+			db.pendingFlush.add(1)
+			if !db.flushQ.Enqueue(table) {
+				db.pendingFlush.done()
+				return ErrInvalidDB
+			}
 		}
 	}
 	db.pendingFlush.wait()
-	return db.respComm.Barrier()
+	if err := db.respComm.Barrier(); err != nil {
+		return err
+	}
+	if rankErr != nil {
+		return rankErr
+	}
+	// The flush itself may have failed during the wait.
+	return db.Health()
 }
 
 // SetConsistency changes the memory consistency mode (papyruskv_consistency).

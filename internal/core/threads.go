@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
 	"papyruskv/internal/sstable"
@@ -11,6 +14,10 @@ import (
 // NVM, and merges the live SSTables whenever a new SSID is a multiple of
 // the configured compaction interval (§2.4 Flushing, §2.5 Compaction). It
 // exits when the flushing queue is closed and drained.
+//
+// Once the database has failed, the thread keeps draining the queue without
+// touching NVM — every table still passes through pendingFlush.done(), so
+// Fence and Barrier on the failed rank terminate instead of hanging.
 func (db *DB) compactionThread() {
 	defer db.wg.Done()
 	for {
@@ -18,14 +25,19 @@ func (db *DB) compactionThread() {
 		if !ok {
 			return
 		}
-		db.flushOne(table)
+		db.maybeKill()
+		if db.Health() == nil {
+			db.flushOne(table)
+		}
 		db.pendingFlush.done()
 	}
 }
 
 // flushOne writes one sealed MemTable as a new SSTable, publishes it, drops
 // the MemTable from the get-visible immutable list, and runs compaction if
-// due. Errors here poison the world: a failed flush means lost durability.
+// due. A failed flush means this rank can no longer guarantee durability:
+// the rank's failure domain is marked failed and the MemTable stays in the
+// immutable list, so its data remains readable in memory until a restart.
 func (db *DB) flushOne(table *memtable.Table) {
 	dir := db.dir(db.rt.rank)
 
@@ -35,7 +47,7 @@ func (db *DB) flushOne(table *memtable.Table) {
 	db.sstMu.Unlock()
 
 	if _, err := sstable.WriteTable(db.rt.cfg.Device, dir, ssid, table.Entries()); err != nil {
-		db.abort(err)
+		db.fail(fmt.Errorf("flush of SSTable %d: %w", ssid, err))
 		return
 	}
 	db.metrics.Flushes.Add(1)
@@ -63,7 +75,8 @@ func (db *DB) flushOne(table *memtable.Table) {
 // compact merges all live SSTables into one new table with a fresh highest
 // SSID, then atomically swaps the live list and deletes the inputs. Gets
 // that raced the deletion retry against the new list (see
-// searchOwnSSTables).
+// searchOwnSSTables). A failed merge fails this rank's domain; the input
+// tables stay live, so no data is lost.
 func (db *DB) compact() {
 	db.sstMu.Lock()
 	inputs := append([]uint64(nil), db.ssids...)
@@ -76,7 +89,7 @@ func (db *DB) compact() {
 
 	dir := db.dir(db.rt.rank)
 	if _, err := sstable.Merge(db.rt.cfg.Device, dir, inputs, mergedID); err != nil {
-		db.abort(err)
+		db.fail(fmt.Errorf("compaction into SSTable %d: %w", mergedID, err))
 		return
 	}
 	db.metrics.Compactions.Add(1)
@@ -112,8 +125,9 @@ func sortSSIDs(ids []uint64) {
 
 // dispatcherThread is the paper's message dispatcher: it dequeues immutable
 // remote MemTables from the migration queue, groups their pairs by owner
-// rank, sends one accumulated chunk per owner, and waits for each owner's
-// acknowledgement before retiring the MemTable (§2.4 Migration).
+// rank, and sends one accumulated chunk per owner, retrying until the owner
+// acknowledges application (§2.4 Migration). On a failed rank it drains the
+// queue without sending so waiters never hang.
 func (db *DB) dispatcherThread() {
 	defer db.wg.Done()
 	for {
@@ -121,34 +135,38 @@ func (db *DB) dispatcherThread() {
 		if !ok {
 			return
 		}
-		db.migrateOne(table)
+		db.maybeKill()
+		if db.Health() == nil {
+			db.migrateOne(table)
+		}
 		db.pendingMigr.done()
 	}
 }
 
+// migrateOne delivers one sealed remote MemTable, batch per owner, through
+// the reliable request path: each batch carries a sequence number, is
+// retried on ack timeout, and is deduplicated at the owner, so a batch that
+// raced a lost or duplicated message is still applied exactly once. An owner
+// that stays silent past the retry budget, or answers with an error, is
+// recorded as a failed peer — the sender's own domain stays healthy, and the
+// loss surfaces at the next Fence or Barrier.
 func (db *DB) migrateOne(table *memtable.Table) {
-	groups := table.ByOwner()
-	// Send all chunks first, then collect all acks, overlapping the
-	// transfers.
-	owners := make([]int, 0, len(groups))
-	for owner, entries := range groups {
-		msg := memtable.EncodeEntries(entries)
-		if err := db.reqComm.Send(owner, tagMigBatch, msg); err != nil {
-			db.abort(err)
-			return
+	for owner, entries := range table.ByOwner() {
+		if db.peerErr(owner) != nil {
+			continue // fail-fast: this peer's pairs cannot be applied
+		}
+		seq := db.sendSeq.Add(1)
+		msg := prependSeq(seq, memtable.EncodeEntries(entries))
+		err := db.sendReliable(owner, tagMigBatch, tagMigAck, seq, msg, &db.metrics.MigrationRetries)
+		if err != nil {
+			db.peerFail(owner, err)
+			continue
 		}
 		db.metrics.Migrations.Add(1)
 		db.metrics.MigratedPairs.Add(uint64(len(entries)))
-		owners = append(owners, owner)
 	}
-	for _, owner := range owners {
-		if _, err := db.respComm.Recv(owner, tagMigAck); err != nil {
-			db.abort(err)
-			return
-		}
-	}
-	// All pairs are now applied at their owners; drop the table from the
-	// get-visible immutable remote list.
+	// All deliverable pairs are applied at their owners; drop the table
+	// from the get-visible immutable remote list.
 	db.mu.Lock()
 	for i, t := range db.immRemote {
 		if t == table {
@@ -162,7 +180,9 @@ func (db *DB) migrateOne(table *memtable.Table) {
 // handlerThread is the paper's message handler: it serves migration
 // batches, synchronous puts, and remote gets arriving on the private
 // request communicator, until the shutdown message (sent by this rank's own
-// Close) arrives.
+// Close) arrives. The handler stays alive after this rank's domain fails —
+// it answers requests with error responses so remote callers get a clean
+// root-cause error instead of a hang.
 func (db *DB) handlerThread() {
 	defer db.wg.Done()
 	for {
@@ -174,94 +194,107 @@ func (db *DB) handlerThread() {
 		case tagShutdown:
 			return
 		case tagMigBatch:
-			db.handleMigBatch(m)
+			db.handleBatch(m, true)
 		case tagPutOne:
-			db.handlePutOne(m)
+			db.handleBatch(m, false)
 		case tagGet:
 			db.handleGet(m)
 		}
 	}
 }
 
-func (db *DB) handleMigBatch(m mpi.Message) {
-	entries, err := memtable.DecodeEntries(m.Data)
+// handleBatch applies a seq-framed batch of entries (a migration batch, or
+// the single entry of a synchronous put) and acks with the outcome. A seq
+// still in the dedup window is not re-applied; its original ack is replayed,
+// which is what makes sender retries idempotent.
+func (db *DB) handleBatch(m mpi.Message, migration bool) {
+	ackTag := tagPutAck
+	if migration {
+		ackTag = tagMigAck
+	}
+	seq, body, err := splitSeq(m.Data)
 	if err != nil {
-		db.abort(err)
+		db.fail(fmt.Errorf("malformed request from rank %d: %w", m.Source, err))
 		return
 	}
-	for _, e := range entries {
-		e.Owner = db.rt.rank
-		if err := db.putLocal(e); err != nil {
-			db.abort(err)
-			return
+	if rec, dup := db.dedup.seen(m.Source, seq); dup {
+		db.metrics.DupsDropped.Add(1)
+		db.sendResp(m.Source, ackTag, encodeAck(seq, rec))
+		return
+	}
+	rec := ackRecord{status: ackOK}
+	if healthErr := db.Health(); healthErr != nil {
+		rec = ackRecord{status: ackFailed, msg: healthErr.Error()}
+	} else if entries, err := memtable.DecodeEntries(body); err != nil {
+		rec = ackRecord{status: ackFailed, msg: err.Error()}
+	} else {
+		for _, e := range entries {
+			e.Owner = db.rt.rank
+			if err := db.putLocal(e); err != nil {
+				db.fail(err)
+				rec = ackRecord{status: ackFailed, msg: err.Error()}
+				break
+			}
 		}
 	}
-	if err := db.respComm.Send(m.Source, tagMigAck, nil); err != nil {
-		db.abort(err)
-	}
-}
-
-func (db *DB) handlePutOne(m mpi.Message) {
-	p, err := decodePutOne(m.Data)
-	status := byte(0)
-	if err == nil {
-		err = db.putLocal(memtable.Entry{Key: p.Key, Value: p.Value, Tombstone: p.Tombstone, Owner: db.rt.rank})
-	}
-	if err != nil {
-		status = 1
-	}
-	if err := db.respComm.Send(m.Source, tagPutAck, []byte{status}); err != nil {
-		db.abort(err)
-	}
+	db.dedup.record(m.Source, seq, rec)
+	db.sendResp(m.Source, ackTag, encodeAck(seq, rec))
 }
 
 // handleGet answers a remote get. If the requester shares this rank's
 // storage group, only the in-memory structures and local cache are
 // consulted; a miss returns the live SSID list so the requester reads the
-// shared SSTables directly, eliminating the value transfer (§2.7).
+// shared SSTables directly, eliminating the value transfer (§2.7). A failed
+// rank, or a local read error (e.g. a corrupt SSTable), answers getError
+// with the cause instead of data.
 func (db *DB) handleGet(m mpi.Message) {
 	req, err := decodeGetRequest(m.Data)
 	if err != nil {
-		db.abort(err)
+		db.fail(fmt.Errorf("malformed get request from rank %d: %w", m.Source, err))
 		return
 	}
-	var resp getResponse
-	sameGroup := req.Group == db.rt.group
-	if sameGroup {
+	resp := getResponse{Seq: req.Seq}
+	if healthErr := db.Health(); healthErr != nil {
+		resp.Status, resp.Err = getErrorFailed, healthErr.Error()
+	} else if req.Group == db.rt.group {
 		if val, tomb, hit := db.getMemory(req.Key); hit {
 			if tomb {
-				resp = getResponse{Status: getTombstone}
+				resp.Status = getTombstone
 			} else {
-				resp = getResponse{Status: getFound, Value: val}
+				resp.Status, resp.Value = getFound, val
 			}
 		} else {
 			db.sstMu.RLock()
 			ids := append([]uint64(nil), db.ssids...)
 			db.sstMu.RUnlock()
-			resp = getResponse{Status: getSearchShare, SSIDs: ids}
+			resp.Status, resp.SSIDs = getSearchShare, ids
 		}
 	} else {
 		val, tomb, found, err := db.getLocalFull(req.Key)
 		switch {
+		case errors.Is(err, sstable.ErrCorrupt):
+			// A read error is per-operation, not a domain failure: a
+			// corrupt table poisons reads that touch it, while writes
+			// and other reads continue. The typed status lets the caller
+			// rebuild ErrCorrupt on its side of the wire.
+			resp.Status, resp.Err = getErrorCorrupt, err.Error()
 		case err != nil:
-			db.abort(err)
-			return
+			resp.Status, resp.Err = getError, err.Error()
 		case !found:
-			resp = getResponse{Status: getNotFound}
+			resp.Status = getNotFound
 		case tomb:
-			resp = getResponse{Status: getTombstone}
+			resp.Status = getTombstone
 		default:
-			resp = getResponse{Status: getFound, Value: val}
+			resp.Status, resp.Value = getFound, val
 		}
 	}
-	if err := db.respComm.Send(m.Source, tagGetResp, encodeGetResponse(resp)); err != nil {
-		db.abort(err)
-	}
+	db.sendResp(m.Source, tagGetResp, encodeGetResponse(resp))
 }
 
-// abort poisons the world: background-thread failures (a failed flush, a
-// corrupt message) cannot be returned to the application thread directly,
-// so they tear down the SPMD run like an MPI_Abort.
-func (db *DB) abort(err error) {
-	db.reqComm.World().Abort(err)
+// sendResp sends a handler reply; a send failure means the world's message
+// layer itself is gone, which does fail the domain.
+func (db *DB) sendResp(dest, tag int, data []byte) {
+	if err := db.respComm.Send(dest, tag, data); err != nil {
+		db.fail(err)
+	}
 }

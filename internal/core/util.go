@@ -65,6 +65,9 @@ type Metrics struct {
 	Compactions     atomic.Uint64 // SSTable merges performed
 	Migrations      atomic.Uint64 // migration batches sent
 	MigratedPairs   atomic.Uint64 // key-value pairs migrated out
+	MigrationRetries atomic.Uint64 // migration/sync-put attempts beyond the first
+	GetRetries       atomic.Uint64 // remote-get attempts beyond the first
+	DupsDropped      atomic.Uint64 // duplicate requests dropped by the dedup window
 }
 
 // Snapshot returns a plain-values copy for reporting.
@@ -84,5 +87,8 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"compactions":       m.Compactions.Load(),
 		"migrations":        m.Migrations.Load(),
 		"migrated_pairs":    m.MigratedPairs.Load(),
+		"migration_retries": m.MigrationRetries.Load(),
+		"get_retries":       m.GetRetries.Load(),
+		"dups_dropped":      m.DupsDropped.Load(),
 	}
 }

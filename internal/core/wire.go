@@ -26,19 +26,23 @@ const (
 
 // getRequest is the remote get wire format. It carries the caller's storage
 // group ID so the owner's handler can decide whether the caller may search
-// the shared SSTables itself (§2.7).
+// the shared SSTables itself (§2.7), and a sequence number the response
+// echoes so a retrying caller can discard responses to stale attempts.
 type getRequest struct {
+	Seq     uint64
 	Key     []byte
 	Group   int
 	SeqMode bool // unused by the handler; kept for symmetry/debugging
 }
 
 func encodeGetRequest(r getRequest) []byte {
-	out := make([]byte, 0, 13+len(r.Key))
+	out := make([]byte, 0, 21+len(r.Key))
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], r.Seq)
+	out = append(out, u64[:]...)
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Key)))
 	out = append(out, u32[:]...)
-	var u64 [8]byte
 	binary.LittleEndian.PutUint64(u64[:], uint64(int64(r.Group)))
 	out = append(out, u64[:]...)
 	var flags byte
@@ -51,17 +55,19 @@ func encodeGetRequest(r getRequest) []byte {
 }
 
 func decodeGetRequest(data []byte) (getRequest, error) {
-	if len(data) < 13 {
+	if len(data) < 21 {
 		return getRequest{}, fmt.Errorf("core: short get request (%d bytes)", len(data))
 	}
-	klen := binary.LittleEndian.Uint32(data)
-	group := int(int64(binary.LittleEndian.Uint64(data[4:])))
-	flags := data[12]
-	if uint32(len(data[13:])) < klen {
+	seq := binary.LittleEndian.Uint64(data)
+	klen := binary.LittleEndian.Uint32(data[8:])
+	group := int(int64(binary.LittleEndian.Uint64(data[12:])))
+	flags := data[20]
+	if uint32(len(data[21:])) < klen {
 		return getRequest{}, fmt.Errorf("core: truncated get request key")
 	}
 	return getRequest{
-		Key:     data[13 : 13+klen : 13+klen],
+		Seq:     seq,
+		Key:     data[21 : 21+klen : 21+klen],
 		Group:   group,
 		SeqMode: flags&1 != 0,
 	}, nil
@@ -74,20 +80,33 @@ const (
 	getNotFound    = 2 // not present anywhere on the owner
 	getSearchShare = 3 // not in the owner's memory; the caller shares the
 	// owner's NVM and should search the listed SSTables itself
+	getError = 4 // the owner could not serve the request; Err explains why
+	// Typed variants of getError: the caller re-wraps Err in the matching
+	// sentinel so errors.Is keeps working across the wire.
+	getErrorCorrupt = 5 // the owner's read hit a checksum failure (ErrCorrupt)
+	getErrorFailed  = 6 // the owner's failure domain is down (ErrRankFailed)
 )
 
 // getResponse is the remote get reply.
 type getResponse struct {
+	Seq    uint64
 	Status int
 	Value  []byte
 	// SSIDs is the owner's live SSTable list at reply time, sent with
 	// getSearchShare so the caller searches exactly the tables the owner
 	// considers current.
 	SSIDs []uint64
+	// Err carries the owner's failure description with getError. It
+	// crosses the wire as text, so sentinel identity is lost; the caller
+	// wraps it in its own error.
+	Err string
 }
 
 func encodeGetResponse(r getResponse) []byte {
-	out := make([]byte, 0, 9+len(r.Value)+8*len(r.SSIDs))
+	out := make([]byte, 0, 21+len(r.Value)+8*len(r.SSIDs)+len(r.Err))
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], r.Seq)
+	out = append(out, u64[:]...)
 	out = append(out, byte(r.Status))
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Value)))
@@ -95,21 +114,23 @@ func encodeGetResponse(r getResponse) []byte {
 	out = append(out, r.Value...)
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.SSIDs)))
 	out = append(out, u32[:]...)
-	var u64 [8]byte
 	for _, id := range r.SSIDs {
 		binary.LittleEndian.PutUint64(u64[:], id)
 		out = append(out, u64[:]...)
 	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Err)))
+	out = append(out, u32[:]...)
+	out = append(out, r.Err...)
 	return out
 }
 
 func decodeGetResponse(data []byte) (getResponse, error) {
-	if len(data) < 5 {
+	if len(data) < 13 {
 		return getResponse{}, fmt.Errorf("core: short get response")
 	}
-	r := getResponse{Status: int(data[0])}
-	vlen := binary.LittleEndian.Uint32(data[1:])
-	data = data[5:]
+	r := getResponse{Seq: binary.LittleEndian.Uint64(data), Status: int(data[8])}
+	vlen := binary.LittleEndian.Uint32(data[9:])
+	data = data[13:]
 	if uint32(len(data)) < vlen {
 		return getResponse{}, fmt.Errorf("core: truncated get response value")
 	}
@@ -120,14 +141,63 @@ func decodeGetResponse(data []byte) (getResponse, error) {
 	}
 	n := binary.LittleEndian.Uint32(data)
 	data = data[4:]
-	if uint32(len(data)) < n*8 {
+	if uint64(len(data)) < uint64(n)*8 {
 		return getResponse{}, fmt.Errorf("core: truncated get response ssids")
 	}
 	r.SSIDs = make([]uint64, n)
 	for i := range r.SSIDs {
 		r.SSIDs[i] = binary.LittleEndian.Uint64(data[i*8:])
 	}
+	data = data[n*8:]
+	if len(data) < 4 {
+		return getResponse{}, fmt.Errorf("core: truncated get response error length")
+	}
+	elen := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	if uint32(len(data)) < elen {
+		return getResponse{}, fmt.Errorf("core: truncated get response error")
+	}
+	r.Err = string(data[:elen])
 	return r, nil
+}
+
+// Reliable-request framing: migration batches and synchronous puts carry an
+// 8-byte sequence number ahead of their payload, and their acks echo it with
+// a status byte and, on failure, the owner's error text. The seq lets a
+// sender retry without risking double application (the receiver's dedup
+// window replays the original ack) and lets it discard stale acks produced
+// by duplicated requests.
+
+// prependSeq frames body with its sequence number.
+func prependSeq(seq uint64, body []byte) []byte {
+	out := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint64(out, seq)
+	copy(out[8:], body)
+	return out
+}
+
+// splitSeq undoes prependSeq.
+func splitSeq(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("core: short reliable request (%d bytes)", len(data))
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+// encodeAck builds an acknowledgement: [seq u64][status u8][error text].
+func encodeAck(seq uint64, rec ackRecord) []byte {
+	out := make([]byte, 9+len(rec.msg))
+	binary.LittleEndian.PutUint64(out, seq)
+	out[8] = rec.status
+	copy(out[9:], rec.msg)
+	return out
+}
+
+func decodeAck(data []byte) (uint64, ackRecord, error) {
+	if len(data) < 9 {
+		return 0, ackRecord{}, fmt.Errorf("core: short ack (%d bytes)", len(data))
+	}
+	return binary.LittleEndian.Uint64(data), ackRecord{status: data[8], msg: string(data[9:])}, nil
 }
 
 // putOne is the sequential-mode single-operation wire format.

@@ -9,13 +9,14 @@ import (
 )
 
 func TestGetRequestRoundTrip(t *testing.T) {
-	f := func(key []byte, group int16, seq bool) bool {
-		in := getRequest{Key: key, Group: int(group), SeqMode: seq}
+	f := func(key []byte, group int16, seqMode bool, seq uint64) bool {
+		in := getRequest{Seq: seq, Key: key, Group: int(group), SeqMode: seqMode}
 		out, err := decodeGetRequest(encodeGetRequest(in))
 		if err != nil {
 			return false
 		}
-		return bytes.Equal(out.Key, in.Key) && out.Group == in.Group && out.SeqMode == in.SeqMode
+		return out.Seq == in.Seq && bytes.Equal(out.Key, in.Key) &&
+			out.Group == in.Group && out.SeqMode == in.SeqMode
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -26,25 +27,26 @@ func TestGetRequestDecodeErrors(t *testing.T) {
 	if _, err := decodeGetRequest(nil); err == nil {
 		t.Fatal("nil decoded")
 	}
-	if _, err := decodeGetRequest(make([]byte, 5)); err == nil {
+	if _, err := decodeGetRequest(make([]byte, 13)); err == nil {
 		t.Fatal("short decoded")
 	}
-	// klen says 100 but no key bytes follow.
-	bad := make([]byte, 13)
-	bad[0] = 100
+	// klen says 100 but no key bytes follow (klen sits after the 8-byte seq).
+	bad := make([]byte, 21)
+	bad[8] = 100
 	if _, err := decodeGetRequest(bad); err == nil {
 		t.Fatal("truncated key decoded")
 	}
 }
 
 func TestGetResponseRoundTrip(t *testing.T) {
-	f := func(status uint8, value []byte, ssids []uint64) bool {
-		in := getResponse{Status: int(status % 4), Value: value, SSIDs: ssids}
+	f := func(status uint8, value []byte, ssids []uint64, seq uint64, errMsg string) bool {
+		in := getResponse{Seq: seq, Status: int(status % 7), Value: value, SSIDs: ssids, Err: errMsg}
 		out, err := decodeGetResponse(encodeGetResponse(in))
 		if err != nil {
 			return false
 		}
-		if out.Status != in.Status || !bytes.Equal(out.Value, in.Value) {
+		if out.Seq != in.Seq || out.Status != in.Status ||
+			!bytes.Equal(out.Value, in.Value) || out.Err != in.Err {
 			return false
 		}
 		if len(out.SSIDs) != len(in.SSIDs) {
@@ -59,6 +61,39 @@ func TestGetResponseRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	f := func(seq uint64, failed bool, msg string) bool {
+		in := ackRecord{status: ackOK}
+		if failed {
+			in = ackRecord{status: ackFailed, msg: msg}
+		}
+		gotSeq, out, err := decodeAck(encodeAck(seq, in))
+		if err != nil {
+			return false
+		}
+		return gotSeq == seq && out.status == in.status && out.msg == in.msg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := decodeAck(nil); err == nil {
+		t.Fatal("nil ack decoded")
+	}
+	if _, _, err := decodeAck(make([]byte, 8)); err == nil {
+		t.Fatal("statusless ack decoded")
+	}
+}
+
+func TestPrependSplitSeq(t *testing.T) {
+	seq, body, err := splitSeq(prependSeq(42, []byte("payload")))
+	if err != nil || seq != 42 || string(body) != "payload" {
+		t.Fatalf("splitSeq = %d %q %v", seq, body, err)
+	}
+	if _, _, err := splitSeq([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame split")
 	}
 }
 
@@ -165,7 +200,7 @@ func TestMetricsSnapshotComplete(t *testing.T) {
 	if snap["puts_local"] != 3 || snap["shared_sst_reads"] != 7 {
 		t.Fatalf("snapshot = %v", snap)
 	}
-	if len(snap) != 14 {
+	if len(snap) != 17 {
 		t.Fatalf("snapshot has %d fields; update Snapshot when adding metrics", len(snap))
 	}
 }

@@ -1,0 +1,319 @@
+// Package faults is PapyrusKV's deterministic fault-injection framework.
+//
+// The store has three failure domains, each with named injection points
+// wired into the corresponding layer:
+//
+//	nvm.Device   NVMWriteError, NVMWriteNoSpace, NVMTornWrite, NVMReadBitFlip
+//	mpi/simnet   NetDrop, NetDelay, NetDup
+//	core         CoreKill
+//
+// An Injector holds a rule set; each instrumented site evaluates its point
+// with a Site descriptor (rank, message tag, device/communicator label) and
+// receives a Decision. Every decision is a pure function of (seed, rule,
+// matching-evaluation index), so a run's faults are reproducible from the
+// seed and the rule set alone, independent of goroutine interleaving within
+// one site's evaluation order.
+//
+// Rules fire either deterministically by op count (Count: "the Nth matching
+// operation") or statistically (Probability), both bounded by Fires. The
+// injector records every firing so tests and postmortems can print exactly
+// which operations were hit.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Point names one injection point.
+type Point string
+
+// Injection points, grouped by failure domain.
+const (
+	// NVMWriteError fails a device write with ErrInjected.
+	NVMWriteError Point = "nvm.write-error"
+	// NVMWriteNoSpace fails a device write with ErrNoSpace (ENOSPC).
+	NVMWriteNoSpace Point = "nvm.write-enospc"
+	// NVMTornWrite silently truncates a device write to a prefix: the
+	// write "succeeds" but the file is partial, as after a power cut
+	// mid-write. Only checksums can catch it later.
+	NVMTornWrite Point = "nvm.torn-write"
+	// NVMReadBitFlip flips one bit in the data returned by a device read,
+	// modelling silent media corruption.
+	NVMReadBitFlip Point = "nvm.read-bitflip"
+
+	// NetDrop silently discards a point-to-point message.
+	NetDrop Point = "net.drop"
+	// NetDelay stalls a point-to-point message by the rule's Delay.
+	NetDelay Point = "net.delay"
+	// NetDup delivers a point-to-point message twice.
+	NetDup Point = "net.duplicate"
+
+	// CoreKill marks a rank's database failed, killing its background
+	// work (flush, compaction, migration) mid-run. The rank's message
+	// handler stays up to answer peers with clean error responses.
+	CoreKill Point = "core.kill"
+)
+
+// AnyRank and AnyTag are wildcard filters for Rule and Site fields.
+const (
+	AnyRank = -1
+	AnyTag  = -1
+)
+
+// ErrInjected is the root of every error produced by the injector; tests
+// match it with errors.Is to tell injected faults from organic ones.
+var ErrInjected = errors.New("faults: injected failure")
+
+// ErrNoSpace is the injected out-of-space error (ENOSPC).
+var ErrNoSpace = fmt.Errorf("%w: no space left on device", ErrInjected)
+
+// Site describes the evaluating location of one operation.
+type Site struct {
+	// Rank is the world rank performing the operation, or AnyRank when
+	// the layer cannot attribute one (a shared NVM device).
+	Rank int
+	// Tag is the MPI message tag for network points, AnyTag elsewhere.
+	Tag int
+	// Where labels the location: the device directory for NVM points,
+	// the communicator ID for network points, empty for core points.
+	Where string
+}
+
+// Rule arms one injection point.
+type Rule struct {
+	// Point selects the injection point.
+	Point Point
+	// Rank restricts the rule to sites reporting this rank; AnyRank (the
+	// recommended default) matches every site. Sites that cannot
+	// attribute a rank (NVM devices) match only AnyRank rules.
+	Rank int
+	// Tag restricts network points to one message tag. AnyTag or 0
+	// matches every tag (0 never collides: PapyrusKV's protocol tags
+	// start at 1).
+	Tag int
+	// Where, when non-empty, must be a substring of the site's Where
+	// label (device directory / communicator ID).
+	Where string
+
+	// Count, when > 0, fires deterministically on the Count-th matching
+	// evaluation (1-based, counted per rule from the moment it is
+	// enabled) and on subsequent evaluations until Fires is exhausted.
+	Count uint64
+	// Probability, used when Count == 0, fires each matching evaluation
+	// with this probability, decided by a hash of (seed, rule, index) —
+	// deterministic for a fixed evaluation order.
+	Probability float64
+	// Fires bounds the number of firings. 0 means: once for Count
+	// rules, unlimited for Probability rules.
+	Fires uint64
+	// Delay is the stall duration for NetDelay.
+	Delay time.Duration
+}
+
+// Decision is the outcome of evaluating one point.
+type Decision struct {
+	// Fire reports whether the fault triggers.
+	Fire bool
+	// Delay is the stall for NetDelay firings.
+	Delay time.Duration
+	rnd   uint64
+}
+
+// Rand returns the decision's deterministic 64-bit payload; sites use it to
+// pick which byte to corrupt, where to tear a write, and so on.
+func (d Decision) Rand() uint64 { return d.rnd }
+
+// FlipBit flips one deterministically chosen bit of data in place.
+func (d Decision) FlipBit(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	bit := d.rnd % uint64(len(data)*8)
+	data[bit/8] ^= 1 << (bit % 8)
+}
+
+// TearAt returns a deterministic cut point in [0, n): the length prefix a
+// torn write keeps.
+func (d Decision) TearAt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(d.rnd % uint64(n))
+}
+
+// Firing records one triggered fault for reproduction reports.
+type Firing struct {
+	Point Point
+	Site  Site
+	// Index is the rule-local matching-evaluation index that fired.
+	Index uint64
+}
+
+func (f Firing) String() string {
+	return fmt.Sprintf("%s rank=%d tag=%d where=%q op=%d", f.Point, f.Site.Rank, f.Site.Tag, f.Site.Where, f.Index)
+}
+
+type armedRule struct {
+	Rule
+	idx   uint64 // position in arming order, salts the decision hash
+	evals uint64 // matching evaluations seen
+	fired uint64
+}
+
+// Injector evaluates armed rules. The zero value and the nil pointer are
+// valid, permanently-disarmed injectors, so production paths carry a nil
+// *Injector at no cost.
+type Injector struct {
+	seed uint64
+
+	mu    sync.Mutex
+	rules []*armedRule
+	next  uint64
+	log   []Firing
+}
+
+// New returns an injector whose decisions derive from seed.
+func New(seed uint64) *Injector { return &Injector{seed: seed} }
+
+// Seed returns the reproduction seed.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Enable arms rule and returns the injector for chaining. Rules enabled
+// mid-run start counting evaluations from that moment.
+func (in *Injector) Enable(r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &armedRule{Rule: r, idx: in.next})
+	in.next++
+	return in
+}
+
+// Disable disarms every rule on point p.
+func (in *Injector) Disable(p Point) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	kept := in.rules[:0]
+	for _, r := range in.rules {
+		if r.Point != p {
+			kept = append(kept, r)
+		}
+	}
+	in.rules = kept
+}
+
+// Eval evaluates point p at site s against the armed rules. A nil injector
+// never fires.
+func (in *Injector) Eval(p Point, s Site) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Point != p || !r.matches(s) {
+			continue
+		}
+		r.evals++
+		if !r.shouldFire(in.seed, r.evals) {
+			continue
+		}
+		r.fired++
+		in.log = append(in.log, Firing{Point: p, Site: s, Index: r.evals})
+		return Decision{Fire: true, Delay: r.Delay, rnd: decisionHash(in.seed, r.idx, r.evals)}
+	}
+	return Decision{}
+}
+
+func (r *armedRule) matches(s Site) bool {
+	if r.Rank != AnyRank && r.Rank != s.Rank {
+		return false
+	}
+	if r.Tag != AnyTag && r.Tag != 0 && r.Tag != s.Tag {
+		return false
+	}
+	if r.Where != "" && !contains(s.Where, r.Where) {
+		return false
+	}
+	return true
+}
+
+func (r *armedRule) shouldFire(seed, eval uint64) bool {
+	maxFires := r.Fires
+	if maxFires == 0 {
+		if r.Count > 0 {
+			maxFires = 1
+		} else {
+			maxFires = ^uint64(0)
+		}
+	}
+	if r.fired >= maxFires {
+		return false
+	}
+	if r.Count > 0 {
+		return eval >= r.Count
+	}
+	if r.Probability <= 0 {
+		return false
+	}
+	// Uniform in [0,1) from the decision hash: deterministic per
+	// (seed, rule, evaluation index).
+	u := float64(decisionHash(seed, r.idx, eval)>>11) / float64(1<<53)
+	return u < r.Probability
+}
+
+// Fired returns the number of firings recorded for point p (all points when
+// p is empty).
+func (in *Injector) Fired(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n uint64
+	for _, f := range in.log {
+		if p == "" || f.Point == p {
+			n++
+		}
+	}
+	return n
+}
+
+// Log returns a copy of every firing, in order.
+func (in *Injector) Log() []Firing {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Firing(nil), in.log...)
+}
+
+// decisionHash mixes the seed, rule index, and evaluation index through
+// splitmix64 so each decision is an independent pure function of the three.
+func decisionHash(seed, rule, eval uint64) uint64 {
+	x := seed ^ (rule+1)*0x9e3779b97f4a7c15 ^ (eval+1)*0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if d := in.Eval(NVMWriteError, Site{Rank: 0}); d.Fire {
+		t.Fatal("nil injector fired")
+	}
+	if in.Fired("") != 0 || in.Seed() != 0 || in.Log() != nil {
+		t.Fatal("nil injector has state")
+	}
+	in.Disable(NetDrop) // must not panic
+}
+
+func TestCountRuleFiresOnNthEvaluation(t *testing.T) {
+	in := New(1).Enable(Rule{Point: NetDrop, Rank: AnyRank, Count: 3})
+	var fires []int
+	for i := 1; i <= 6; i++ {
+		if in.Eval(NetDrop, Site{Rank: 0}).Fire {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 1 || fires[0] != 3 {
+		t.Fatalf("count rule fired at %v, want [3]", fires)
+	}
+}
+
+func TestCountRuleWithFiresWindow(t *testing.T) {
+	in := New(1).Enable(Rule{Point: NetDrop, Rank: AnyRank, Count: 2, Fires: 3})
+	var fires []int
+	for i := 1; i <= 8; i++ {
+		if in.Eval(NetDrop, Site{Rank: 0}).Fire {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{2, 3, 4}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestRankTagWhereFilters(t *testing.T) {
+	in := New(1).Enable(Rule{Point: NetDrop, Rank: 1, Tag: 5, Where: "d0", Count: 1, Fires: 99})
+	misses := []Site{
+		{Rank: 0, Tag: 5, Where: "world/d0"}, // wrong rank
+		{Rank: 1, Tag: 6, Where: "world/d0"}, // wrong tag
+		{Rank: 1, Tag: 5, Where: "world/d1"}, // wrong where
+		{Rank: AnyRank, Tag: 5, Where: "d0"}, // unattributed site, rank-specific rule
+	}
+	for _, s := range misses {
+		if in.Eval(NetDrop, s).Fire {
+			t.Fatalf("rule fired for mismatched site %+v", s)
+		}
+	}
+	if !in.Eval(NetDrop, Site{Rank: 1, Tag: 5, Where: "world/d0"}).Fire {
+		t.Fatal("rule did not fire for matching site")
+	}
+}
+
+func TestUnattributedSiteMatchesAnyRankRule(t *testing.T) {
+	in := New(1).Enable(Rule{Point: NVMReadBitFlip, Rank: AnyRank, Count: 1})
+	if !in.Eval(NVMReadBitFlip, Site{Rank: AnyRank, Where: "nvm-g0"}).Fire {
+		t.Fatal("AnyRank rule did not match device site")
+	}
+}
+
+func TestProbabilityDeterministicAcrossRuns(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		in := New(seed).Enable(Rule{Point: NVMReadBitFlip, Rank: AnyRank, Probability: 0.3})
+		var hits []uint64
+		for i := 0; i < 200; i++ {
+			if d := in.Eval(NVMReadBitFlip, Site{Rank: AnyRank}); d.Fire {
+				hits = append(hits, d.Rand())
+			}
+		}
+		return hits
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.3 fired %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different payloads at hit %d", i)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing sequences")
+	}
+}
+
+func TestDisableAndLog(t *testing.T) {
+	in := New(7).Enable(Rule{Point: NetDup, Rank: AnyRank, Count: 1, Fires: 99})
+	in.Eval(NetDup, Site{Rank: 2, Tag: 1, Where: "world/d0"})
+	in.Disable(NetDup)
+	if in.Eval(NetDup, Site{Rank: 2}).Fire {
+		t.Fatal("disabled rule fired")
+	}
+	if got := in.Fired(NetDup); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	log := in.Log()
+	if len(log) != 1 || log[0].Point != NetDup || log[0].Site.Rank != 2 {
+		t.Fatalf("log = %+v", log)
+	}
+	if log[0].String() == "" {
+		t.Fatal("empty firing string")
+	}
+}
+
+func TestFlipBitAndTearAt(t *testing.T) {
+	d := Decision{Fire: true, rnd: 12345}
+	buf := []byte{0, 0, 0, 0}
+	d.FlipBit(buf)
+	ones := 0
+	for _, b := range buf {
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				ones++
+			}
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("FlipBit flipped %d bits", ones)
+	}
+	d.FlipBit(nil) // must not panic
+	if cut := d.TearAt(100); cut < 0 || cut >= 100 {
+		t.Fatalf("TearAt out of range: %d", cut)
+	}
+	if d.TearAt(0) != 0 {
+		t.Fatal("TearAt(0) != 0")
+	}
+}
+
+func TestInjectedErrors(t *testing.T) {
+	if !errors.Is(ErrNoSpace, ErrInjected) {
+		t.Fatal("ErrNoSpace does not wrap ErrInjected")
+	}
+}

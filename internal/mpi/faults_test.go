@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"papyruskv/internal/faults"
+)
+
+func TestRecvTimeout(t *testing.T) {
+	w := NewWorld(2, Topology{})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return nil // never sends
+		}
+		start := time.Now()
+		_, err := c.RecvTimeout(1, 7, 30*time.Millisecond)
+		if !errors.Is(err, ErrTimeout) {
+			return errors.New("expected ErrTimeout")
+		}
+		if time.Since(start) < 25*time.Millisecond {
+			return errors.New("returned before deadline")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutDeliveredInTime(t *testing.T) {
+	w := NewWorld(2, Topology{})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Send(0, 7, []byte("hi"))
+		}
+		m, err := c.RecvTimeout(1, 7, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "hi" {
+			return errors.New("wrong payload")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectNetDrop(t *testing.T) {
+	w := NewWorld(2, Topology{})
+	w.InjectFaults(faults.New(1).
+		Enable(faults.Rule{Point: faults.NetDrop, Rank: 0, Tag: 7, Count: 1}))
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			// First send is dropped, second arrives.
+			if err := c.Send(1, 7, []byte("lost")); err != nil {
+				return err
+			}
+			return c.Send(1, 7, []byte("kept"))
+		}
+		m, err := c.RecvTimeout(0, 7, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "kept" {
+			return errors.New("dropped message arrived: " + string(m.Data))
+		}
+		if _, err := c.RecvTimeout(0, 7, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+			return errors.New("second message materialised from nowhere")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectNetDup(t *testing.T) {
+	w := NewWorld(2, Topology{})
+	w.InjectFaults(faults.New(1).
+		Enable(faults.Rule{Point: faults.NetDup, Rank: 0, Count: 1}))
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 3, []byte("x"))
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := c.RecvTimeout(0, 3, 5*time.Second); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectNetDelay(t *testing.T) {
+	w := NewWorld(2, Topology{})
+	w.InjectFaults(faults.New(1).
+		Enable(faults.Rule{Point: faults.NetDelay, Rank: 0, Count: 1, Delay: 50 * time.Millisecond}))
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			start := time.Now()
+			if err := c.Send(1, 3, nil); err != nil {
+				return err
+			}
+			if time.Since(start) < 40*time.Millisecond {
+				return errors.New("delayed send returned too fast")
+			}
+			return nil
+		}
+		_, err := c.Recv(0, 3)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Collectives must stay reliable even under an aggressive drop-everything
+// rule: only public Sends (tag >= 0) pass through the injection points.
+func TestCollectivesImmuneToNetFaults(t *testing.T) {
+	w := NewWorld(4, Topology{})
+	w.InjectFaults(faults.New(1).
+		Enable(faults.Rule{Point: faults.NetDrop, Rank: faults.AnyRank, Probability: 1, Fires: 1 << 30}))
+	err := w.Run(func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		got, err := c.AllreduceInt64(int64(c.Rank()), OpSum)
+		if err != nil {
+			return err
+		}
+		if got != 6 {
+			return errors.New("allreduce wrong under net faults")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialRetryTimeoutWrapsAddr(t *testing.T) {
+	// 127.0.0.1:1 is essentially guaranteed closed.
+	_, err := dialRetryTimeout("127.0.0.1:1", 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if want := "127.0.0.1:1"; !contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the peer %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSelfSendImmuneToNetFaults(t *testing.T) {
+	// A rank's message to itself is loopback — it never crosses the
+	// interconnect, so even a drop-everything rule must not touch it.
+	// Teardown control messages (core's shutdown self-send) depend on this.
+	w := NewWorld(2, Topology{})
+	w.InjectFaults(faults.New(3).
+		Enable(faults.Rule{Point: faults.NetDrop, Rank: faults.AnyRank, Tag: faults.AnyTag, Probability: 1}))
+	err := w.Run(func(c *Comm) error {
+		if err := c.Send(c.Rank(), 9, []byte("self")); err != nil {
+			return err
+		}
+		m, err := c.Recv(c.Rank(), 9)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "self" {
+			return fmt.Errorf("self-send payload = %q", m.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

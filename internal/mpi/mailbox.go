@@ -1,6 +1,9 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // mailbox is one rank's receive queue on one communicator. Messages are kept
 // in arrival order; matching scans from the head, preserving MPI's
@@ -55,6 +58,39 @@ func (b *mailbox) recv(source, tag int) (Message, error) {
 		}
 		if b.aborted {
 			return Message{}, ErrAborted
+		}
+		b.cond.Wait()
+	}
+}
+
+// recvDeadline is recv bounded by a deadline; d <= 0 blocks forever. The
+// timer fires a broadcast so the waiter re-checks and sees the expiry.
+func (b *mailbox) recvDeadline(source, tag int, d time.Duration) (Message, error) {
+	if d <= 0 {
+		return b.recv(source, tag)
+	}
+	expired := false
+	timer := time.AfterFunc(d, func() {
+		b.mu.Lock()
+		expired = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+	defer timer.Stop()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.queue {
+			if matches(m, source, tag) {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if b.aborted {
+			return Message{}, ErrAborted
+		}
+		if expired {
+			return Message{}, ErrTimeout
 		}
 		b.cond.Wait()
 	}

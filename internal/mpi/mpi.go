@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"papyruskv/internal/faults"
 	"papyruskv/internal/simnet"
 )
 
@@ -31,6 +33,11 @@ const (
 // ErrAborted is returned from blocked or subsequent operations after any
 // rank calls Abort or returns an error from the Run body.
 var ErrAborted = errors.New("mpi: world aborted")
+
+// ErrTimeout is returned by RecvTimeout when no matching message arrives
+// within the deadline. The caller decides whether to retry or to declare the
+// peer failed; the runtime itself never aborts on a timeout.
+var ErrTimeout = errors.New("mpi: receive timed out")
 
 // Message is a received message.
 type Message struct {
@@ -71,6 +78,10 @@ type World struct {
 	// multi-process world: sends to other ranks go through the TCP mesh
 	// and only this process's rank has local mailboxes (see JoinTCP).
 	remote *tcpMesh
+
+	// inj, when non-nil, arms the network injection points (NetDrop,
+	// NetDelay, NetDup) on every public Send in this world.
+	inj *faults.Injector
 }
 
 type boxKey struct {
@@ -93,6 +104,24 @@ func NewWorld(size int, topo Topology) *World {
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// InjectFaults arms the world's network injection points. Faults apply only
+// to public Sends (tag >= 0): collectives and bootstrap traffic use the
+// reserved negative tag space and stay reliable, mirroring fabrics where the
+// transport layer retransmits but the application-level protocol can still
+// lose messages. Each Send reports Site{Rank: sender world rank, Tag: tag,
+// Where: communicator ID}. A nil injector disarms.
+func (w *World) InjectFaults(inj *faults.Injector) {
+	w.mu.Lock()
+	w.inj = inj
+	w.mu.Unlock()
+}
+
+func (w *World) injector() *faults.Injector {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inj
+}
 
 // Topology returns the world topology.
 func (w *World) Topology() Topology { return w.topo }
@@ -274,6 +303,23 @@ func (c *Comm) Send(dest, tag int, data []byte) error {
 	if tag < 0 {
 		return fmt.Errorf("mpi: Send tag %d is negative (reserved)", tag)
 	}
+	// Self-sends are loopback: they never cross the interconnect, so
+	// network faults cannot touch them. (Close's shutdown control message
+	// relies on this — a droppable self-send could hang teardown forever.)
+	if inj := c.world.injector(); inj != nil && dest != c.rank {
+		site := faults.Site{Rank: c.members[c.rank], Tag: tag, Where: c.id}
+		if dec := inj.Eval(faults.NetDelay, site); dec.Fire && dec.Delay > 0 {
+			time.Sleep(dec.Delay)
+		}
+		if inj.Eval(faults.NetDrop, site).Fire {
+			return nil // lost in flight: the sender sees success
+		}
+		if inj.Eval(faults.NetDup, site).Fire {
+			if err := c.send(dest, tag, data); err != nil {
+				return err
+			}
+		}
+	}
 	return c.send(dest, tag, data)
 }
 
@@ -299,6 +345,14 @@ func (c *Comm) send(dest, tag int, data []byte) error {
 // and/or AnyTag as wildcards.
 func (c *Comm) Recv(source, tag int) (Message, error) {
 	return c.world.box(c.id, c.rank).recv(source, tag)
+}
+
+// RecvTimeout is Recv bounded by a deadline: it returns ErrTimeout if no
+// matching message arrives within d. d <= 0 means no deadline. Retry loops
+// over lossy paths use it so a dropped message stalls one attempt, not the
+// whole rank.
+func (c *Comm) RecvTimeout(source, tag int, d time.Duration) (Message, error) {
+	return c.world.box(c.id, c.rank).recvDeadline(source, tag, d)
 }
 
 // TryRecv returns a matching message if one is already queued.

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -347,17 +348,34 @@ func (m *tcpMesh) register(coordAddr string, addrs []string) error {
 	return nil
 }
 
-// dialRetry dials with backoff: peers come up in arbitrary order.
+// dialTotalTimeout bounds the whole dialRetry loop. Peers come up in
+// arbitrary order during bootstrap, so transient refusals are expected; a
+// peer silent past this deadline is treated as absent.
+var dialTotalTimeout = 10 * time.Second
+
+// dialRetry dials addr with exponentially backed-off, jittered retries until
+// dialTotalTimeout expires; peers come up in arbitrary order.
 func dialRetry(addr string) (net.Conn, error) {
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	return dialRetryTimeout(addr, dialTotalTimeout)
+}
+
+func dialRetryTimeout(addr string, total time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(total)
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
+	for attempt := 1; ; attempt++ {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
 			return conn, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, err
+			return nil, fmt.Errorf("mpi: dial %s: gave up after %d attempts over %v: %w",
+				addr, attempt, total, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		// Full jitter spreads dialers that all woke on the same listener.
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
 	}
 }

@@ -2,12 +2,15 @@ package nvm
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"papyruskv/internal/faults"
 )
 
 // Device is one NVM storage target rooted at a directory. All ranks of a
@@ -18,6 +21,7 @@ import (
 type Device struct {
 	dir string
 	th  throttle
+	inj *faults.Injector
 
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
@@ -37,6 +41,18 @@ func Open(dir string, model PerfModel) (*Device, error) {
 // Dir returns the device root directory.
 func (d *Device) Dir() string { return d.dir }
 
+// InjectFaults arms the device's NVM injection points (NVMWriteError,
+// NVMWriteNoSpace, NVMTornWrite, NVMReadBitFlip). A nil injector disarms
+// them. The device reports faults.AnyRank — a device is shared by its whole
+// storage group — and its root directory as the Site.Where label, so rules
+// can target one device in a multi-group cluster.
+func (d *Device) InjectFaults(inj *faults.Injector) { d.inj = inj }
+
+// site is the fault-injection site descriptor of this device.
+func (d *Device) site() faults.Site {
+	return faults.Site{Rank: faults.AnyRank, Tag: faults.AnyTag, Where: d.dir}
+}
+
 // Model returns the device performance model.
 func (d *Device) Model() PerfModel { return d.th.model }
 
@@ -47,6 +63,14 @@ func (d *Device) path(name string) string { return filepath.Join(d.dir, filepath
 func (d *Device) WriteFile(name string, data []byte) error {
 	d.th.open()
 	d.opens.Add(1)
+	if err := d.injectWriteFault(); err != nil {
+		return err
+	}
+	// A torn write keeps only a prefix of data but still "succeeds": the
+	// damage is silent until a checksum catches it.
+	if dec := d.inj.Eval(faults.NVMTornWrite, d.site()); dec.Fire {
+		data = data[:dec.TearAt(len(data))]
+	}
 	p := d.path(name)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("nvm: %w", err)
@@ -108,7 +132,24 @@ func (d *Device) ReadFile(name string) ([]byte, error) {
 		d.reads.Add(1)
 	}
 	d.bytesRead.Add(uint64(len(data)))
+	if dec := d.inj.Eval(faults.NVMReadBitFlip, d.site()); dec.Fire {
+		dec.FlipBit(data)
+	}
 	return data, nil
+}
+
+// injectWriteFault evaluates the hard-failure write points.
+func (d *Device) injectWriteFault() error {
+	if d.inj == nil {
+		return nil
+	}
+	if d.inj.Eval(faults.NVMWriteError, d.site()).Fire {
+		return fmt.Errorf("nvm: %s: %w: write error", d.dir, faults.ErrInjected)
+	}
+	if d.inj.Eval(faults.NVMWriteNoSpace, d.site()).Fire {
+		return fmt.Errorf("nvm: %s: %w", d.dir, faults.ErrNoSpace)
+	}
+	return nil
 }
 
 // File is an open random-access handle, used by SSTable binary search. Each
@@ -148,6 +189,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if err != nil && err != io.EOF {
 		return n, fmt.Errorf("nvm: %w", err)
 	}
+	if dec := f.dev.inj.Eval(faults.NVMReadBitFlip, f.dev.site()); dec.Fire {
+		dec.FlipBit(p[:n])
+	}
 	return n, err
 }
 
@@ -185,6 +229,9 @@ func (w *Writer) Write(p []byte) (int, error) {
 	w.dev.th.write(len(p))
 	w.dev.writes.Add(1)
 	w.dev.bytesWritten.Add(uint64(len(p)))
+	if err := w.dev.injectWriteFault(); err != nil {
+		return 0, err
+	}
 	n, err := w.f.Write(p)
 	w.size += int64(n)
 	if err != nil {
@@ -198,6 +245,11 @@ func (w *Writer) Size() int64 { return w.size }
 
 // Close finishes the file and publishes it under its final name.
 func (w *Writer) Close() error {
+	// A torn streaming write truncates the already-written file before it
+	// is published; Close still reports success.
+	if dec := w.dev.inj.Eval(faults.NVMTornWrite, w.dev.site()); dec.Fire && w.size > 0 {
+		_ = w.f.Truncate(int64(dec.TearAt(int(w.size))))
+	}
 	if err := w.f.Close(); err != nil {
 		os.Remove(w.tmp)
 		return fmt.Errorf("nvm: %w", err)
@@ -313,9 +365,23 @@ func (d *Device) Stats() Stats {
 // and write costs on dst. Checkpoint and restart use it to move SSTables
 // between NVM and the parallel file system.
 func Copy(dst *Device, dstName string, src *Device, srcName string) error {
+	_, _, err := CopySum(dst, dstName, src, srcName)
+	return err
+}
+
+// copyCRCTable is the Castagnoli polynomial, matching the SSTable checksums.
+var copyCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CopySum is Copy plus an integrity fingerprint: it returns the size and
+// CRC32C of the bytes read from the source. Checkpoint records the pair in
+// the snapshot manifest; restart recomputes it on the way back and compares.
+func CopySum(dst *Device, dstName string, src *Device, srcName string) (int64, uint32, error) {
 	data, err := src.ReadFile(srcName)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
-	return dst.WriteFile(dstName, data)
+	if err := dst.WriteFile(dstName, data); err != nil {
+		return 0, 0, err
+	}
+	return int64(len(data)), crc32.Checksum(data, copyCRCTable), nil
 }

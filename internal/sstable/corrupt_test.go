@@ -1,6 +1,7 @@
 package sstable
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -98,16 +99,81 @@ func TestParseIndexErrors(t *testing.T) {
 	if _, err := parseIndex(make([]byte, 5)); err == nil {
 		t.Fatal("short index parsed")
 	}
-	bad := make([]byte, 12)
+	bad := make([]byte, indexHeader)
 	if _, err := parseIndex(bad); err == nil {
 		t.Fatal("zero-magic index parsed")
 	}
 	// Valid magic but truncated entry table.
-	hdr := make([]byte, 12)
+	hdr := make([]byte, indexHeader)
 	hdr[0], hdr[1], hdr[2], hdr[3] = 0x49, 0x56, 0x4b, 0x50 // little-endian PKVI
 	hdr[4] = 5                                              // count=5, no entries
 	if _, err := parseIndex(hdr); err == nil {
 		t.Fatal("truncated entry table parsed")
+	}
+}
+
+// flipBit corrupts one bit of file name on dev.
+func flipBit(t *testing.T, dev *nvm.Device, name string, bit int) {
+	t.Helper()
+	raw, err := dev.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[bit/8] ^= 1 << (bit % 8)
+	if err := dev.WriteFile(name, raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Silent single-bit corruption — the storage-group scenario: a peer reads an
+// SSTable it did not write and the media lies. Every file of the table must
+// fail with ErrCorrupt, never return wrong data.
+func TestBitFlipDataDetected(t *testing.T) {
+	dev := corruptDev(t)
+	entries := sortedEntries(16, 5)
+	if _, err := WriteTable(dev, "d", 1, entries); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside a value region (well past the first header).
+	flipBit(t, dev, DataName("d", 1), 200)
+	var sawCorrupt bool
+	for _, mode := range []SearchMode{BinarySearch, SequentialSearch} {
+		for _, e := range entries {
+			_, _, _, err := Get(dev, "d", 1, e.Key, mode, false)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("mode %v: err = %v, want ErrCorrupt", mode, err)
+				}
+				sawCorrupt = true
+			}
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("bit flip in data file went undetected by both search modes")
+	}
+}
+
+func TestBitFlipIndexDetected(t *testing.T) {
+	dev := corruptDev(t)
+	if _, err := WriteTable(dev, "d", 1, sortedEntries(16, 6)); err != nil {
+		t.Fatal(err)
+	}
+	flipBit(t, dev, IndexName("d", 1), (indexHeader+3)*8)
+	_, _, _, err := Get(dev, "d", 1, sortedEntries(16, 6)[0].Key, BinarySearch, false)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBitFlipBloomDetected(t *testing.T) {
+	dev := corruptDev(t)
+	if _, err := WriteTable(dev, "d", 1, sortedEntries(16, 7)); err != nil {
+		t.Fatal(err)
+	}
+	flipBit(t, dev, BloomName("d", 1), 40)
+	_, _, _, err := Get(dev, "d", 1, sortedEntries(16, 7)[0].Key, BinarySearch, true)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package sstable
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"papyruskv/internal/memtable"
@@ -45,7 +46,7 @@ func (s *Scanner) fill(need int) (bool, error) {
 		if avail == 0 && remainingInFile == 0 {
 			return false, nil
 		}
-		return false, fmt.Errorf("sstable: truncated data file (need %d, have %d)", need, int64(avail)+remainingInFile)
+		return false, fmt.Errorf("%w: truncated data file (need %d, have %d)", ErrCorrupt, need, int64(avail)+remainingInFile)
 	}
 	// Slide unconsumed bytes to the front and read the next chunk.
 	copy(s.buf, s.buf[s.pos:])
@@ -66,7 +67,7 @@ func (s *Scanner) fill(need int) (bool, error) {
 	}
 	s.buf = append(s.buf, chunk[:n]...)
 	if len(s.buf)-s.pos < need {
-		return false, fmt.Errorf("sstable: short read in data file")
+		return false, fmt.Errorf("%w: short read in data file", ErrCorrupt)
 	}
 	return true, nil
 }
@@ -81,19 +82,26 @@ func (s *Scanner) Next() (memtable.Entry, bool, error) {
 	klen := binary.LittleEndian.Uint32(hdr)
 	vlen := binary.LittleEndian.Uint32(hdr[4:])
 	flags := hdr[8]
-	total := recHeader + int(klen) + int(vlen)
+	if klen > maxKVLen || vlen > maxKVLen {
+		return memtable.Entry{}, false, fmt.Errorf("%w: implausible record header (klen=%d vlen=%d)", ErrCorrupt, klen, vlen)
+	}
+	total := recHeader + int(klen) + int(vlen) + recTrailer
 	if ok, err := s.fill(total); err != nil || !ok {
 		if err == nil {
-			err = fmt.Errorf("sstable: record body truncated")
+			err = fmt.Errorf("%w: record body truncated", ErrCorrupt)
 		}
 		return memtable.Entry{}, false, err
 	}
 	rec := s.buf[s.pos : s.pos+total]
 	s.pos += total
+	body := rec[:total-recTrailer]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(rec[total-recTrailer:]) {
+		return memtable.Entry{}, false, fmt.Errorf("%w: record checksum mismatch", ErrCorrupt)
+	}
 	key := make([]byte, klen)
-	copy(key, rec[recHeader:recHeader+klen])
+	copy(key, body[recHeader:recHeader+klen])
 	val := make([]byte, vlen)
-	copy(val, rec[recHeader+klen:])
+	copy(val, body[recHeader+klen:])
 	return memtable.Entry{Key: key, Value: val, Tombstone: flags&1 != 0}, true, nil
 }
 

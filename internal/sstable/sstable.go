@@ -20,7 +20,9 @@ package sstable
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"strconv"
@@ -32,10 +34,23 @@ import (
 )
 
 const (
-	indexMagic = 0x504b5649 // "PKVI"
-	recHeader  = 9          // klen u32, vlen u32, flags u8
-	indexEntry = 16         // offset u64, keylen u32, reclen u32
+	indexMagic  = 0x504b5649 // "PKVI"
+	recHeader   = 9          // klen u32, vlen u32, flags u8
+	recTrailer  = 4          // CRC32C over header+key+value
+	indexEntry  = 16         // offset u64, keylen u32, reclen u32
+	indexHeader = 16         // magic u32, count u64, crc u32 over entries
+	maxKVLen    = 1 << 30    // sanity bound on klen/vlen from disk
 )
+
+// ErrCorrupt reports on-NVM data that fails checksum or structural
+// validation. Storage-group peers (§2.7) and restored snapshots read files
+// they did not write, so every read path verifies CRC32C checksums and
+// surfaces damage as a typed error — never as wrong data.
+var ErrCorrupt = errors.New("sstable: corrupt data")
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64 and
+// arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // DataName, IndexName, and BloomName build the device-relative file names of
 // SSTable ssid under directory dir.
@@ -95,7 +110,7 @@ func (w *Writer) Add(e memtable.Entry) error {
 	}
 	w.lastKey = append(w.lastKey[:0], e.Key...)
 	offset := w.written
-	recLen := recHeader + len(e.Key) + len(e.Value)
+	recLen := recHeader + len(e.Key) + len(e.Value) + recTrailer
 
 	w.buf = w.buf[:0]
 	var u32 [4]byte
@@ -110,6 +125,8 @@ func (w *Writer) Add(e memtable.Entry) error {
 	w.buf = append(w.buf, flags)
 	w.buf = append(w.buf, e.Key...)
 	w.buf = append(w.buf, e.Value...)
+	binary.LittleEndian.PutUint32(u32[:], crc32.Checksum(w.buf, crcTable))
+	w.buf = append(w.buf, u32[:]...)
 	w.pending = append(w.pending, w.buf...)
 	w.written += int64(len(w.buf))
 	if len(w.pending) >= writeChunk {
@@ -145,13 +162,19 @@ func (w *Writer) Close() (Meta, error) {
 	if err := w.data.Close(); err != nil {
 		return Meta{}, err
 	}
-	hdr := make([]byte, 12)
+	hdr := make([]byte, indexHeader)
 	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(w.count))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(w.index, crcTable))
 	if err := w.dev.WriteFile(IndexName(w.dir, w.ssid), append(hdr, w.index...)); err != nil {
 		return Meta{}, err
 	}
-	if err := w.dev.WriteFile(BloomName(w.dir, w.ssid), w.filter.Marshal()); err != nil {
+	// The bloom file carries a leading CRC32C over its payload.
+	payload := w.filter.Marshal()
+	blm := make([]byte, 4, 4+len(payload))
+	binary.LittleEndian.PutUint32(blm, crc32.Checksum(payload, crcTable))
+	blm = append(blm, payload...)
+	if err := w.dev.WriteFile(BloomName(w.dir, w.ssid), blm); err != nil {
 		return Meta{}, err
 	}
 	return Meta{SSID: w.ssid, Count: w.count, DataBytes: dataBytes}, nil
@@ -186,16 +209,20 @@ type indexRec struct {
 }
 
 func parseIndex(raw []byte) ([]indexRec, error) {
-	if len(raw) < 12 {
-		return nil, fmt.Errorf("sstable: short index (%d bytes)", len(raw))
+	if len(raw) < indexHeader {
+		return nil, fmt.Errorf("%w: short index (%d bytes)", ErrCorrupt, len(raw))
 	}
 	if binary.LittleEndian.Uint32(raw) != indexMagic {
-		return nil, fmt.Errorf("sstable: bad index magic")
+		return nil, fmt.Errorf("%w: bad index magic", ErrCorrupt)
 	}
 	count := binary.LittleEndian.Uint64(raw[4:])
-	raw = raw[12:]
+	crc := binary.LittleEndian.Uint32(raw[12:])
+	raw = raw[indexHeader:]
 	if uint64(len(raw)) < count*indexEntry {
-		return nil, fmt.Errorf("sstable: index truncated: %d entries, %d bytes", count, len(raw))
+		return nil, fmt.Errorf("%w: index truncated: %d entries, %d bytes", ErrCorrupt, count, len(raw))
+	}
+	if crc32.Checksum(raw, crcTable) != crc {
+		return nil, fmt.Errorf("%w: index checksum mismatch", ErrCorrupt)
 	}
 	recs := make([]indexRec, count)
 	for i := range recs {
@@ -233,9 +260,15 @@ func Get(dev *nvm.Device, dir string, ssid uint64, key []byte, mode SearchMode, 
 		if err != nil {
 			return nil, false, false, err
 		}
-		f, err := bloom.Load(raw)
+		if len(raw) < 4 {
+			return nil, false, false, fmt.Errorf("%w: short bloom file (%d bytes)", ErrCorrupt, len(raw))
+		}
+		if crc32.Checksum(raw[4:], crcTable) != binary.LittleEndian.Uint32(raw) {
+			return nil, false, false, fmt.Errorf("%w: bloom checksum mismatch", ErrCorrupt)
+		}
+		f, err := bloom.Load(raw[4:])
 		if err != nil {
-			return nil, false, false, err
+			return nil, false, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		if !f.MayContain(key) {
 			return nil, false, false, nil
@@ -262,47 +295,48 @@ func binSearch(dev *nvm.Device, dir string, ssid uint64, key []byte) ([]byte, bo
 	}
 	defer f.Close()
 
+	// Every probe reads and checksum-verifies the full record before its
+	// key is trusted: an unverified bit-flipped key could silently
+	// misroute the search into a wrong "not found".
 	lo, hi := 0, len(recs)-1
-	var keyBuf []byte
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		r := recs[mid]
-		if cap(keyBuf) < int(r.keyLen) {
-			keyBuf = make([]byte, r.keyLen)
-		}
-		keyBuf = keyBuf[:r.keyLen]
-		if _, err := f.ReadAt(keyBuf, int64(r.offset)+recHeader); err != nil && err != io.EOF {
+		recKey, val, flags, err := readRecord(f, recs[mid])
+		if err != nil {
 			return nil, false, false, err
 		}
-		switch c := bytes.Compare(key, keyBuf); {
+		switch c := bytes.Compare(key, recKey); {
 		case c < 0:
 			hi = mid - 1
 		case c > 0:
 			lo = mid + 1
 		default:
-			return readRecordValue(f, r)
+			return val, flags&1 != 0, true, nil
 		}
 	}
 	return nil, false, false, nil
 }
 
-func readRecordValue(f *nvm.File, r indexRec) ([]byte, bool, bool, error) {
+// readRecord reads the record described by r and verifies its CRC32C
+// trailer, returning the key, value, and flags.
+func readRecord(f *nvm.File, r indexRec) (key, val []byte, flags byte, err error) {
+	if r.recLen < recHeader+recTrailer || r.keyLen > maxKVLen || r.recLen > 2*maxKVLen {
+		return nil, nil, 0, fmt.Errorf("%w: implausible index entry (keyLen=%d recLen=%d)", ErrCorrupt, r.keyLen, r.recLen)
+	}
 	rec := make([]byte, r.recLen)
 	if _, err := f.ReadAt(rec, int64(r.offset)); err != nil && err != io.EOF {
-		return nil, false, false, err
+		return nil, nil, 0, err
 	}
-	if len(rec) < recHeader {
-		return nil, false, false, fmt.Errorf("sstable: corrupt record")
+	body := rec[:len(rec)-recTrailer]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(rec[len(rec)-recTrailer:]) {
+		return nil, nil, 0, fmt.Errorf("%w: record checksum mismatch", ErrCorrupt)
 	}
 	klen := binary.LittleEndian.Uint32(rec)
 	vlen := binary.LittleEndian.Uint32(rec[4:])
-	flags := rec[8]
-	if uint32(len(rec)) < recHeader+klen+vlen {
-		return nil, false, false, fmt.Errorf("sstable: truncated record")
+	if uint64(recHeader)+uint64(klen)+uint64(vlen)+recTrailer != uint64(len(rec)) {
+		return nil, nil, 0, fmt.Errorf("%w: record length mismatch", ErrCorrupt)
 	}
-	val := make([]byte, vlen)
-	copy(val, rec[recHeader+klen:recHeader+klen+vlen])
-	return val, flags&1 != 0, true, nil
+	return rec[recHeader : recHeader+klen], rec[recHeader+klen : recHeader+klen+vlen], rec[8], nil
 }
 
 func seqSearch(dev *nvm.Device, dir string, ssid uint64, key []byte) ([]byte, bool, bool, error) {
