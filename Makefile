@@ -2,11 +2,11 @@ GO ?= go
 
 # Fast packages whose tests exercise the concurrency-heavy layers; the race
 # subset keeps CI latency bounded while still racing every lock-order-
-# sensitive path (queues, caches, message layer, fault/event machinery).
-RACE_PKGS = ./internal/fifo ./internal/lru ./internal/mpi
+# sensitive path (queues, caches, message layer, fault/event/WAL machinery).
+RACE_PKGS = ./internal/fifo ./internal/lru ./internal/mpi ./internal/wal
 RACE_CORE = ./internal/core
 
-.PHONY: all build vet test race ci clean
+.PHONY: all build vet test race fuzz ci clean
 
 all: build
 
@@ -21,9 +21,14 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'TestFault|TestEvent' $(RACE_CORE)
+	$(GO) test -race -run 'TestFault|TestEvent|TestWAL' $(RACE_CORE)
 
-ci: build vet test race
+# Short coverage-guided run of the WAL replay decoder on top of its
+# committed seed corpus (internal/wal/testdata/fuzz).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
+
+ci: build vet test race fuzz
 
 clean:
 	$(GO) clean ./...

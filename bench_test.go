@@ -10,8 +10,10 @@ package papyruskv_test
 // phase as ops/s via b.ReportMetric, on top of the usual ns/op.
 
 import (
+	"fmt"
 	"testing"
 
+	"papyruskv"
 	"papyruskv/internal/experiments"
 	"papyruskv/internal/systems"
 )
@@ -118,4 +120,42 @@ func BenchmarkFig13_Meraculous(b *testing.B) {
 // and the compaction interval in isolation (see DESIGN.md §5).
 func BenchmarkAblation_DesignChoices(b *testing.B) {
 	runFigureBench(b, experiments.Ablations, benchSystem, "bloom-on")
+}
+
+// BenchmarkWALModes measures what each write-ahead-log durability
+// discipline costs on the local put path: WALDisabled is the original
+// artifact's behaviour (durability only at SSTable flush), WALAsync adds
+// the append plus a group commit every flush interval, WALSync adds an
+// fsync before every acknowledgement. Numbers live in EXPERIMENTS.md.
+func BenchmarkWALModes(b *testing.B) {
+	for _, mode := range []papyruskv.WALMode{papyruskv.WALDisabled, papyruskv.WALAsync, papyruskv.WALSync} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cluster, err := papyruskv.NewCluster(papyruskv.ClusterConfig{Ranks: 1, Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := papyruskv.DefaultOptions()
+			opt.WAL = mode
+			val := make([]byte, 128)
+			b.ResetTimer()
+			err = cluster.Run(func(ctx *papyruskv.Context) error {
+				db, err := ctx.Open("walbench", &opt)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < b.N; i++ {
+					// Key i modulo a small set keeps the MemTable from
+					// rolling every few thousand puts dominating the
+					// measurement with flush work shared by all modes.
+					if err := db.Put([]byte(fmt.Sprintf("key-%05d", i%4096)), val); err != nil {
+						return err
+					}
+				}
+				return db.Close()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }

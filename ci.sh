@@ -5,5 +5,6 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/fifo ./internal/lru ./internal/mpi
-go test -race -run 'TestFault|TestEvent' ./internal/core
+go test -race ./internal/fifo ./internal/lru ./internal/mpi ./internal/wal
+go test -race -run 'TestFault|TestEvent|TestWAL' ./internal/core
+go test -run '^$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal

@@ -3,6 +3,8 @@ package papyruskv
 import (
 	"papyruskv/internal/core"
 	"papyruskv/internal/faults"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/wal"
 )
 
 // Fault injection: the deterministic, seedable framework of internal/faults
@@ -32,6 +34,11 @@ const (
 	FaultNVMWriteNoSpace = faults.NVMWriteNoSpace
 	FaultNVMTornWrite    = faults.NVMTornWrite
 	FaultNVMReadBitFlip  = faults.NVMReadBitFlip
+	// Write-ahead-log domain: tear an append so only a prefix reaches the
+	// device (and the segment silently stops persisting, as after a crash
+	// mid-append), or fail an fsync.
+	FaultWALTornAppend = faults.WALTornAppend
+	FaultWALSyncError  = faults.WALSyncError
 	// Network domain (point-to-point messages only; collectives are
 	// immune, modelling a reliable transport under a lossy session layer).
 	FaultNetDrop  = faults.NetDrop
@@ -61,4 +68,15 @@ var (
 	// SSTable record, index, bloom filter, or snapshot file. The store
 	// returns it instead of ever returning silently wrong data.
 	ErrCorrupt = core.ErrCorrupt
+	// ErrWALCorrupt marks mid-log corruption found while replaying a
+	// write-ahead-log segment at Open: a complete record frame whose
+	// checksum or lengths are wrong. (A torn tail — the normal remains of
+	// a crash mid-append — is truncated silently, never an error.) It
+	// surfaces as the root cause inside Health()'s ErrRankFailed.
+	ErrWALCorrupt = wal.ErrCorrupt
+	// ErrDeviceFull is the typed ENOSPC sentinel: organic full-device
+	// write errors map to it, and the injected FaultNVMWriteNoSpace wraps
+	// it alongside ErrNoSpace, so Health() reports a full device as the
+	// root cause with one matchable identity.
+	ErrDeviceFull = nvm.ErrNoSpace
 )

@@ -11,6 +11,7 @@ import (
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
 	"papyruskv/internal/sstable"
+	"papyruskv/internal/wal"
 )
 
 // DB is one rank's handle on an open database. Open is collective; every
@@ -79,6 +80,17 @@ type DB struct {
 	// inj arms the CoreKill injection point; nil when faults are off.
 	inj *faults.Injector
 
+	// Write-ahead log (see wal.go). walLocal/walRemote are nil when the
+	// log is disabled or its recovery failed; walSeq stamps every record
+	// with the database-wide append order; walSegs (guarded by mu) maps
+	// each sealed MemTable to the sealed segment holding its records;
+	// walStop ends the WALAsync group-commit thread.
+	walLocal  *wal.Log
+	walRemote *wal.Log
+	walSeq    atomic.Uint64
+	walSegs   map[*memtable.Table]walSegRef
+	walStop   chan struct{}
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -131,10 +143,27 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 		db.nextSSID = existing[n-1] + 1
 	}
 
+	// Recover the write-ahead log and replay acknowledged-but-unflushed
+	// records into the fresh MemTables — this is what makes a kill-and-
+	// reopen lose nothing that was acked. Mid-log corruption fails this
+	// rank's domain (typed wal.ErrCorrupt as root cause) instead of
+	// failing the collective Open: the world keeps its alignment, the
+	// damage stays inside the failure domain that owns it.
+	db.walStop = make(chan struct{})
+	if opt.WAL != WALDisabled {
+		if err := db.walOpen(); err != nil {
+			db.fail(err)
+		}
+	}
+
 	db.wg.Add(3)
 	go db.compactionThread()
 	go db.dispatcherThread()
 	go db.handlerThread()
+	if opt.WAL == WALAsync && db.walLocal != nil {
+		db.wg.Add(1)
+		go db.walFlushThread()
+	}
 
 	// Every rank must finish composing before any rank issues remote
 	// operations against it. The barrier runs on respComm: the message
@@ -196,12 +225,15 @@ func (db *DB) Close() error {
 	var sendErr error
 	db.closeOnce.Do(func() {
 		// Stop the handler with a self-addressed control message, then
-		// close the queues to stop the compactor and dispatcher.
+		// close the queues to stop the compactor and dispatcher, and the
+		// stop channel to end the WAL group-commit thread.
 		sendErr = db.reqComm.Send(db.rt.rank, tagShutdown, nil)
 		db.flushQ.Close()
 		db.migrateQ.Close()
+		close(db.walStop)
 	})
 	db.wg.Wait()
+	db.walClose()
 	// Final barrier: every rank's handler is down together.
 	finalErr := db.respComm.Barrier()
 	switch {

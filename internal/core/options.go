@@ -52,6 +52,36 @@ func (p Protection) String() string {
 	}
 }
 
+// WALMode selects the durability discipline of the write-ahead log that
+// sits ahead of the MemTables (the WAL→MemTable→SSTable order of RocksDB).
+type WALMode int
+
+const (
+	// WALAsync (the default) appends to the log in memory and lets a
+	// group-commit thread write and fsync the accumulated records every
+	// WALFlushInterval. A kill loses at most the last commit window of
+	// acknowledged puts.
+	WALAsync WALMode = iota
+	// WALSync writes and fsyncs the log before every acknowledgement
+	// (one fsync per put, one per applied migration batch). A kill loses
+	// no acknowledged put.
+	WALSync
+	// WALDisabled turns the log off; durability begins at flush, as in
+	// the original artifact. A kill loses every MemTable-resident put.
+	WALDisabled
+)
+
+func (m WALMode) String() string {
+	switch m {
+	case WALSync:
+		return "sync"
+	case WALDisabled:
+		return "disabled"
+	default:
+		return "async"
+	}
+}
+
 // Options configures a database at open time (papyruskv_option_t plus the
 // artifact's PAPYRUSKV_* environment toggles). The zero value plus
 // DefaultOptions' fill-ins give the paper's default configuration.
@@ -99,6 +129,12 @@ type Options struct {
 	// RetryBackoff is the first inter-attempt delay; it doubles per retry.
 	// 0 selects the default (2ms).
 	RetryBackoff time.Duration
+	// WAL selects the write-ahead-log durability mode. The zero value is
+	// WALAsync: logging on, group commit.
+	WAL WALMode
+	// WALFlushInterval is the WALAsync group-commit period. 0 selects the
+	// default (2ms); WALSync and WALDisabled ignore it.
+	WALFlushInterval time.Duration
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -116,6 +152,8 @@ func DefaultOptions() Options {
 		RetryAttempts:       5,
 		RetryTimeout:        10 * time.Second,
 		RetryBackoff:        2 * time.Millisecond,
+		WAL:                 WALAsync,
+		WALFlushInterval:    2 * time.Millisecond,
 	}
 }
 
@@ -139,6 +177,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = d.RetryBackoff
+	}
+	if o.WALFlushInterval <= 0 {
+		o.WALFlushInterval = d.WALFlushInterval
 	}
 	return o
 }

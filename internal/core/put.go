@@ -56,18 +56,36 @@ func (db *DB) put(key, value []byte, tombstone bool) error {
 	return db.putRemote(e)
 }
 
-// putLocal inserts an entry this rank owns into the local MemTable,
+// putLocal inserts an entry this rank owns into the local MemTable, with
+// full WAL discipline: the record is logged before the insert and — in
+// WALSync mode — persisted before the caller sees success.
+func (db *DB) putLocal(e memtable.Entry) error {
+	if err := db.putLocalBuffered(e); err != nil {
+		return err
+	}
+	return db.walCommit(db.walLocal)
+}
+
+// putLocalBuffered inserts an entry this rank owns into the local MemTable,
 // evicting any stale local-cache entry for the key and rolling the MemTable
-// into the flushing queue when it reaches capacity. Both the application
+// into the flushing queue when it reaches capacity. The entry is appended
+// to the local WAL stream in the same critical section as the insert, but
+// not yet committed: the caller chooses the durability point (walCommit per
+// put, per batch, or the group-commit thread's tick). Both the application
 // thread and the message handler (applying migrated or synchronous remote
 // puts) call it.
-func (db *DB) putLocal(e memtable.Entry) error {
+func (db *DB) putLocalBuffered(e memtable.Entry) error {
 	db.localCache.Invalidate(e.Key)
 
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return ErrInvalidDB
+	}
+	if err := db.walAppendLocked(db.walLocal, e); err != nil {
+		db.mu.Unlock()
+		db.fail(fmt.Errorf("wal append: %w", err))
+		return db.Health()
 	}
 	db.localMT.Put(e)
 	var sealed *memtable.Table
@@ -89,22 +107,32 @@ func (db *DB) putLocal(e memtable.Entry) error {
 }
 
 // rollLocalLocked seals the local MemTable, makes it visible to gets via
-// immLocal, and installs a fresh mutable table. Caller holds db.mu.
+// immLocal, installs a fresh mutable table, and rotates the local WAL
+// stream at the same record boundary. Caller holds db.mu.
 func (db *DB) rollLocalLocked() *memtable.Table {
 	sealed := db.localMT
 	sealed.Seal()
 	db.immLocal = append(db.immLocal, sealed)
 	db.localMT = memtable.New()
+	db.walRotateLocked(db.walLocal, sealed)
 	return sealed
 }
 
 // putRemote stages a remote-owned entry in the remote MemTable (relaxed
-// consistency), rolling it into the migration queue at capacity.
+// consistency), rolling it into the migration queue at capacity. The entry
+// is WAL-logged in the remote stream first: the application's Put returns
+// success before the pair reaches its owner, so the promise must already
+// be on this rank's NVM.
 func (db *DB) putRemote(e memtable.Entry) error {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return ErrInvalidDB
+	}
+	if err := db.walAppendLocked(db.walRemote, e); err != nil {
+		db.mu.Unlock()
+		db.fail(fmt.Errorf("wal append: %w", err))
+		return db.Health()
 	}
 	db.remoteMT.Put(e)
 	var sealed *memtable.Table
@@ -120,16 +148,17 @@ func (db *DB) putRemote(e memtable.Entry) error {
 			return ErrInvalidDB
 		}
 	}
-	return nil
+	return db.walCommit(db.walRemote)
 }
 
-// rollRemoteLocked seals the remote MemTable into immRemote. Caller holds
-// db.mu.
+// rollRemoteLocked seals the remote MemTable into immRemote and rotates the
+// remote WAL stream with it. Caller holds db.mu.
 func (db *DB) rollRemoteLocked() *memtable.Table {
 	sealed := db.remoteMT
 	sealed.Seal()
 	db.immRemote = append(db.immRemote, sealed)
 	db.remoteMT = memtable.New()
+	db.walRotateLocked(db.walRemote, sealed)
 	return sealed
 }
 

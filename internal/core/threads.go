@@ -57,7 +57,9 @@ func (db *DB) flushOne(table *memtable.Table) {
 	db.sstMu.Unlock()
 
 	// The flushed MemTable's data is now reachable via the SSTable;
-	// remove the table from the immutable list and free it.
+	// remove the table from the immutable list and free it, and delete
+	// the WAL segment that was shadowing it — the SSTable has taken over
+	// its durability.
 	db.mu.Lock()
 	for i, t := range db.immLocal {
 		if t == table {
@@ -66,6 +68,7 @@ func (db *DB) flushOne(table *memtable.Table) {
 		}
 	}
 	db.mu.Unlock()
+	db.walDropSegment(table)
 
 	if db.opt.CompactionEvery > 0 && ssid%db.opt.CompactionEvery == 0 && db.checkpointPin.value() == 0 {
 		db.compact()
@@ -166,7 +169,11 @@ func (db *DB) migrateOne(table *memtable.Table) {
 		db.metrics.MigratedPairs.Add(uint64(len(entries)))
 	}
 	// All deliverable pairs are applied at their owners; drop the table
-	// from the get-visible immutable remote list.
+	// from the get-visible immutable remote list, and the WAL segment
+	// that was shadowing it. (Pairs bound for a failed peer are gone
+	// either way — their loss is already recorded in peerFailed and
+	// reported at the next Fence — so the segment must not resurrect
+	// them into a divergent replay.)
 	db.mu.Lock()
 	for i, t := range db.immRemote {
 		if t == table {
@@ -175,6 +182,7 @@ func (db *DB) migrateOne(table *memtable.Table) {
 		}
 	}
 	db.mu.Unlock()
+	db.walDropSegment(table)
 }
 
 // handlerThread is the paper's message handler: it serves migration
@@ -230,10 +238,18 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 	} else {
 		for _, e := range entries {
 			e.Owner = db.rt.rank
-			if err := db.putLocal(e); err != nil {
+			if err := db.putLocalBuffered(e); err != nil {
 				db.fail(err)
 				rec = ackRecord{status: ackFailed, msg: err.Error()}
 				break
+			}
+		}
+		// One WAL commit per batch (WALSync's fsync-per-batch): the
+		// sender's retry discipline means the ack is the durability
+		// promise, so it is issued only after the commit.
+		if rec.status == ackOK {
+			if err := db.walCommit(db.walLocal); err != nil {
+				rec = ackRecord{status: ackFailed, msg: err.Error()}
 			}
 		}
 	}

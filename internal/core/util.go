@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"papyruskv/internal/stats"
 )
 
 // counter is a waitable pending-work counter: the runtime uses one for
@@ -68,11 +70,17 @@ type Metrics struct {
 	MigrationRetries atomic.Uint64 // migration/sync-put attempts beyond the first
 	GetRetries       atomic.Uint64 // remote-get attempts beyond the first
 	DupsDropped      atomic.Uint64 // duplicate requests dropped by the dedup window
+
+	// WAL holds the write-ahead-log counters (records/bytes appended,
+	// fsyncs, group commits, recovery totals), incremented by the wal
+	// package and flattened into Snapshot with a wal_ prefix.
+	WAL stats.WAL
 }
 
-// Snapshot returns a plain-values copy for reporting.
+// Snapshot returns a plain-values copy for reporting, the WAL counters
+// included under their wal_ keys.
 func (m *Metrics) Snapshot() map[string]uint64 {
-	return map[string]uint64{
+	snap := map[string]uint64{
 		"puts_local":        m.PutsLocal.Load(),
 		"puts_remote":       m.PutsRemote.Load(),
 		"puts_sync":         m.PutsSync.Load(),
@@ -91,4 +99,8 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"get_retries":       m.GetRetries.Load(),
 		"dups_dropped":      m.DupsDropped.Load(),
 	}
+	for k, v := range m.WAL.Snapshot() {
+		snap[k] = v
+	}
+	return snap
 }

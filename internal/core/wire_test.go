@@ -196,11 +196,15 @@ func TestMetricsSnapshotComplete(t *testing.T) {
 	var m Metrics
 	m.PutsLocal.Add(3)
 	m.SharedSSTReads.Add(7)
+	m.WAL.RecordsAppended.Add(11)
 	snap := m.Snapshot()
 	if snap["puts_local"] != 3 || snap["shared_sst_reads"] != 7 {
 		t.Fatalf("snapshot = %v", snap)
 	}
-	if len(snap) != 17 {
+	if snap["wal_records_appended"] != 11 {
+		t.Fatalf("snapshot is missing the WAL counters: %v", snap)
+	}
+	if len(snap) != 24 {
 		t.Fatalf("snapshot has %d fields; update Snapshot when adding metrics", len(snap))
 	}
 }

@@ -4,6 +4,7 @@
 // wired into the corresponding layer:
 //
 //	nvm.Device   NVMWriteError, NVMWriteNoSpace, NVMTornWrite, NVMReadBitFlip
+//	wal          WALTornAppend, WALSyncError
 //	mpi/simnet   NetDrop, NetDelay, NetDup
 //	core         CoreKill
 //
@@ -43,6 +44,17 @@ const (
 	// NVMReadBitFlip flips one bit in the data returned by a device read,
 	// modelling silent media corruption.
 	NVMReadBitFlip Point = "nvm.read-bitflip"
+
+	// WALTornAppend tears a write-ahead-log append: only a prefix of the
+	// record frame reaches the device, and the segment silently stops
+	// persisting from then on — the post-crash state of a rank that died
+	// mid-append. The append still reports success, exactly like a real
+	// power cut between the write and the crash; only replay's frame
+	// checksums can see it.
+	WALTornAppend Point = "wal.torn-append"
+	// WALSyncError fails a write-ahead-log fsync (a sync-mode commit or
+	// an async group commit) with ErrInjected.
+	WALSyncError Point = "wal.sync-error"
 
 	// NetDrop silently discards a point-to-point message.
 	NetDrop Point = "net.drop"

@@ -1,6 +1,7 @@
 package nvm
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -9,9 +10,27 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"syscall"
 
 	"papyruskv/internal/faults"
 )
+
+// ErrNoSpace is the typed full-device sentinel: every write path maps an
+// organic ENOSPC from the operating system to it, and the injected
+// NVMWriteNoSpace fault wraps it too, so callers match one sentinel for
+// "the device is full" regardless of how it happened. WAL appends are the
+// first writers to hit it on a filling device; the owning rank's Health()
+// then reports it as the root cause.
+var ErrNoSpace = errors.New("nvm: no space left on device")
+
+// wrapErr maps an OS-level write error to the package's typed sentinels:
+// ENOSPC becomes ErrNoSpace, everything else is wrapped verbatim.
+func wrapErr(err error) error {
+	if errors.Is(err, syscall.ENOSPC) {
+		return fmt.Errorf("%w: %v", ErrNoSpace, err)
+	}
+	return fmt.Errorf("nvm: %w", err)
+}
 
 // Device is one NVM storage target rooted at a directory. All ranks of a
 // storage group share a single Device instance, which is what makes their
@@ -48,9 +67,16 @@ func (d *Device) Dir() string { return d.dir }
 // can target one device in a multi-group cluster.
 func (d *Device) InjectFaults(inj *faults.Injector) { d.inj = inj }
 
-// site is the fault-injection site descriptor of this device.
-func (d *Device) site() faults.Site {
-	return faults.Site{Rank: faults.AnyRank, Tag: faults.AnyTag, Where: d.dir}
+// site is the fault-injection site descriptor of this device. name, when
+// non-empty, is the device-relative file being accessed; including it in the
+// Where label lets rules target one file class (e.g. Where: "wal") on a
+// device shared by SSTables, snapshots, and WAL segments alike.
+func (d *Device) site(name string) faults.Site {
+	where := d.dir
+	if name != "" {
+		where = d.dir + "/" + name
+	}
+	return faults.Site{Rank: faults.AnyRank, Tag: faults.AnyTag, Where: where}
 }
 
 // Model returns the device performance model.
@@ -63,22 +89,22 @@ func (d *Device) path(name string) string { return filepath.Join(d.dir, filepath
 func (d *Device) WriteFile(name string, data []byte) error {
 	d.th.open()
 	d.opens.Add(1)
-	if err := d.injectWriteFault(); err != nil {
+	if err := d.injectWriteFault(name); err != nil {
 		return err
 	}
 	// A torn write keeps only a prefix of data but still "succeeds": the
 	// damage is silent until a checksum catches it.
-	if dec := d.inj.Eval(faults.NVMTornWrite, d.site()); dec.Fire {
+	if dec := d.inj.Eval(faults.NVMTornWrite, d.site(name)); dec.Fire {
 		data = data[:dec.TearAt(len(data))]
 	}
 	p := d.path(name)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return fmt.Errorf("nvm: %w", err)
+		return wrapErr(err)
 	}
 	tmp := p + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("nvm: %w", err)
+		return wrapErr(err)
 	}
 	const chunk = 1 << 20
 	for off := 0; off < len(data); off += chunk {
@@ -91,7 +117,7 @@ func (d *Device) WriteFile(name string, data []byte) error {
 		if _, err := f.Write(data[off:end]); err != nil {
 			f.Close()
 			os.Remove(tmp)
-			return fmt.Errorf("nvm: %w", err)
+			return wrapErr(err)
 		}
 	}
 	if len(data) == 0 {
@@ -101,11 +127,11 @@ func (d *Device) WriteFile(name string, data []byte) error {
 	d.bytesWritten.Add(uint64(len(data)))
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("nvm: %w", err)
+		return wrapErr(err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("nvm: %w", err)
+		return wrapErr(err)
 	}
 	return nil
 }
@@ -132,22 +158,26 @@ func (d *Device) ReadFile(name string) ([]byte, error) {
 		d.reads.Add(1)
 	}
 	d.bytesRead.Add(uint64(len(data)))
-	if dec := d.inj.Eval(faults.NVMReadBitFlip, d.site()); dec.Fire {
+	if dec := d.inj.Eval(faults.NVMReadBitFlip, d.site(name)); dec.Fire {
 		dec.FlipBit(data)
 	}
 	return data, nil
 }
 
-// injectWriteFault evaluates the hard-failure write points.
-func (d *Device) injectWriteFault() error {
+// injectWriteFault evaluates the hard-failure write points for a write to
+// the device-relative file name.
+func (d *Device) injectWriteFault(name string) error {
 	if d.inj == nil {
 		return nil
 	}
-	if d.inj.Eval(faults.NVMWriteError, d.site()).Fire {
+	if d.inj.Eval(faults.NVMWriteError, d.site(name)).Fire {
 		return fmt.Errorf("nvm: %s: %w: write error", d.dir, faults.ErrInjected)
 	}
-	if d.inj.Eval(faults.NVMWriteNoSpace, d.site()).Fire {
-		return fmt.Errorf("nvm: %s: %w", d.dir, faults.ErrNoSpace)
+	if d.inj.Eval(faults.NVMWriteNoSpace, d.site(name)).Fire {
+		// The injected full-device error carries both identities: it is an
+		// ENOSPC (ErrNoSpace) and it was injected (faults.ErrNoSpace wraps
+		// faults.ErrInjected).
+		return fmt.Errorf("nvm: %s: %w: %w", d.dir, ErrNoSpace, faults.ErrNoSpace)
 	}
 	return nil
 }
@@ -156,9 +186,10 @@ func (d *Device) injectWriteFault() error {
 // ReadAt pays one device read operation — the cost structure that makes
 // binary search a win on NVM and a loss on Lustre.
 type File struct {
-	dev *Device
-	f   *os.File
-	sz  int64
+	dev  *Device
+	f    *os.File
+	name string
+	sz   int64
 }
 
 // OpenFile opens name for random-access reads, charging the open latency.
@@ -174,7 +205,7 @@ func (d *Device) OpenFile(name string) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("nvm: %w", err)
 	}
-	return &File{dev: d, f: f, sz: st.Size()}, nil
+	return &File{dev: d, f: f, name: name, sz: st.Size()}, nil
 }
 
 // Size returns the file size in bytes.
@@ -189,7 +220,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if err != nil && err != io.EOF {
 		return n, fmt.Errorf("nvm: %w", err)
 	}
-	if dec := f.dev.inj.Eval(faults.NVMReadBitFlip, f.dev.site()); dec.Fire {
+	if dec := f.dev.inj.Eval(faults.NVMReadBitFlip, f.dev.site(f.name)); dec.Fire {
 		dec.FlipBit(p[:n])
 	}
 	return n, err
@@ -202,6 +233,7 @@ func (f *File) Close() error { return f.f.Close() }
 // to write SSTables chunk by chunk. Close makes the file visible atomically.
 type Writer struct {
 	dev  *Device
+	name string
 	tmp  string
 	dst  string
 	f    *os.File
@@ -214,14 +246,14 @@ func (d *Device) Create(name string) (*Writer, error) {
 	d.opens.Add(1)
 	p := d.path(name)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return nil, fmt.Errorf("nvm: %w", err)
+		return nil, wrapErr(err)
 	}
 	tmp := p + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return nil, fmt.Errorf("nvm: %w", err)
+		return nil, wrapErr(err)
 	}
-	return &Writer{dev: d, tmp: tmp, dst: p, f: f}, nil
+	return &Writer{dev: d, name: name, tmp: tmp, dst: p, f: f}, nil
 }
 
 // Write appends p as one device write operation.
@@ -229,13 +261,13 @@ func (w *Writer) Write(p []byte) (int, error) {
 	w.dev.th.write(len(p))
 	w.dev.writes.Add(1)
 	w.dev.bytesWritten.Add(uint64(len(p)))
-	if err := w.dev.injectWriteFault(); err != nil {
+	if err := w.dev.injectWriteFault(w.name); err != nil {
 		return 0, err
 	}
 	n, err := w.f.Write(p)
 	w.size += int64(n)
 	if err != nil {
-		return n, fmt.Errorf("nvm: %w", err)
+		return n, wrapErr(err)
 	}
 	return n, nil
 }
@@ -247,16 +279,16 @@ func (w *Writer) Size() int64 { return w.size }
 func (w *Writer) Close() error {
 	// A torn streaming write truncates the already-written file before it
 	// is published; Close still reports success.
-	if dec := w.dev.inj.Eval(faults.NVMTornWrite, w.dev.site()); dec.Fire && w.size > 0 {
+	if dec := w.dev.inj.Eval(faults.NVMTornWrite, w.dev.site(w.name)); dec.Fire && w.size > 0 {
 		_ = w.f.Truncate(int64(dec.TearAt(int(w.size))))
 	}
 	if err := w.f.Close(); err != nil {
 		os.Remove(w.tmp)
-		return fmt.Errorf("nvm: %w", err)
+		return wrapErr(err)
 	}
 	if err := os.Rename(w.tmp, w.dst); err != nil {
 		os.Remove(w.tmp)
-		return fmt.Errorf("nvm: %w", err)
+		return wrapErr(err)
 	}
 	return nil
 }
@@ -265,6 +297,83 @@ func (w *Writer) Close() error {
 func (w *Writer) Abort() {
 	w.f.Close()
 	os.Remove(w.tmp)
+}
+
+// Appender is an open append-only handle; the write-ahead log uses it to
+// grow a segment record by record. Unlike Writer, the file is visible under
+// its final name from the first byte — a crash leaves the prefix written so
+// far, which is exactly the durability contract a WAL needs.
+type Appender struct {
+	dev  *Device
+	name string
+	f    *os.File
+	size int64
+}
+
+// OpenAppend opens name for appending, creating it (and parent directories)
+// if needed, charging the open latency. An existing file is extended, which
+// is how a reopened database continues a surviving segment's epoch chain.
+func (d *Device) OpenAppend(name string) (*Appender, error) {
+	d.th.open()
+	d.opens.Add(1)
+	p := d.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, wrapErr(err)
+	}
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, wrapErr(err)
+	}
+	return &Appender{dev: d, name: name, f: f, size: st.Size()}, nil
+}
+
+// Append writes p at the end of the file as one device write operation.
+func (a *Appender) Append(p []byte) error {
+	a.dev.th.write(len(p))
+	a.dev.writes.Add(1)
+	a.dev.bytesWritten.Add(uint64(len(p)))
+	if err := a.dev.injectWriteFault(a.name); err != nil {
+		return err
+	}
+	n, err := a.f.Write(p)
+	a.size += int64(n)
+	if err != nil {
+		return wrapErr(err)
+	}
+	return nil
+}
+
+// Truncate cuts the file to n bytes; replay uses it to drop a torn tail.
+func (a *Appender) Truncate(n int64) error {
+	if err := a.f.Truncate(n); err != nil {
+		return wrapErr(err)
+	}
+	a.size = n
+	return nil
+}
+
+// Sync flushes the appended bytes to stable storage.
+func (a *Appender) Sync() error {
+	if err := a.f.Sync(); err != nil {
+		return wrapErr(err)
+	}
+	return nil
+}
+
+// Size returns the file size in bytes.
+func (a *Appender) Size() int64 { return a.size }
+
+// Close releases the handle without syncing.
+func (a *Appender) Close() error {
+	if err := a.f.Close(); err != nil {
+		return wrapErr(err)
+	}
+	return nil
 }
 
 // Remove deletes name. Removing a missing file is not an error (compaction

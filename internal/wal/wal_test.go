@@ -1,0 +1,443 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"papyruskv/internal/faults"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/stats"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Seq:       uint64(i + 1),
+			Epoch:     1,
+			Tombstone: i%5 == 4,
+			Key:       []byte(fmt.Sprintf("key-%03d", i)),
+			Value:     []byte(fmt.Sprintf("value-%03d", i)),
+		}
+		if recs[i].Tombstone {
+			recs[i].Value = nil
+		}
+	}
+	return recs
+}
+
+func encodeAll(recs []Record) []byte {
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	return buf
+}
+
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || a[i].Epoch != b[i].Epoch || a[i].Tombstone != b[i].Tombstone ||
+			!bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	recs := testRecords(20)
+	buf := encodeAll(recs)
+	got, clean, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if clean != len(buf) {
+		t.Fatalf("clean = %d, want %d", clean, len(buf))
+	}
+	if !sameRecords(recs, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+	if n := EncodedSize(recs[0]); n != frameHeader+payloadFixed+len(recs[0].Key)+len(recs[0].Value) {
+		t.Fatalf("EncodedSize = %d", n)
+	}
+}
+
+func TestCodecEmptyKeyValue(t *testing.T) {
+	recs := []Record{{Seq: 1, Epoch: 1, Key: []byte{0}, Value: nil}}
+	got, clean, err := DecodeAll(encodeAll(recs))
+	if err != nil || clean != EncodedSize(recs[0]) || len(got) != 1 {
+		t.Fatalf("got %v clean=%d err=%v", got, clean, err)
+	}
+}
+
+// TestCodecTornTail: every strict prefix of a valid log decodes without
+// error to the records whose frames are whole — the crash-mid-append
+// contract replay relies on.
+func TestCodecTornTail(t *testing.T) {
+	recs := testRecords(4)
+	buf := encodeAll(recs)
+	// Frame boundaries.
+	var bounds []int
+	off := 0
+	for _, r := range recs {
+		off += EncodedSize(r)
+		bounds = append(bounds, off)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		got, clean, err := DecodeAll(buf[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v (a torn tail is never corruption)", cut, err)
+		}
+		wantWhole := 0
+		for _, b := range bounds {
+			if cut >= b {
+				wantWhole++
+			}
+		}
+		if len(got) != wantWhole {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(got), wantWhole)
+		}
+		if clean != 0 && clean != bounds[len(got)-1] {
+			t.Fatalf("cut %d: clean = %d, want frame boundary %d", cut, clean, bounds[len(got)-1])
+		}
+	}
+}
+
+// TestCodecMidLogCorruption: a flipped byte in a complete frame is
+// ErrCorrupt, and the clean prefix stops at the damaged frame.
+func TestCodecMidLogCorruption(t *testing.T) {
+	recs := testRecords(3)
+	buf := encodeAll(recs)
+	first := EncodedSize(recs[0])
+	for _, pos := range []int{0, 4, frameHeader, first - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[pos] ^= 0x10
+		got, clean, err := DecodeAll(bad)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", pos, err)
+		}
+		if len(got) != 0 || clean != 0 {
+			t.Fatalf("flip at %d: got %d records, clean %d; corruption in frame 0 must stop the log there", pos, len(got), clean)
+		}
+	}
+	// Damage in the second frame still salvages the first.
+	bad := append([]byte(nil), buf...)
+	bad[first+frameHeader+2] ^= 0x01
+	got, clean, err := DecodeAll(bad)
+	if !errors.Is(err, ErrCorrupt) || len(got) != 1 || clean != first {
+		t.Fatalf("second-frame damage: got %d records, clean %d, err %v", len(got), clean, err)
+	}
+}
+
+func testDevice(t *testing.T) *nvm.Device {
+	t.Helper()
+	d, err := nvm.Open(t.TempDir(), nvm.PerfModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testConfig(d *nvm.Device) Config {
+	return Config{Device: d, Dir: "db/r0", Stream: "local", Sync: true, Rank: 0, Stats: &stats.WAL{}}
+}
+
+// TestLogCommitRecover: records committed before a (simulated) kill are all
+// returned by the next Recover, the old segments are garbage-collected
+// after the re-log, and the counters add up.
+func TestLogCommitRecover(t *testing.T) {
+	dev := testDevice(t)
+	cfg := testConfig(dev)
+	l, recs, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("initial Recover: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(recs))
+	}
+	want := testRecords(10)
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon() // simulated kill: no clean close
+
+	l2, got, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover after kill: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) || got[i].Seq != want[i].Seq {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if n := cfg.Stats.RecordsRecovered.Load(); n != 10 {
+		t.Fatalf("RecordsRecovered = %d, want 10", n)
+	}
+	// The old epoch's segments were deleted after the re-log; only the
+	// fresh epoch's active segment remains.
+	names, err := dev.List("db/r0/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("segments on device after recovery = %v, want just the new active one", names)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third recovery replays the re-logged records identically.
+	_, got3, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got3) != 10 {
+		t.Fatalf("third recovery: %d records, want 10", len(got3))
+	}
+}
+
+// TestLogRotateAndRemove: rotation seals the active segment under a name
+// the caller can delete after its MemTable flush commits, bounding WAL
+// bytes; the next segment continues the same epoch.
+func TestLogRotateAndRemove(t *testing.T) {
+	dev := testDevice(t)
+	cfg := testConfig(dev)
+	l, _, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords(5) {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed == "" || !dev.Exists(sealed) {
+		t.Fatalf("sealed segment %q missing from device", sealed)
+	}
+	sz, err := dev.FileSize(sealed)
+	if err != nil || sz == 0 {
+		t.Fatalf("sealed segment empty (size %d, err %v): Rotate must flush the buffer first", sz, err)
+	}
+	if err := l.Remove(sealed); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Exists(sealed) {
+		t.Fatal("sealed segment still on device after Remove")
+	}
+	// Data in the removed segment is gone; data after rotation survives.
+	if err := l.Append(Record{Seq: 99, Key: []byte("after"), Value: []byte("rotation")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Key) != "after" {
+		t.Fatalf("recovered %+v, want only the post-rotation record", got)
+	}
+}
+
+// TestRecoverTruncatesTornSegment: a segment ending mid-frame (the on-disk
+// remains of a crash during an append) yields its whole-frame prefix and
+// counts as truncated, not as an error.
+func TestRecoverTruncatesTornSegment(t *testing.T) {
+	dev := testDevice(t)
+	cfg := testConfig(dev)
+	recs := testRecords(3)
+	buf := encodeAll(recs)
+	torn := buf[:len(buf)-EncodedSize(recs[2])+5] // third frame cut mid-header/payload
+	a, err := dev.OpenAppend(segName(cfg.Dir, cfg.Stream, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, got, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover of torn segment: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recovered %d records, want the 2 whole ones", len(got))
+	}
+	if cfg.Stats.SegmentsTruncated.Load() != 1 {
+		t.Fatalf("SegmentsTruncated = %d, want 1", cfg.Stats.SegmentsTruncated.Load())
+	}
+	l.Close()
+}
+
+// TestRecoverMidLogCorruption: a flipped byte inside a complete frame is
+// typed ErrCorrupt — the log cannot be trusted, unlike a torn tail.
+func TestRecoverMidLogCorruption(t *testing.T) {
+	dev := testDevice(t)
+	cfg := testConfig(dev)
+	buf := encodeAll(testRecords(3))
+	buf[frameHeader+3] ^= 0x80 // inside the first frame's payload
+	a, err := dev.OpenAppend(segName(cfg.Dir, cfg.Stream, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(cfg); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Recover err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTornAppendPoisonsLog: once WALTornAppend fires, the firing batch
+// reaches the device only as a prefix and later batches not at all — while
+// every append still reports success. Replay sees exactly the pre-tear
+// prefix.
+func TestTornAppendPoisonsLog(t *testing.T) {
+	dev := testDevice(t)
+	inj := faults.New(0x70a4).Enable(faults.Rule{
+		Point: faults.WALTornAppend, Rank: faults.AnyRank, Count: 3, Fires: 1,
+	})
+	cfg := testConfig(dev)
+	cfg.Inj = inj
+	l, _, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(6)
+	for i, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatalf("commit %d: %v (a torn append must look like success)", i, err)
+		}
+	}
+	l.Abandon()
+	if inj.Fired(faults.WALTornAppend) != 1 {
+		t.Fatalf("torn-append fired %d times, want 1", inj.Fired(faults.WALTornAppend))
+	}
+	cfg.Inj = nil
+	_, got, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover after torn append: %v", err)
+	}
+	// Batches 1 and 2 committed whole; batch 3 is torn to a strict prefix
+	// of one frame (= zero whole records); batches 4..6 never reached the
+	// device.
+	if len(got) != 2 {
+		t.Fatalf("recovered %d records, want exactly the 2 pre-tear commits", len(got))
+	}
+}
+
+// TestSyncErrorInjection: WALSyncError turns Commit into a typed injected
+// failure the caller can fail its rank with.
+func TestSyncErrorInjection(t *testing.T) {
+	dev := testDevice(t)
+	inj := faults.New(0x5e).Enable(faults.Rule{
+		Point: faults.WALSyncError, Rank: faults.AnyRank, Count: 1, Fires: 1,
+	})
+	cfg := testConfig(dev)
+	cfg.Inj = inj
+	l, _, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecords(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Commit err = %v, want ErrInjected", err)
+	}
+	l.Abandon()
+}
+
+// TestStreamsAreIndependent: local and remote segments share the wal
+// directory without interfering; each stream recovers only its own.
+func TestStreamsAreIndependent(t *testing.T) {
+	dev := testDevice(t)
+	lcfg := testConfig(dev)
+	rcfg := lcfg
+	rcfg.Stream = "remote"
+	ll, _, err := Recover(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, _, err := Recover(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll.Append(Record{Seq: 1, Key: []byte("mine"), Value: []byte("l")})
+	rl.Append(Record{Seq: 2, Key: []byte("theirs"), Value: []byte("r")})
+	ll.Close()
+	rl.Close()
+	_, lgot, err := Recover(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rgot, err := Recover(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lgot) != 1 || string(lgot[0].Key) != "mine" {
+		t.Fatalf("local stream recovered %+v", lgot)
+	}
+	if len(rgot) != 1 || string(rgot[0].Key) != "theirs" {
+		t.Fatalf("remote stream recovered %+v", rgot)
+	}
+}
+
+// TestGroupCommitStats: group commits count batches and fsyncs; empty
+// ticks do no device work.
+func TestGroupCommitStats(t *testing.T) {
+	dev := testDevice(t)
+	cfg := testConfig(dev)
+	cfg.Sync = false
+	l, _, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords(4) {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.GroupCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.GroupCommit(); err != nil { // empty tick
+		t.Fatal(err)
+	}
+	if n := cfg.Stats.GroupCommits.Load(); n != 1 {
+		t.Fatalf("GroupCommits = %d, want 1 (empty ticks must not count)", n)
+	}
+	if n := cfg.Stats.Fsyncs.Load(); n != 1 {
+		t.Fatalf("Fsyncs = %d, want 1", n)
+	}
+	if n := cfg.Stats.RecordsAppended.Load(); n != 4 {
+		t.Fatalf("RecordsAppended = %d, want 4", n)
+	}
+	l.Close()
+}

@@ -68,6 +68,10 @@ type (
 	// HashFunc maps a key to its owner rank; install a custom one via
 	// Options.Hash for application-specific load balancing.
 	HashFunc = hashfn.Func
+	// WALMode selects the write-ahead-log durability discipline via
+	// Options.WAL: WALAsync (group commit, the default), WALSync (fsync
+	// before every acknowledgement), or WALDisabled.
+	WALMode = core.WALMode
 )
 
 // Consistency modes (PAPYRUSKV_RELAXED, PAPYRUSKV_SEQUENTIAL).
@@ -87,6 +91,16 @@ const (
 const (
 	MemTableLevel = core.LevelMemTable
 	SSTableLevel  = core.LevelSSTable
+)
+
+// Write-ahead-log durability modes (Options.WAL). WALAsync is the zero
+// value: a kill loses at most the last group-commit window of acknowledged
+// puts. WALSync loses none. WALDisabled restores the original artifact's
+// behaviour, where durability begins only at SSTable flush.
+const (
+	WALAsync    = core.WALAsync
+	WALSync     = core.WALSync
+	WALDisabled = core.WALDisabled
 )
 
 // Error codes (PAPYRUSKV_NOT_FOUND, PAPYRUSKV_INVALID_DB, ...).
