@@ -5,6 +5,7 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/fifo ./internal/lru ./internal/mpi ./internal/wal
-go test -race -run 'TestFault|TestEvent|TestWAL' ./internal/core
+go test -race ./internal/fifo ./internal/lru ./internal/mpi ./internal/sstable ./internal/wal
+go test -race -run 'TestFault|TestEvent|TestWAL|TestReaderCache|TestSharedRead' ./internal/core
 go test -run '^$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
+go test -run '^$' -bench BenchmarkSSTableGet -benchtime 1x ./internal/sstable

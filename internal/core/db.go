@@ -47,6 +47,12 @@ type DB struct {
 	localCache  *lru.Cache
 	remoteCache *lru.Cache
 
+	// readers is the device's shared SSTable reader cache (see
+	// sstable.ReaderCache): every rank on the device — the whole storage
+	// group — resolves to the same instance, so the owner's invalidations
+	// on compaction, restore, and teardown cover the peers' shared reads.
+	readers *sstable.ReaderCache
+
 	flushQ   *fifo.Queue[*memtable.Table]
 	migrateQ *fifo.Queue[*memtable.Table]
 
@@ -129,9 +135,13 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 		pendingFlush:  newCounter(),
 		pendingMigr:   newCounter(),
 		checkpointPin: newCounter(),
+		readers:       sstable.CacheFor(rt.cfg.Device, opt.ReaderCacheBytes),
 		nextSSID:      1,
 	}
 	db.applyProtection(opt.Protection)
+	// The counters are device-wide (shared with the storage group's other
+	// ranks), surfaced here under the reader_cache_ snapshot keys.
+	db.metrics.Readers = db.readers.Counters()
 
 	// Compose from SSTables already on NVM (zero-copy reopen).
 	existing, err := sstable.ListSSIDs(rt.cfg.Device, db.dir(rt.rank))
@@ -234,6 +244,10 @@ func (db *DB) Close() error {
 	})
 	db.wg.Wait()
 	db.walClose()
+	// Release this rank's cached reader handles (and their fds). The
+	// per-device cache outlives the database — peers may still be reading
+	// shared tables — but this rank's own directory has no readers left.
+	db.readers.EvictDir(db.dir(db.rt.rank))
 	// Final barrier: every rank's handler is down together.
 	finalErr := db.respComm.Barrier()
 	switch {

@@ -9,7 +9,6 @@ import (
 
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
-	"papyruskv/internal/sstable"
 )
 
 // Get retrieves the value for key (papyruskv_get), following the search
@@ -124,11 +123,18 @@ func (db *DB) searchOwnSSTables(key []byte) ([]byte, bool, bool, error) {
 }
 
 // searchSSTableList probes the given SSTables newest-first with the
-// configured search mode and bloom usage.
+// configured search mode and bloom usage, through the device's reader cache.
+// A table deleted by compaction after ids was snapshotted surfaces as
+// fs.ErrNotExist; its cache entry (possibly a stale positive, possibly the
+// negative entry this very probe just created) is evicted before the error
+// propagates, so the caller's retry with a fresh list starts clean.
 func (db *DB) searchSSTableList(dir string, ids []uint64, key []byte) ([]byte, bool, bool, error) {
 	for i := len(ids) - 1; i >= 0; i-- {
-		val, tomb, found, err := sstable.Get(db.rt.cfg.Device, dir, ids[i], key, db.opt.SearchMode, db.opt.UseBloom)
+		val, tomb, found, err := db.readers.Get(dir, ids[i], key, db.opt.SearchMode, db.opt.UseBloom)
 		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				db.readers.Evict(dir, ids[i])
+			}
 			return nil, false, false, err
 		}
 		if found {
@@ -219,7 +225,13 @@ func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
 				db.remoteCache.Put(key, nil, false)
 				return nil, ErrNotFound
 			}
-			db.localCache.Put(key, val, true)
+			// The key is remote-owned, so the result belongs in the remote
+			// cache, exactly like a value shipped by the owner: only remote
+			// caching is invalidated when the owner's updates become
+			// visible (applyProtection). Storing it in localCache — whose
+			// entries only local puts invalidate — would serve the owner's
+			// later overwrites stale forever.
+			db.remoteCache.Put(key, val, true)
 			return val, nil
 		case getError, getErrorCorrupt, getErrorFailed:
 			return nil, remoteGetError(owner, resp.Status, resp.Err)
@@ -281,11 +293,14 @@ func (db *DB) recvGetResp(owner int, seq uint64) (getResponse, error) {
 	}
 }
 
+// remoteEntryResult resolves a hit in the remote-side staging MemTables.
+// The returned slice still aliases the MemTable entry: ownership transfers
+// at exactly one boundary, Get's copyValue at the API return edge (the same
+// discipline handleGet relies on, where encodeGetResponse copies at the
+// wire edge).
 func remoteEntryResult(e memtable.Entry) ([]byte, error) {
 	if e.Tombstone {
 		return nil, ErrNotFound
 	}
-	out := make([]byte, len(e.Value))
-	copy(out, e.Value)
-	return out, nil
+	return e.Value, nil
 }

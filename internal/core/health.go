@@ -16,16 +16,26 @@ import (
 // serving everything that does not involve the failed rank.
 
 // fail records err as this database's root-cause failure. Only the first
-// call wins; later errors are usually consequences of the first.
+// call wins; later errors are usually consequences of the first. The first
+// failure also tears down this rank's cached SSTable reader handles: a
+// domain that failed mid-write may leave tables in any state, and the
+// failed rank's storage-group peers must not keep serving reads from
+// handles validated before the damage.
 func (db *DB) fail(err error) {
 	if err == nil {
 		return
 	}
 	db.failMu.Lock()
-	if db.failedErr == nil {
+	first := db.failedErr == nil
+	if first {
 		db.failedErr = err
 	}
 	db.failMu.Unlock()
+	if first {
+		// Outside failMu: eviction takes the cache lock and closes fds,
+		// and callers of Health() hold failMu-adjacent paths.
+		db.readers.EvictDir(db.dir(db.rt.rank))
+	}
 }
 
 // Fail marks this rank's database failed with the given root cause, exactly

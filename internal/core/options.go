@@ -111,6 +111,14 @@ type Options struct {
 	// newly flushed SSTable's SSID is a multiple of it; 0 disables
 	// compaction.
 	CompactionEvery uint64
+	// ReaderCacheBytes bounds the per-device SSTable reader cache, which
+	// pins each hot table's validated bloom filter, parsed SSIndex, and
+	// open data file so repeated gets skip the device reads and CRC
+	// passes. The cache is shared by every rank on a device (a storage
+	// group shares one), and its capacity is fixed by the first database
+	// opened on that device. 0 selects the default (32MB); a negative
+	// value disables the cache.
+	ReaderCacheBytes int64
 	// QueueDepth bounds the flushing and migration queues; a full queue
 	// blocks puts (back-pressure, §2.4).
 	QueueDepth int
@@ -148,6 +156,7 @@ func DefaultOptions() Options {
 		SearchMode:          sstable.BinarySearch,
 		UseBloom:            true,
 		CompactionEvery:     8,
+		ReaderCacheBytes:    32 << 20,
 		QueueDepth:          4,
 		RetryAttempts:       5,
 		RetryTimeout:        10 * time.Second,
@@ -162,6 +171,9 @@ func (o Options) withDefaults() Options {
 	d := DefaultOptions()
 	if o.MemTableCapacity <= 0 {
 		o.MemTableCapacity = d.MemTableCapacity
+	}
+	if o.ReaderCacheBytes == 0 {
+		o.ReaderCacheBytes = d.ReaderCacheBytes
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = d.QueueDepth

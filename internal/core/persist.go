@@ -282,10 +282,13 @@ func (rt *Runtime) Restart(path, name string, opt Options, forceRedistribute boo
 func (rt *Runtime) restartVerbatim(path, name string, opt Options, m manifest) (*DB, *Event, error) {
 	ev := newEvent()
 	// Clear any stale on-NVM state for this database first so the
-	// restored image is exact.
+	// restored image is exact, and drop any reader handles cached over the
+	// old files — the restore rewrites the same (dir, ssid) names with
+	// snapshot content, which a stale cached bloom/index would mask.
 	if err := rt.cfg.Device.RemoveAll(fmt.Sprintf("%s/r%d", name, rt.rank)); err != nil {
 		return nil, nil, err
 	}
+	sstable.EvictDeviceDir(rt.cfg.Device, fmt.Sprintf("%s/r%d", name, rt.rank))
 	db, err := rt.Open(name, opt)
 	if err != nil {
 		return nil, nil, err
@@ -305,7 +308,11 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options, m manifest) (
 				return
 			}
 		}
-		// Compose: adopt the restored SSTables.
+		// Drop entries cached during the copy window — gets racing the
+		// restore may have memoised not-found (negative entries) for
+		// SSIDs that now exist — then compose: adopt the restored
+		// SSTables.
+		db.readers.EvictDir(dst)
 		ids, err := sstable.ListSSIDs(rt.cfg.Device, dst)
 		if err != nil {
 			ev.complete(err)
@@ -334,6 +341,7 @@ func (rt *Runtime) restartRedistribute(path, name string, opt Options, snapRanks
 	if err := rt.cfg.Device.RemoveAll(fmt.Sprintf("%s/r%d", name, rt.rank)); err != nil {
 		return nil, nil, err
 	}
+	sstable.EvictDeviceDir(rt.cfg.Device, fmt.Sprintf("%s/r%d", name, rt.rank))
 	db, err := rt.Open(name, opt)
 	if err != nil {
 		return nil, nil, err
@@ -379,7 +387,11 @@ func (db *DB) Destroy() (*Event, error) {
 	}
 	ev := newEvent()
 	go func() {
-		ev.complete(dev.RemoveAll(dir))
+		err := dev.RemoveAll(dir)
+		// Close already evicted this rank's handles; sweep again after
+		// the removal in case a racing peer read repopulated an entry.
+		sstable.EvictDeviceDir(dev, dir)
+		ev.complete(err)
 	}()
 	return ev, nil
 }

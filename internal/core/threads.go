@@ -81,14 +81,19 @@ func (db *DB) flushOne(table *memtable.Table) {
 // searchOwnSSTables). A failed merge fails this rank's domain; the input
 // tables stay live, so no data is lost.
 func (db *DB) compact() {
+	// Decide whether compaction has work before allocating the output
+	// SSID: burning one on the early return would leak an SSID per
+	// skipped compaction and skew the ssid%CompactionEvery trigger
+	// cadence.
 	db.sstMu.Lock()
+	if len(db.ssids) < 2 {
+		db.sstMu.Unlock()
+		return
+	}
 	inputs := append([]uint64(nil), db.ssids...)
 	mergedID := db.nextSSID
 	db.nextSSID++
 	db.sstMu.Unlock()
-	if len(inputs) < 2 {
-		return
-	}
 
 	dir := db.dir(db.rt.rank)
 	if _, err := sstable.Merge(db.rt.cfg.Device, dir, inputs, mergedID); err != nil {
@@ -96,6 +101,14 @@ func (db *DB) compact() {
 		return
 	}
 	db.metrics.Compactions.Add(1)
+	// The inputs' files are gone; drop their cached reader handles so the
+	// whole storage group (the cache is per-device) stops probing them. A
+	// get holding a pinned handle across the deletion still reads
+	// correctly — the fd outlives the unlink, and the merged table is a
+	// superset — and the pin defers the close, never the eviction.
+	for _, id := range inputs {
+		db.readers.Evict(dir, id)
+	}
 
 	db.sstMu.Lock()
 	// Keep any SSTables flushed while the merge ran (they are newer than
@@ -263,6 +276,11 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 // shared SSTables directly, eliminating the value transfer (§2.7). A failed
 // rank, or a local read error (e.g. a corrupt SSTable), answers getError
 // with the cause instead of data.
+//
+// Value ownership: resp.Value may alias live MemTable or cache storage
+// right up to encodeGetResponse, which copies it into the wire buffer —
+// the one copy on this side of the request. The handler must not retain or
+// mutate resp.Value after that point.
 func (db *DB) handleGet(m mpi.Message) {
 	req, err := decodeGetRequest(m.Data)
 	if err != nil {

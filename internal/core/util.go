@@ -75,6 +75,12 @@ type Metrics struct {
 	// fsyncs, group commits, recovery totals), incremented by the wal
 	// package and flattened into Snapshot with a wal_ prefix.
 	WAL stats.WAL
+
+	// Readers points at the SSTable reader-cache counters, flattened into
+	// Snapshot with a reader_cache_ prefix. The cache — and therefore
+	// these counters — is per NVM device, shared by every rank of a
+	// storage group, not per-rank like the counters above.
+	Readers *stats.ReaderCache
 }
 
 // Snapshot returns a plain-values copy for reporting, the WAL counters
@@ -101,6 +107,11 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 	}
 	for k, v := range m.WAL.Snapshot() {
 		snap[k] = v
+	}
+	if m.Readers != nil {
+		for k, v := range m.Readers.Snapshot() {
+			snap[k] = v
+		}
 	}
 	return snap
 }

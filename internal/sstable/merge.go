@@ -3,6 +3,9 @@ package sstable
 import (
 	"bytes"
 	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
 
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/nvm"
@@ -41,9 +44,18 @@ func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, e
 		if ok {
 			heap.Push(h, mergeItem{entry: e, ssid: id, scanner: sc})
 		}
-		// Rough size estimate for the bloom filter: count via index header
-		// would cost an extra read per input; overestimating is harmless.
-		expected += 1024
+		// Size the output bloom filter from the inputs' true entry counts,
+		// so merging large tables keeps the configured false-positive rate
+		// and merging tiny ones does not over-allocate. The count is free
+		// when the input's index is in the reader cache; otherwise it is a
+		// 16-byte header read. An unreadable index falls back to a rough
+		// estimate rather than failing the merge — the merge itself only
+		// needs the data files.
+		if n, err := EntryCount(dev, dir, id); err == nil {
+			expected += n
+		} else {
+			expected += 1024
+		}
 	}
 
 	w, err := NewWriter(dev, dir, newSSID, expected)
@@ -85,6 +97,36 @@ func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, e
 		}
 	}
 	return meta, nil
+}
+
+// EntryCount returns the number of records in SSTable ssid, from the
+// device's reader cache when the table's index is already loaded, else from
+// the SSIndex header (a single 16-byte read; the entries blob is not
+// fetched, so the header CRC cannot be verified here — only the magic is
+// checked).
+func EntryCount(dev *nvm.Device, dir string, ssid uint64) (int, error) {
+	if c := lookupCache(dev); c != nil {
+		if n, ok := c.cachedCount(dir, ssid); ok {
+			return n, nil
+		}
+	}
+	f, err := dev.OpenFile(IndexName(dir, ssid))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, indexHeader)
+	if _, err := f.ReadAt(hdr, 0); err != nil && err != io.EOF {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr) != indexMagic {
+		return 0, fmt.Errorf("%w: bad index magic", ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint64(hdr[4:])
+	if count > maxKVLen {
+		return 0, fmt.Errorf("%w: implausible index count %d", ErrCorrupt, count)
+	}
+	return int(count), nil
 }
 
 // MergeScan streams the logical merge of the given SSTables — each key's

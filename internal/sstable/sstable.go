@@ -256,19 +256,9 @@ const (
 // useBloom controls whether the bloom filter file is consulted first.
 func Get(dev *nvm.Device, dir string, ssid uint64, key []byte, mode SearchMode, useBloom bool) (value []byte, tombstone, found bool, err error) {
 	if useBloom {
-		raw, err := dev.ReadFile(BloomName(dir, ssid))
+		f, err := loadBloom(dev, dir, ssid)
 		if err != nil {
 			return nil, false, false, err
-		}
-		if len(raw) < 4 {
-			return nil, false, false, fmt.Errorf("%w: short bloom file (%d bytes)", ErrCorrupt, len(raw))
-		}
-		if crc32.Checksum(raw[4:], crcTable) != binary.LittleEndian.Uint32(raw) {
-			return nil, false, false, fmt.Errorf("%w: bloom checksum mismatch", ErrCorrupt)
-		}
-		f, err := bloom.Load(raw[4:])
-		if err != nil {
-			return nil, false, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		if !f.MayContain(key) {
 			return nil, false, false, nil
@@ -280,12 +270,37 @@ func Get(dev *nvm.Device, dir string, ssid uint64, key []byte, mode SearchMode, 
 	return binSearch(dev, dir, ssid, key)
 }
 
-func binSearch(dev *nvm.Device, dir string, ssid uint64, key []byte) ([]byte, bool, bool, error) {
-	rawIdx, err := dev.ReadFile(IndexName(dir, ssid))
+// loadBloom reads SSTable ssid's bloom file, verifies its leading CRC32C,
+// and unmarshals the filter.
+func loadBloom(dev *nvm.Device, dir string, ssid uint64) (*bloom.Filter, error) {
+	raw, err := dev.ReadFile(BloomName(dir, ssid))
 	if err != nil {
-		return nil, false, false, err
+		return nil, err
 	}
-	recs, err := parseIndex(rawIdx)
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("%w: short bloom file (%d bytes)", ErrCorrupt, len(raw))
+	}
+	if crc32.Checksum(raw[4:], crcTable) != binary.LittleEndian.Uint32(raw) {
+		return nil, fmt.Errorf("%w: bloom checksum mismatch", ErrCorrupt)
+	}
+	f, err := bloom.Load(raw[4:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return f, nil
+}
+
+// loadIndex reads and validates SSTable ssid's SSIndex.
+func loadIndex(dev *nvm.Device, dir string, ssid uint64) ([]indexRec, error) {
+	raw, err := dev.ReadFile(IndexName(dir, ssid))
+	if err != nil {
+		return nil, err
+	}
+	return parseIndex(raw)
+}
+
+func binSearch(dev *nvm.Device, dir string, ssid uint64, key []byte) ([]byte, bool, bool, error) {
+	recs, err := loadIndex(dev, dir, ssid)
 	if err != nil {
 		return nil, false, false, err
 	}
@@ -294,10 +309,14 @@ func binSearch(dev *nvm.Device, dir string, ssid uint64, key []byte) ([]byte, bo
 		return nil, false, false, err
 	}
 	defer f.Close()
+	return searchRecords(f, recs, key)
+}
 
-	// Every probe reads and checksum-verifies the full record before its
-	// key is trusted: an unverified bit-flipped key could silently
-	// misroute the search into a wrong "not found".
+// searchRecords binary-searches the records listed in recs through the open
+// data file. Every probe reads and checksum-verifies the full record before
+// its key is trusted: an unverified bit-flipped key could silently misroute
+// the search into a wrong "not found".
+func searchRecords(f *nvm.File, recs []indexRec, key []byte) ([]byte, bool, bool, error) {
 	lo, hi := 0, len(recs)-1
 	for lo <= hi {
 		mid := (lo + hi) / 2
