@@ -1,0 +1,33 @@
+package sstable
+
+import (
+	"sync"
+	"testing"
+)
+
+// Hammer concurrent miss-loads against EvictDir to widen the
+// evict-during-load window.
+func TestReproEvictDuringLoad(t *testing.T) {
+	dev := testDevice(t)
+	dir := "db/r0"
+	writeTable(t, dev, dir, 1, 200)
+	c := NewReaderCache(dev, 1<<20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 300; j++ {
+				c.Get(dir, 1, []byte("k0000000001"), BinarySearch, true)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 300; j++ {
+				c.EvictDir(dir)
+			}
+		}()
+	}
+	wg.Wait()
+}
