@@ -3,10 +3,10 @@ GO ?= go
 # Fast packages whose tests exercise the concurrency-heavy layers; the race
 # subset keeps CI latency bounded while still racing every lock-order-
 # sensitive path (queues, caches, message layer, fault/event/WAL machinery).
-RACE_PKGS = ./internal/fifo ./internal/lru ./internal/mpi ./internal/wal
+RACE_PKGS = ./internal/fifo ./internal/lru ./internal/mpi ./internal/sstable ./internal/wal
 RACE_CORE = ./internal/core
 
-.PHONY: all build vet test race fuzz ci clean
+.PHONY: all build vet test race fuzz bench-smoke ci clean
 
 all: build
 
@@ -21,14 +21,20 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'TestFault|TestEvent|TestWAL' $(RACE_CORE)
+	$(GO) test -race -run 'TestFault|TestEvent|TestWAL|TestReaderCache|TestSharedRead|TestRPC' $(RACE_CORE)
 
 # Short coverage-guided run of the WAL replay decoder on top of its
 # committed seed corpus (internal/wal/testdata/fuzz).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
 
-ci: build vet test race fuzz
+# One-iteration benchmark runs: catches benchmarks that no longer compile
+# or error out, without paying for real measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkSSTableGet -benchtime 1x ./internal/sstable
+	$(GO) test -run '^$$' -bench BenchmarkConcurrentRemoteGet -benchtime 1x ./internal/core
+
+ci: build vet test race fuzz bench-smoke
 
 clean:
 	$(GO) clean ./...

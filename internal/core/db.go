@@ -15,22 +15,34 @@ import (
 )
 
 // DB is one rank's handle on an open database. Open is collective; every
-// rank holds a structurally identical descriptor. A DB is safe for use by
-// one application goroutine per rank (the SPMD model) concurrently with the
-// runtime's own background goroutines.
+// rank holds a structurally identical descriptor. Put, Get, Delete, and
+// Metrics are safe for any number of application goroutines per rank
+// (MPI_THREAD_MULTIPLE, §2.3): concurrent remote operations each register
+// in the response router's pending-call table and can never consume one
+// another's replies. The collective operations — Open, Close, Fence,
+// Barrier, Checkpoint, Restart, SetConsistency, Protect — must be called by
+// one goroutine per rank, in the same order on every rank, and not
+// concurrently with each other; that is MPI's own collective-ordering
+// contract, not a lock this layer could supply.
 type DB struct {
 	rt   *Runtime
 	name string
 
-	// reqComm carries requests into message handlers; respComm carries
-	// their replies. Both are private duplicates of the world
-	// communicator, so runtime traffic can never collide with
-	// application messages (§2.4, Migration). ckptComm carries the
-	// checkpoint commit collectives, which run on a goroutine concurrent
-	// with application-thread collectives on respComm.
-	reqComm  *mpi.Comm
-	respComm *mpi.Comm
-	ckptComm *mpi.Comm
+	// reqComm carries requests into message handlers; replyComm carries
+	// their replies back, drained exclusively by the response router
+	// (router.go) and demultiplexed to waiting callers by (tag, seq);
+	// respComm carries the application-thread collectives (barriers).
+	// All are private duplicates of the world communicator, so runtime
+	// traffic can never collide with application messages (§2.4,
+	// Migration), and the split keeps the router's wildcard receive off
+	// the collective traffic (a message-barrier world's tokens would
+	// otherwise be stolen). ckptComm carries the checkpoint commit
+	// collectives, which run on a goroutine concurrent with
+	// application-thread collectives on respComm.
+	reqComm   *mpi.Comm
+	respComm  *mpi.Comm
+	replyComm *mpi.Comm
+	ckptComm  *mpi.Comm
 
 	// mu guards the MemTables, immutable-table lists, consistency and
 	// protection state.
@@ -83,6 +95,14 @@ type DB struct {
 	// dedup is the handler-side duplicate-request window.
 	dedup dedupWindow
 
+	// calls is the response router's pending-call table (router.go);
+	// closing is closed when Close begins teardown and routerDone when
+	// the router exits, so retry loops blocked on replies or backoff
+	// timers wake immediately instead of stalling shutdown.
+	calls      pendingCalls
+	closing    chan struct{}
+	routerDone chan struct{}
+
 	// inj arms the CoreKill injection point; nil when faults are off.
 	inj *faults.Injector
 
@@ -122,7 +142,10 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 		opt:           opt,
 		reqComm:       rt.cfg.Comm.Dup(),
 		respComm:      rt.cfg.Comm.Dup(),
+		replyComm:     rt.cfg.Comm.Dup(),
 		ckptComm:      rt.cfg.Comm.Dup(),
+		closing:       make(chan struct{}),
+		routerDone:    make(chan struct{}),
 		inj:           rt.cfg.Faults,
 		localMT:       memtable.New(),
 		remoteMT:      memtable.New(),
@@ -166,19 +189,21 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 		}
 	}
 
-	db.wg.Add(3)
+	db.wg.Add(4)
 	go db.compactionThread()
 	go db.dispatcherThread()
 	go db.handlerThread()
+	go db.routerThread()
 	if opt.WAL == WALAsync && db.walLocal != nil {
 		db.wg.Add(1)
 		go db.walFlushThread()
 	}
 
 	// Every rank must finish composing before any rank issues remote
-	// operations against it. The barrier runs on respComm: the message
-	// handler wildcard-receives on reqComm and would steal barrier
-	// tokens in a distributed (message-barrier) world.
+	// operations against it. The barrier runs on respComm, which carries
+	// only collectives: the message handler wildcard-receives on reqComm
+	// and the response router on replyComm, and either would steal
+	// barrier tokens in a distributed (message-barrier) world.
 	if err := db.respComm.Barrier(); err != nil {
 		return nil, err
 	}
@@ -234,10 +259,19 @@ func (db *DB) Close() error {
 
 	var sendErr error
 	db.closeOnce.Do(func() {
-		// Stop the handler with a self-addressed control message, then
-		// close the queues to stop the compactor and dispatcher, and the
-		// stop channel to end the WAL group-commit thread.
+		// Wake any retry ladder still sleeping or waiting on a reply (an
+		// application thread that raced Close, or requests to an already
+		// failed peer): their backoff timers and reply waits select on
+		// closing and error out instead of stalling the teardown below.
+		close(db.closing)
+		// Stop the handler and the response router with self-addressed
+		// control messages, then close the queues to stop the compactor
+		// and dispatcher, and the stop channel to end the WAL
+		// group-commit thread.
 		sendErr = db.reqComm.Send(db.rt.rank, tagShutdown, nil)
+		if err := db.replyComm.Send(db.rt.rank, tagShutdown, nil); err != nil && sendErr == nil {
+			sendErr = err
+		}
 		db.flushQ.Close()
 		db.migrateQ.Close()
 		close(db.walStop)

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io/fs"
 	"strings"
-	"time"
 
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
@@ -176,28 +175,41 @@ func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
 	if err := db.peerErr(owner); err != nil {
 		return nil, err
 	}
-	// Each attempt sends a fresh request (fresh seq) and waits up to the
-	// retry timeout for its response; responses to earlier timed-out
-	// attempts are discarded by seq. A shared-SSTable search that races
-	// compaction also re-asks, consuming an attempt.
+	// Each attempt sends a fresh request (fresh seq), registered in the
+	// response router's pending-call table before the send, and waits up
+	// to the retry timeout for its routed response; responses to earlier
+	// timed-out attempts find no registration and are dropped centrally
+	// by the router. A shared-SSTable search that races compaction also
+	// re-asks, consuming an attempt.
 	backoff := db.opt.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < db.opt.RetryAttempts; attempt++ {
 		if attempt > 0 {
 			db.metrics.GetRetries.Add(1)
-			time.Sleep(backoff)
-			backoff *= 2
+			if err := db.sleepBackoff(&backoff); err != nil {
+				return nil, err
+			}
 		}
 		seq := db.sendSeq.Add(1)
-		req := encodeGetRequest(getRequest{Seq: seq, Key: key, Group: db.rt.group})
-		if err := db.reqComm.Send(owner, tagGet, req); err != nil {
+		ch, err := db.calls.register(tagGetResp, seq)
+		if err != nil {
 			return nil, err
 		}
-		resp, err := db.recvGetResp(owner, seq)
+		req := encodeGetRequest(getRequest{Seq: seq, Key: key, Group: db.rt.group})
+		if err := db.reqComm.Send(owner, tagGet, req); err != nil {
+			db.calls.deregister(tagGetResp, seq)
+			return nil, err
+		}
+		m, err := db.awaitReply(ch)
+		db.calls.deregister(tagGetResp, seq)
 		if errors.Is(err, mpi.ErrTimeout) {
 			lastErr = err
 			continue
 		}
+		if err != nil {
+			return nil, err
+		}
+		resp, err := decodeGetResponse(m.Data)
 		if err != nil {
 			return nil, err
 		}
@@ -267,30 +279,6 @@ func remoteGetError(owner, status int, msg string) error {
 	// trim it so re-wrapping does not print the prefix twice.
 	msg = strings.TrimPrefix(msg, sentinel.Error()+": ")
 	return fmt.Errorf("papyruskv: get from rank %d: %w: %s", owner, sentinel, msg)
-}
-
-// recvGetResp waits up to the retry timeout for the response matching seq,
-// consuming and discarding responses to stale attempts.
-func (db *DB) recvGetResp(owner int, seq uint64) (getResponse, error) {
-	deadline := time.Now().Add(db.opt.RetryTimeout)
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return getResponse{}, mpi.ErrTimeout
-		}
-		m, err := db.respComm.RecvTimeout(owner, tagGetResp, remain)
-		if err != nil {
-			return getResponse{}, err
-		}
-		resp, err := decodeGetResponse(m.Data)
-		if err != nil {
-			return getResponse{}, err
-		}
-		if resp.Seq != seq {
-			continue
-		}
-		return resp, nil
-	}
 }
 
 // remoteEntryResult resolves a hit in the remote-side staging MemTables.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"papyruskv/internal/faults"
 )
@@ -109,8 +110,13 @@ func (db *DB) maybeKill() {
 // source rank, with the ack each produced. A retried or duplicated request
 // whose seq is still in the window is not re-applied; its original ack is
 // replayed. Sequence numbers are allocated from one per-database counter on
-// the sender, so the window can be shared by every request type.
+// the sender, so the window can be shared by every request type. Handler
+// workers for different source ranks touch the window concurrently (only
+// requests from one source are serialized onto one worker), so the shared
+// map is mutex-guarded; per-source seen/record pairs stay race-free because
+// per-source apply order is preserved by the worker sharding.
 type dedupWindow struct {
+	mu       sync.Mutex
 	bySource map[int]*sourceWindow
 }
 
@@ -130,9 +136,10 @@ type ackRecord struct {
 }
 
 // seen reports whether (source, seq) was already applied and, if so, the ack
-// it produced. The handler thread is the window's only reader and writer, so
-// no locking is needed.
+// it produced.
 func (w *dedupWindow) seen(source int, seq uint64) (ackRecord, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	sw := w.bySource[source]
 	if sw == nil {
 		return ackRecord{}, false
@@ -144,6 +151,8 @@ func (w *dedupWindow) seen(source int, seq uint64) (ackRecord, bool) {
 // record remembers the ack for (source, seq), evicting the oldest entry once
 // the window is full.
 func (w *dedupWindow) record(source int, seq uint64, rec ackRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.bySource == nil {
 		w.bySource = make(map[int]*sourceWindow)
 	}

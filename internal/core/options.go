@@ -134,9 +134,21 @@ type Options struct {
 	// (10s) is generous for that reason. Tests injecting message loss
 	// shrink it to keep retries fast. 0 selects the default.
 	RetryTimeout time.Duration
-	// RetryBackoff is the first inter-attempt delay; it doubles per retry.
-	// 0 selects the default (2ms).
+	// RetryBackoff is the first inter-attempt delay; it doubles per retry
+	// (with full jitter) up to RetryBackoffCap. 0 selects the default (2ms).
 	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the exponential inter-attempt delay; without
+	// it a deep retry ladder against a slow-but-healthy peer slept for
+	// whole minutes. 0 selects the default (500ms, matching the dial
+	// backoff of the distributed message layer).
+	RetryBackoffCap time.Duration
+	// HandlerThreads is the number of message-handler workers serving
+	// remote requests. Requests that mutate state (migration batches,
+	// synchronous puts) are sharded by source rank so each source's
+	// batches apply in the order it sent them; remote gets are served by
+	// whichever worker is free, so a get stuck in an NVM SSTable search
+	// cannot head-of-line-block migration acks. 0 selects the default (4).
+	HandlerThreads int
 	// WAL selects the write-ahead-log durability mode. The zero value is
 	// WALAsync: logging on, group commit.
 	WAL WALMode
@@ -161,6 +173,8 @@ func DefaultOptions() Options {
 		RetryAttempts:       5,
 		RetryTimeout:        10 * time.Second,
 		RetryBackoff:        2 * time.Millisecond,
+		RetryBackoffCap:     500 * time.Millisecond,
+		HandlerThreads:      4,
 		WAL:                 WALAsync,
 		WALFlushInterval:    2 * time.Millisecond,
 	}
@@ -189,6 +203,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = d.RetryBackoff
+	}
+	if o.RetryBackoffCap <= 0 {
+		o.RetryBackoffCap = d.RetryBackoffCap
+	}
+	if o.RetryBackoffCap < o.RetryBackoff {
+		o.RetryBackoffCap = o.RetryBackoff
+	}
+	if o.HandlerThreads <= 0 {
+		o.HandlerThreads = d.HandlerThreads
 	}
 	if o.WALFlushInterval <= 0 {
 		o.WALFlushInterval = d.WALFlushInterval

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
-	"time"
 
 	"papyruskv/internal/mpi"
 )
@@ -16,29 +15,47 @@ const (
 )
 
 // sendReliable delivers one already-seq-framed request to dest's message
-// handler and waits for the matching acknowledgement, retrying with
-// exponential backoff when none arrives within the per-attempt deadline.
-// Retries resend the identical message (same seq), so the receiver's dedup
-// window guarantees at-most-once application; together with the retries that
-// makes delivery exactly-once unless the peer is truly gone. retries counts
-// attempts beyond the first for the metrics.
+// handler and waits for the matching acknowledgement, retrying with capped,
+// jittered exponential backoff when none arrives within the per-attempt
+// deadline. Retries resend the identical message (same seq), so the
+// receiver's dedup window guarantees at-most-once application; together with
+// the retries that makes delivery exactly-once unless the peer is truly
+// gone. retries counts attempts beyond the first for the metrics.
+//
+// The ack is claimed through the response router's pending-call table, not
+// a filtered receive on the communicator, so any number of threads can wait
+// on acks from the same peer concurrently without consuming each other's
+// replies. The call is registered once for the whole ladder — every attempt
+// reuses the seq — and a duplicate ack provoked by a duplicated request is
+// either buffered for the next attempt (its content is identical, the dedup
+// window replays the original) or dropped centrally by the router.
 func (db *DB) sendReliable(dest, reqTag, ackTag int, seq uint64, msg []byte, retries *atomic.Uint64) error {
+	ch, err := db.calls.register(ackTag, seq)
+	if err != nil {
+		return err
+	}
+	defer db.calls.deregister(ackTag, seq)
 	backoff := db.opt.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < db.opt.RetryAttempts; attempt++ {
 		if attempt > 0 {
 			retries.Add(1)
-			time.Sleep(backoff)
-			backoff *= 2
+			if err := db.sleepBackoff(&backoff); err != nil {
+				return err
+			}
 		}
 		if err := db.reqComm.Send(dest, reqTag, msg); err != nil {
 			return err
 		}
-		rec, err := db.recvAck(dest, ackTag, seq)
+		m, err := db.awaitReply(ch)
 		if errors.Is(err, mpi.ErrTimeout) {
 			lastErr = err
 			continue
 		}
+		if err != nil {
+			return err
+		}
+		_, rec, err := decodeAck(m.Data)
 		if err != nil {
 			return err
 		}
@@ -49,29 +66,4 @@ func (db *DB) sendReliable(dest, reqTag, ackTag int, seq uint64, msg []byte, ret
 	}
 	return fmt.Errorf("papyruskv: rank %d did not acknowledge after %d attempts: %w",
 		dest, db.opt.RetryAttempts, lastErr)
-}
-
-// recvAck waits up to the retry timeout for the ack matching seq. Acks with
-// other seqs — leftovers of duplicated or timed-out earlier requests — are
-// consumed and discarded without resetting the deadline.
-func (db *DB) recvAck(dest, ackTag int, seq uint64) (ackRecord, error) {
-	deadline := time.Now().Add(db.opt.RetryTimeout)
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return ackRecord{}, mpi.ErrTimeout
-		}
-		m, err := db.respComm.RecvTimeout(dest, ackTag, remain)
-		if err != nil {
-			return ackRecord{}, err
-		}
-		ackSeq, rec, err := decodeAck(m.Data)
-		if err != nil {
-			return ackRecord{}, err
-		}
-		if ackSeq != seq {
-			continue
-		}
-		return rec, nil
-	}
 }

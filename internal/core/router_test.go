@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"papyruskv/internal/mpi"
+)
+
+func TestRPCPendingCallsRouting(t *testing.T) {
+	var p pendingCalls
+	ch, err := p.register(tagGetResp, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.route(tagGetResp, 8, mpi.Message{}) {
+		t.Fatal("routed a reply nobody registered")
+	}
+	if p.route(tagPutAck, 7, mpi.Message{}) {
+		t.Fatal("routed across reply tags: (tagPutAck, 7) must not reach (tagGetResp, 7)")
+	}
+	if !p.route(tagGetResp, 7, mpi.Message{Tag: tagGetResp, Data: []byte("a")}) {
+		t.Fatal("did not route to a registered caller")
+	}
+	// The buffer holds one undrained reply; a duplicate is dropped, not
+	// queued behind it.
+	if p.route(tagGetResp, 7, mpi.Message{Tag: tagGetResp, Data: []byte("b")}) {
+		t.Fatal("routed a duplicate reply into a full buffer")
+	}
+	if m := <-ch; string(m.Data) != "a" {
+		t.Fatalf("delivered %q, want the first reply", m.Data)
+	}
+	p.deregister(tagGetResp, 7)
+	if p.route(tagGetResp, 7, mpi.Message{}) {
+		t.Fatal("routed to a deregistered caller")
+	}
+	p.close()
+	if _, err := p.register(tagGetResp, 9); !errors.Is(err, ErrInvalidDB) {
+		t.Fatalf("register after close: err = %v, want ErrInvalidDB", err)
+	}
+}
+
+func TestRPCBackoffCap(t *testing.T) {
+	// The ladder doubles and then sticks at the cap: 2, 4, 8, ..., cap.
+	cur := 2 * time.Millisecond
+	cap := 16 * time.Millisecond
+	var ladder []time.Duration
+	for i := 0; i < 6; i++ {
+		ladder = append(ladder, cur)
+		cur = nextBackoff(cur, cap)
+	}
+	want := []time.Duration{2, 4, 8, 16, 16, 16}
+	for i, d := range ladder {
+		if d != want[i]*time.Millisecond {
+			t.Fatalf("ladder[%d] = %v, want %v (full ladder %v)", i, d, want[i]*time.Millisecond, ladder)
+		}
+	}
+	// Doubling from above half the cap clamps instead of overshooting.
+	if got := nextBackoff(300*time.Millisecond, 500*time.Millisecond); got != 500*time.Millisecond {
+		t.Fatalf("nextBackoff(300ms, cap 500ms) = %v, want 500ms", got)
+	}
+}
+
+func TestRPCBackoffJitterRange(t *testing.T) {
+	d := 8 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := jitterBackoff(d)
+		if j < d/2 || j > d {
+			t.Fatalf("jitterBackoff(%v) = %v, outside [%v, %v]", d, j, d/2, d)
+		}
+	}
+	if jitterBackoff(0) != 0 || jitterBackoff(1) != 1 {
+		t.Fatal("tiny backoffs must pass through unjittered")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
@@ -198,27 +199,84 @@ func (db *DB) migrateOne(table *memtable.Table) {
 	db.walDropSegment(table)
 }
 
-// handlerThread is the paper's message handler: it serves migration
-// batches, synchronous puts, and remote gets arriving on the private
-// request communicator, until the shutdown message (sent by this rank's own
-// Close) arrives. The handler stays alive after this rank's domain fails —
-// it answers requests with error responses so remote callers get a clean
-// root-cause error instead of a hang.
+// handlerWorkerQueueDepth bounds each worker's request queue. The receive
+// dispatcher blocks when a queue fills, which back-pressures through the
+// request communicator exactly like the single-threaded handler did.
+const handlerWorkerQueueDepth = 16
+
+// handlerThread is the paper's message handler, grown into a worker pool:
+// a receive dispatcher drains the private request communicator and hands
+// each request to one of Options.HandlerThreads workers, until the shutdown
+// message (sent by this rank's own Close) arrives. The handlers stay alive
+// after this rank's domain fails — they answer requests with error
+// responses so remote callers get a clean root-cause error instead of a
+// hang.
+//
+// Routing preserves the one ordering that matters: requests that mutate
+// state (migration batches, synchronous puts) are sharded by source rank
+// onto a fixed worker, so batches from one source apply in the order it
+// sent them (a later batch may overwrite an earlier one's keys; swapping
+// them would publish stale values). The dedup window makes concurrent
+// application across sources safe. Remote gets carry no ordering
+// obligation and go to a shared queue any free worker drains — a get stuck
+// in an NVM SSTable search occupies one worker while migration acks and
+// sync puts flow through the others, instead of head-of-line-blocking the
+// whole rank.
 func (db *DB) handlerThread() {
 	defer db.wg.Done()
+	n := db.opt.HandlerThreads
+	writeQ := make([]chan mpi.Message, n)
+	getQ := make(chan mpi.Message, n*handlerWorkerQueueDepth)
+	var workers sync.WaitGroup
+	for i := range writeQ {
+		writeQ[i] = make(chan mpi.Message, handlerWorkerQueueDepth)
+		workers.Add(1)
+		go db.handlerWorker(&workers, writeQ[i], getQ)
+	}
+	stop := func() {
+		for _, q := range writeQ {
+			close(q)
+		}
+		close(getQ)
+		workers.Wait()
+	}
 	for {
 		m, err := db.reqComm.Recv(mpi.AnySource, mpi.AnyTag)
 		if err != nil {
+			stop()
 			return // world aborted
 		}
 		switch m.Tag {
 		case tagShutdown:
+			stop()
 			return
-		case tagMigBatch:
-			db.handleBatch(m, true)
-		case tagPutOne:
-			db.handleBatch(m, false)
+		case tagMigBatch, tagPutOne:
+			writeQ[m.Source%n] <- m
 		case tagGet:
+			getQ <- m
+		default:
+			db.metrics.BadRequests.Add(1)
+		}
+	}
+}
+
+// handlerWorker serves one write shard plus its share of the get queue; it
+// exits when both queues are closed and drained.
+func (db *DB) handlerWorker(workers *sync.WaitGroup, writeQ, getQ chan mpi.Message) {
+	defer workers.Done()
+	for writeQ != nil || getQ != nil {
+		select {
+		case m, ok := <-writeQ:
+			if !ok {
+				writeQ = nil
+				continue
+			}
+			db.handleBatch(m, m.Tag == tagMigBatch)
+		case m, ok := <-getQ:
+			if !ok {
+				getQ = nil
+				continue
+			}
 			db.handleGet(m)
 		}
 	}
@@ -235,7 +293,11 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 	}
 	seq, body, err := splitSeq(m.Data)
 	if err != nil {
-		db.fail(fmt.Errorf("malformed request from rank %d: %w", m.Source, err))
+		// A peer's malformed frame is the peer's defect, not ours: failing
+		// this rank's own domain over it would let one buggy (or byzantine)
+		// sender kill a healthy receiver. Too short to carry a seq, it
+		// cannot even be nacked — count it and drop it.
+		db.metrics.BadRequests.Add(1)
 		return
 	}
 	if rec, dup := db.dedup.seen(m.Source, seq); dup {
@@ -247,6 +309,10 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 	if healthErr := db.Health(); healthErr != nil {
 		rec = ackRecord{status: ackFailed, msg: healthErr.Error()}
 	} else if entries, err := memtable.DecodeEntries(body); err != nil {
+		// An undecodable body is likewise the sender's defect: answer with
+		// a typed nack so the sender's sendReliable surfaces the error
+		// instead of burning retries, and keep this rank healthy.
+		db.metrics.BadRequests.Add(1)
 		rec = ackRecord{status: ackFailed, msg: err.Error()}
 	} else {
 		for _, e := range entries {
@@ -284,7 +350,11 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 func (db *DB) handleGet(m mpi.Message) {
 	req, err := decodeGetRequest(m.Data)
 	if err != nil {
-		db.fail(fmt.Errorf("malformed get request from rank %d: %w", m.Source, err))
+		// The requester's defect, not ours (see handleBatch): without a
+		// decodable seq there is no reply to address, so count and drop —
+		// the requester times out and retries, exactly as if the frame had
+		// been lost in flight.
+		db.metrics.BadRequests.Add(1)
 		return
 	}
 	resp := getResponse{Seq: req.Seq}
@@ -325,10 +395,11 @@ func (db *DB) handleGet(m mpi.Message) {
 	db.sendResp(m.Source, tagGetResp, encodeGetResponse(resp))
 }
 
-// sendResp sends a handler reply; a send failure means the world's message
+// sendResp sends a handler reply on the reply communicator (routed by the
+// destination's response router); a send failure means the world's message
 // layer itself is gone, which does fail the domain.
 func (db *DB) sendResp(dest, tag int, data []byte) {
-	if err := db.respComm.Send(dest, tag, data); err != nil {
+	if err := db.replyComm.Send(dest, tag, data); err != nil {
 		db.fail(err)
 	}
 }

@@ -67,9 +67,12 @@ type Metrics struct {
 	Compactions     atomic.Uint64 // SSTable merges performed
 	Migrations      atomic.Uint64 // migration batches sent
 	MigratedPairs   atomic.Uint64 // key-value pairs migrated out
-	MigrationRetries atomic.Uint64 // migration/sync-put attempts beyond the first
+	MigrationRetries atomic.Uint64 // migration batch attempts beyond the first
+	PutSyncRetries   atomic.Uint64 // synchronous-put attempts beyond the first
 	GetRetries       atomic.Uint64 // remote-get attempts beyond the first
 	DupsDropped      atomic.Uint64 // duplicate requests dropped by the dedup window
+	RepliesUnclaimed atomic.Uint64 // stale/duplicate replies dropped by the response router
+	BadRequests      atomic.Uint64 // malformed request frames from peers, dropped or nacked
 
 	// WAL holds the write-ahead-log counters (records/bytes appended,
 	// fsyncs, group commits, recovery totals), incremented by the wal
@@ -102,8 +105,11 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"migrations":        m.Migrations.Load(),
 		"migrated_pairs":    m.MigratedPairs.Load(),
 		"migration_retries": m.MigrationRetries.Load(),
+		"put_sync_retries":  m.PutSyncRetries.Load(),
 		"get_retries":       m.GetRetries.Load(),
 		"dups_dropped":      m.DupsDropped.Load(),
+		"replies_unclaimed": m.RepliesUnclaimed.Load(),
+		"bad_requests":      m.BadRequests.Load(),
 	}
 	for k, v := range m.WAL.Snapshot() {
 		snap[k] = v

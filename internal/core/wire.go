@@ -10,7 +10,7 @@ import (
 // Message tags on the database's private request/response communicators.
 const (
 	// tagMigBatch carries a batch of migrated key-value pairs to their
-	// owner rank (relaxed mode); acked with tagMigAck on respComm.
+	// owner rank (relaxed mode); acked with tagMigAck on replyComm.
 	tagMigBatch = 1
 	tagMigAck   = 2
 	// tagPutOne carries a single synchronous put/delete (sequential
@@ -20,9 +20,24 @@ const (
 	// tagGet carries a remote get request; answered with tagGetResp.
 	tagGet     = 5
 	tagGetResp = 6
-	// tagShutdown stops a rank's message handler (sent to self on Close).
+	// tagShutdown stops a rank's message handler and response router
+	// (sent to self on Close, on their respective communicators).
 	tagShutdown = 7
 )
+
+// Every reply format — acks (encodeAck) and get responses
+// (encodeGetResponse) — leads with the 8-byte little-endian sequence number
+// of the request it answers. The response router relies on this shared
+// prefix to demultiplex replies by (tag, seq) without decoding the body.
+
+// peekReplySeq extracts that leading sequence number; ok=false means the
+// frame is too short to carry one and cannot be attributed to any caller.
+func peekReplySeq(data []byte) (uint64, bool) {
+	if len(data) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(data), true
+}
 
 // getRequest is the remote get wire format. It carries the caller's storage
 // group ID so the owner's handler can decide whether the caller may search

@@ -8,17 +8,21 @@ import (
 // Hammer concurrent miss-loads against EvictDir to widen the
 // evict-during-load window.
 func TestReproEvictDuringLoad(t *testing.T) {
-	dev := testDevice(t)
+	dev := testDev(t)
 	dir := "db/r0"
-	writeTable(t, dev, dir, 1, 200)
+	entries := sortedEntries(200, 1)
+	if _, err := WriteTable(dev, dir, 1, entries); err != nil {
+		t.Fatal(err)
+	}
 	c := NewReaderCache(dev, 1<<20)
+	key := entries[0].Key
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 300; j++ {
-				c.Get(dir, 1, []byte("k0000000001"), BinarySearch, true)
+				c.Get(dir, 1, key, BinarySearch, true)
 			}
 		}()
 		wg.Add(1)
