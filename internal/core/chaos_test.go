@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"papyruskv/internal/faults"
+	"papyruskv/internal/mpi"
+)
+
+// TestChaosKillRecover is the seeded kill/recover soak behind `make chaos`:
+// a periodic fault rule kills one rank again and again while every rank
+// loads keys, the victim heals itself with Recover each time it notices,
+// and at the end every acknowledged put must be readable at its owner with
+// zero pairs lost. The schedule is a pure function of the injector seed, so
+// a failure reproduces bit-for-bit.
+func TestChaosKillRecover(t *testing.T) {
+	const (
+		ranks   = 3
+		victim  = 1
+		rounds  = 3   // kills the schedule fires
+		perRank = 300 // puts per rank; each put is one CoreKill evaluation
+	)
+	inj := faults.New(0xc4a05)
+	// First kill on the victim's 40th operation, then every 90th; perRank
+	// puts alone guarantee enough matching evaluations for all three.
+	inj.Enable(faults.Rule{Point: faults.CoreKill, Rank: victim, Count: 40, Every: 90, Fires: rounds})
+	opt := recoverOpt()
+	runCluster(t, clusterSpec{ranks: ranks, faults: inj}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("chaosdb", opt)
+		if err != nil {
+			return err
+		}
+
+		// Load: keys hash across all owners, so the peers keep migrating
+		// victim-owned pairs into the kill windows (parking and redelivering
+		// them), while the victim's own puts trip over each kill and heal.
+		acked := make(map[string]string, perRank)
+		deadline := time.Now().Add(90 * time.Second)
+		for i := 0; i < perRank; i++ {
+			k := fmt.Sprintf("chaos-r%d-%04d", rt.Rank(), i)
+			v := "v-" + k
+			for {
+				if time.Now().After(deadline) {
+					t.Fatalf("rank %d: chaos load stalled at key %d", rt.Rank(), i)
+				}
+				err := db.Put([]byte(k), []byte(v))
+				if err == nil {
+					acked[k] = v
+					break
+				}
+				if !errors.Is(err, ErrRankFailed) {
+					return fmt.Errorf("rank %d put %s: %w", rt.Rank(), k, err)
+				}
+				// Our own rank was killed: heal in place, retry the
+				// unacknowledged put.
+				if rerr := db.Recover(); rerr != nil {
+					return fmt.Errorf("rank %d recover: %w", rt.Rank(), rerr)
+				}
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// A background-thread evaluation can kill the victim after its last
+		// successful put; disarm the schedule before the final heal so the
+		// quiesce below cannot be interrupted.
+		if rt.Rank() == victim {
+			inj.Disable(faults.CoreKill)
+			if db.Health() != nil {
+				if err := db.Recover(); err != nil {
+					return fmt.Errorf("final recover: %w", err)
+				}
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// Quiesce: circuits close, parked batches redeliver, Fence clears.
+		waitFenceClean(t, db, 30*time.Second)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// Every acknowledged put survives the whole kill schedule.
+		for k, v := range acked {
+			if err := wantGet(db, k, v); err != nil {
+				t.Errorf("rank %d lost an acked put: %v", rt.Rank(), err)
+			}
+		}
+		m := db.Metrics()
+		if n := m.PairsLost.Load(); n != 0 {
+			t.Errorf("rank %d PairsLost = %d, want 0 (by-peer: %v)", rt.Rank(), n, m.PairsLostByPeer())
+		}
+		if rt.Rank() == victim {
+			if n := m.Recoveries.Load(); n < 1 {
+				t.Errorf("victim Recoveries = %d, want >= 1", n)
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+	if n := inj.Fired(faults.CoreKill); n != rounds {
+		t.Fatalf("CoreKill fired %d times, want %d — the chaos schedule did not run", n, rounds)
+	}
+}

@@ -83,11 +83,25 @@ type DB struct {
 
 	metrics Metrics
 
-	// failMu guards the failure-domain state (see health.go): this rank's
-	// root-cause failure and the peers known to have failed.
-	failMu     sync.Mutex
-	failedErr  error
-	peerFailed map[int]error
+	// failMu guards the failure-domain state (health.go, recover.go): this
+	// rank's root-cause failure, the per-peer circuit breakers (each with
+	// its parked-batch queue), the parked-bytes accounting, the MemTables
+	// pinned by parked batches, and the accumulated loss records the next
+	// Fence drains.
+	failMu          sync.Mutex
+	failedErr       error
+	peers           map[int]*peerCircuit
+	parkedBytesUsed int64
+	parkedTables    map[*memtable.Table]int
+	lost            map[int]*lossRecord
+
+	// incarnation is this rank's life number — the replayed WAL epoch, so
+	// it is strictly monotonic across restarts and in-run recoveries. It
+	// rides in every reliable request and ping so receivers can scope
+	// their dedup windows to the sender's current life.
+	incarnation atomic.Uint32
+	// recoverMu serializes Recover against itself.
+	recoverMu sync.Mutex
 
 	// sendSeq numbers this database's outbound reliable requests; acks
 	// echo the seq so retries and duplicates are matched exactly.
@@ -188,13 +202,24 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 			db.fail(err)
 		}
 	}
+	// First life: the local stream's epoch when the WAL is on (Recover
+	// advances it on every rebirth), else a counter recovery bumps.
+	if db.walLocal != nil {
+		db.incarnation.Store(db.walLocal.Epoch())
+	} else {
+		db.incarnation.Store(1)
+	}
 
-	db.wg.Add(4)
+	db.wg.Add(5)
 	go db.compactionThread()
 	go db.dispatcherThread()
 	go db.handlerThread()
 	go db.routerThread()
-	if opt.WAL == WALAsync && db.walLocal != nil {
+	go db.proberThread()
+	// The group-commit thread starts whenever the mode calls for it, even
+	// if this open's WAL recovery failed: a later Recover may install
+	// fresh logs, and the thread reads them through walStream either way.
+	if opt.WAL == WALAsync {
 		db.wg.Add(1)
 		go db.walFlushThread()
 	}
@@ -277,6 +302,10 @@ func (db *DB) Close() error {
 		close(db.walStop)
 	})
 	db.wg.Wait()
+	// Batches still parked for unreachable peers have no future to wait
+	// for: convert them to counted loss so the caller hears about every
+	// pair that never reached its owner.
+	lossErr := db.abandonParked()
 	db.walClose()
 	// Release this rank's cached reader handles (and their fds). The
 	// per-device cache outlives the database — peers may still be reading
@@ -289,6 +318,8 @@ func (db *DB) Close() error {
 		return barErr
 	case sendErr != nil:
 		return sendErr
+	case lossErr != nil:
+		return lossErr
 	default:
 		return finalErr
 	}

@@ -173,7 +173,10 @@ func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
 	}
 
 	if err := db.peerErr(owner); err != nil {
-		return nil, err
+		// Fail fast behind the open circuit instead of burning a retry
+		// ladder; the wrap keeps errors.Is on the root cause working. The
+		// prober will close the circuit when the owner answers again.
+		return nil, fmt.Errorf("papyruskv: rank %d unreachable (circuit open): %w", owner, err)
 	}
 	// Each attempt sends a fresh request (fresh seq), registered in the
 	// response router's pending-call table before the send, and waits up

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"papyruskv/internal/faults"
@@ -15,6 +16,10 @@ import (
 // Fence and Barrier never hang), and its message handler stays alive
 // answering remote requests with error responses — healthy ranks keep
 // serving everything that does not involve the failed rank.
+//
+// Failure is no longer terminal within a run: Recover (recover.go) heals
+// the rank from its WAL, and the per-peer circuit breakers below let the
+// healthy ranks notice the resurrection and redeliver what they parked.
 
 // fail records err as this database's root-cause failure. Only the first
 // call wins; later errors are usually consequences of the first. The first
@@ -41,7 +46,7 @@ func (db *DB) fail(err error) {
 
 // Fail marks this rank's database failed with the given root cause, exactly
 // as an internal background error would. Applications and tests use it to
-// take a rank out of service deliberately.
+// take a rank out of service deliberately; Recover takes it back in.
 func (db *DB) Fail(err error) {
 	if err == nil {
 		err = fmt.Errorf("failed by application")
@@ -61,37 +66,182 @@ func (db *DB) Health() error {
 	return fmt.Errorf("%w: %w", ErrRankFailed, db.failedErr)
 }
 
-// peerFail records that requests to rank r failed with err; later requests
-// to r fail fast instead of burning their full retry budget. A failed peer
-// is never resurrected within a run — recovery is by checkpoint restart.
+// peerCircuit is this rank's circuit breaker for one peer. Tripped open by
+// a request that exhausted its retry budget or was rejected, it makes later
+// requests to the peer fail fast instead of burning their own budgets — but
+// unlike the old sticky peerFailed map it is not a death certificate: the
+// prober (recover.go) half-opens it with periodic pings and closes it the
+// moment the peer answers healthy, redelivering the parked batches queued
+// behind it. All fields are guarded by db.failMu.
+type peerCircuit struct {
+	open  bool
+	cause error // what tripped it; nil while closed
+	// inc is the peer's last advertised incarnation; 0 = never heard one.
+	// A change means the peer was reborn in between, so protocol state
+	// remembered against its previous life (the dedup window for its
+	// seqs) is stale.
+	inc uint32
+	// parked holds undeliverable migration batches, oldest first — the
+	// redelivery order, because per-source batch order is the owner's
+	// apply order.
+	parked []parkedBatch
+}
+
+// lossRecord accumulates pairs definitively lost on their way to one owner
+// (parked-budget overflow, or parked pairs abandoned at Close), drained
+// exactly once by the next Fence.
+type lossRecord struct {
+	pairs uint64
+	cause error
+}
+
+// peerLocked returns owner r's circuit, creating it closed. Caller holds
+// db.failMu.
+func (db *DB) peerLocked(r int) *peerCircuit {
+	if db.peers == nil {
+		db.peers = make(map[int]*peerCircuit)
+	}
+	st := db.peers[r]
+	if st == nil {
+		st = &peerCircuit{}
+		db.peers[r] = st
+	}
+	return st
+}
+
+// peerFail trips rank r's circuit with err; later requests to r fail fast
+// instead of burning their full retry budget, until a probe closes it.
 func (db *DB) peerFail(r int, err error) {
 	db.failMu.Lock()
-	if db.peerFailed == nil {
-		db.peerFailed = make(map[int]error)
-	}
-	if _, ok := db.peerFailed[r]; !ok {
-		db.peerFailed[r] = err
+	st := db.peerLocked(r)
+	if !st.open {
+		st.open = true
+		st.cause = err
+		db.metrics.CircuitsOpened.Add(1)
 	}
 	db.failMu.Unlock()
 }
 
-// peerErr returns the recorded failure of rank r, or nil.
+// peerErr returns the cause rank r's circuit is open on, or nil while it is
+// closed.
 func (db *DB) peerErr(r int) error {
 	db.failMu.Lock()
 	defer db.failMu.Unlock()
-	return db.peerFailed[r]
+	st := db.peers[r]
+	if st == nil || !st.open {
+		return nil
+	}
+	return st.cause
 }
 
-// anyPeerErr returns one recorded peer failure, or nil if all peers are
-// believed healthy. Fence reports it so relaxed-mode writers learn that
-// staged pairs could not reach their owner.
+// observeIncarnation records the incarnation rank r last advertised. A
+// change means r was reborn between its messages: its pre-crash retry
+// ladders are gone, so the dedup window for its seqs is reset — acks
+// recorded against the previous life must not replay against seqs the
+// reborn sender allocates afresh from its replayed WAL.
+func (db *DB) observeIncarnation(r int, inc uint32) {
+	if inc == 0 {
+		return
+	}
+	db.failMu.Lock()
+	st := db.peerLocked(r)
+	changed := st.inc != 0 && st.inc != inc
+	st.inc = inc
+	db.failMu.Unlock()
+	if changed {
+		db.dedup.reset(r)
+	}
+}
+
+// anyPeerErr reports the state of this rank's outbound pairs once a fence
+// has drained: definitive loss first — drained, so it is reported exactly
+// once — then pairs still parked behind open circuits, recomputed on every
+// call so the report clears by itself when redelivery succeeds. Both
+// reports are deterministic: the lowest affected rank is named and the
+// others are counted, never whichever rank map iteration yields first.
 func (db *DB) anyPeerErr() error {
+	if err := db.takeLossErr(); err != nil {
+		return err
+	}
+	return db.parkedErr()
+}
+
+// takeLossErr drains the accumulated loss records into one error, or nil.
+func (db *DB) takeLossErr() error {
+	db.failMu.Lock()
+	lost := db.lost
+	db.lost = nil
+	db.failMu.Unlock()
+	if len(lost) == 0 {
+		return nil
+	}
+	ranks := make([]int, 0, len(lost))
+	for r := range lost {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	low := lost[ranks[0]]
+	err := fmt.Errorf("papyruskv: %d pairs owned by rank %d were not applied: %w",
+		low.pairs, ranks[0], low.cause)
+	if len(ranks) > 1 {
+		var more uint64
+		for _, r := range ranks[1:] {
+			more += lost[r].pairs
+		}
+		err = fmt.Errorf("%w (and %d more pairs across %d other failed peers)",
+			err, more, len(ranks)-1)
+	}
+	return err
+}
+
+// parkedErr reports pairs currently parked awaiting a peer's recovery, or
+// nil. Unlike loss this is a live condition, not an event: it is recomputed
+// from the circuits, so a Fence after successful redelivery returns nil.
+func (db *DB) parkedErr() error {
 	db.failMu.Lock()
 	defer db.failMu.Unlock()
-	for r, err := range db.peerFailed {
-		return fmt.Errorf("papyruskv: pairs owned by rank %d were not applied: %w", r, err)
+	var ranks []int
+	for r, st := range db.peers {
+		if len(st.parked) > 0 {
+			ranks = append(ranks, r)
+		}
 	}
-	return nil
+	if len(ranks) == 0 {
+		return nil
+	}
+	sort.Ints(ranks)
+	st := db.peers[ranks[0]]
+	var pairs uint64
+	for _, b := range st.parked {
+		pairs += uint64(b.pairs)
+	}
+	cause := st.cause
+	if cause == nil {
+		// The circuit closed and redelivery is in flight; the batches
+		// just have not drained yet.
+		cause = fmt.Errorf("redelivery in progress")
+	}
+	err := fmt.Errorf("papyruskv: %d pairs owned by rank %d are parked awaiting its recovery: %w",
+		pairs, ranks[0], cause)
+	if len(ranks) > 1 {
+		err = fmt.Errorf("%w (and %d other unreachable peers)", err, len(ranks)-1)
+	}
+	return err
+}
+
+// lostLocked converts pairs bound for owner into counted, Fence-reported
+// loss. Caller holds db.failMu.
+func (db *DB) lostLocked(owner int, cause error, pairs int) {
+	if db.lost == nil {
+		db.lost = make(map[int]*lossRecord)
+	}
+	rec := db.lost[owner]
+	if rec == nil {
+		rec = &lossRecord{cause: cause}
+		db.lost[owner] = rec
+	}
+	rec.pairs += uint64(pairs)
+	db.metrics.addPairsLost(owner, uint64(pairs))
 }
 
 // maybeKill evaluates the CoreKill injection point at this rank's site and,
@@ -110,11 +260,14 @@ func (db *DB) maybeKill() {
 // source rank, with the ack each produced. A retried or duplicated request
 // whose seq is still in the window is not re-applied; its original ack is
 // replayed. Sequence numbers are allocated from one per-database counter on
-// the sender, so the window can be shared by every request type. Handler
-// workers for different source ranks touch the window concurrently (only
-// requests from one source are serialized onto one worker), so the shared
-// map is mutex-guarded; per-source seen/record pairs stay race-free because
-// per-source apply order is preserved by the worker sharding.
+// the sender, so the window can be shared by every request type — but they
+// are only meaningful within one incarnation of the sender, so each source's
+// window is tagged with the incarnation its requests carried and discarded
+// when a different one appears. Handler workers for different source ranks
+// touch the window concurrently (only requests from one source are
+// serialized onto one worker), so the shared map is mutex-guarded;
+// per-source seen/record pairs stay race-free because per-source apply
+// order is preserved by the worker sharding.
 type dedupWindow struct {
 	mu       sync.Mutex
 	bySource map[int]*sourceWindow
@@ -125,9 +278,16 @@ type dedupWindow struct {
 // in-flight requests — for which 256 is orders of magnitude of headroom.
 const dedupDepth = 256
 
+// sourceWindow is one source's window: a fixed ring of the last dedupDepth
+// seqs plus the ack each produced. The ring replaced a sliced-forward
+// append slice (sw.order = sw.order[1:]) whose backing array was pinned
+// forever and grew by one slot per request for the life of the run.
 type sourceWindow struct {
-	order []uint64 // insertion ring, oldest first
-	acks  map[uint64]ackRecord
+	inc  uint32 // incarnation the seqs belong to
+	ring [dedupDepth]uint64
+	n    int // filled slots, < dedupDepth until the ring wraps
+	next int // ring slot the next record overwrites
+	acks map[uint64]ackRecord
 }
 
 type ackRecord struct {
@@ -135,39 +295,53 @@ type ackRecord struct {
 	msg    string
 }
 
-// seen reports whether (source, seq) was already applied and, if so, the ack
-// it produced.
-func (w *dedupWindow) seen(source int, seq uint64) (ackRecord, bool) {
+// seen reports whether (source, seq) was already applied by the same
+// incarnation of the sender and, if so, the ack it produced. A window
+// recorded against a different incarnation never matches: the reborn
+// sender's seq space is fresh.
+func (w *dedupWindow) seen(source int, inc uint32, seq uint64) (ackRecord, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	sw := w.bySource[source]
-	if sw == nil {
+	if sw == nil || sw.inc != inc {
 		return ackRecord{}, false
 	}
 	rec, ok := sw.acks[seq]
 	return rec, ok
 }
 
-// record remembers the ack for (source, seq), evicting the oldest entry once
-// the window is full.
-func (w *dedupWindow) record(source int, seq uint64, rec ackRecord) {
+// record remembers the ack for (source, seq), evicting the oldest entry
+// once the window is full. A record under a new incarnation discards the
+// source's previous window outright.
+func (w *dedupWindow) record(source int, inc uint32, seq uint64, rec ackRecord) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.bySource == nil {
 		w.bySource = make(map[int]*sourceWindow)
 	}
 	sw := w.bySource[source]
-	if sw == nil {
-		sw = &sourceWindow{acks: make(map[uint64]ackRecord)}
+	if sw == nil || sw.inc != inc {
+		sw = &sourceWindow{inc: inc, acks: make(map[uint64]ackRecord)}
 		w.bySource[source] = sw
 	}
 	if _, ok := sw.acks[seq]; ok {
 		return
 	}
-	if len(sw.order) >= dedupDepth {
-		delete(sw.acks, sw.order[0])
-		sw.order = sw.order[1:]
+	if sw.n == dedupDepth {
+		delete(sw.acks, sw.ring[sw.next])
+	} else {
+		sw.n++
 	}
-	sw.order = append(sw.order, seq)
+	sw.ring[sw.next] = seq
+	sw.next = (sw.next + 1) % dedupDepth
 	sw.acks[seq] = rec
+}
+
+// reset forgets source's window entirely — called when the source is
+// observed under a new incarnation through a channel that carries no
+// per-request incarnation (a ping).
+func (w *dedupWindow) reset(source int) {
+	w.mu.Lock()
+	delete(w.bySource, source)
+	w.mu.Unlock()
 }

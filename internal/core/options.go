@@ -155,6 +155,20 @@ type Options struct {
 	// WALFlushInterval is the WALAsync group-commit period. 0 selects the
 	// default (2ms); WALSync and WALDisabled ignore it.
 	WALFlushInterval time.Duration
+	// ParkedBytes bounds the migration batches parked for unreachable
+	// peers (encoded wire bytes, summed across all peers). While a peer's
+	// circuit breaker is open, undeliverable batches wait here — backed by
+	// their still-pinned WAL segments — and are redelivered when the peer
+	// recovers; past the budget, further batches degrade to counted loss
+	// (PairsLost, reported at the next Fence) instead of unbounded memory.
+	// 0 selects the default (8MB); a negative value disables parking, so
+	// every undeliverable batch is immediate, counted loss.
+	ParkedBytes int64
+	// ProbeInterval is the circuit breaker's half-open probe period: how
+	// often a rank pings each peer whose circuit is open to learn whether
+	// it has recovered. 0 selects the default (250ms); a negative value
+	// disables probing, so tripped circuits stay open for the run.
+	ProbeInterval time.Duration
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -177,6 +191,8 @@ func DefaultOptions() Options {
 		HandlerThreads:      4,
 		WAL:                 WALAsync,
 		WALFlushInterval:    2 * time.Millisecond,
+		ParkedBytes:         8 << 20,
+		ProbeInterval:       250 * time.Millisecond,
 	}
 }
 
@@ -215,6 +231,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WALFlushInterval <= 0 {
 		o.WALFlushInterval = d.WALFlushInterval
+	}
+	if o.ParkedBytes == 0 {
+		o.ParkedBytes = d.ParkedBytes
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = d.ProbeInterval
 	}
 	return o
 }

@@ -63,7 +63,7 @@ func (db *DB) putLocal(e memtable.Entry) error {
 	if err := db.putLocalBuffered(e); err != nil {
 		return err
 	}
-	return db.walCommit(db.walLocal)
+	return db.walCommit(db.walStream(false))
 }
 
 // putLocalBuffered inserts an entry this rank owns into the local MemTable,
@@ -148,7 +148,7 @@ func (db *DB) putRemote(e memtable.Entry) error {
 			return ErrInvalidDB
 		}
 	}
-	return db.walCommit(db.walRemote)
+	return db.walCommit(db.walStream(true))
 }
 
 // rollRemoteLocked seals the remote MemTable into immRemote and rotates the
@@ -170,10 +170,12 @@ func (db *DB) rollRemoteLocked() *memtable.Table {
 // returned to the caller; they do not fail this rank's domain.
 func (db *DB) putSync(owner int, e memtable.Entry) error {
 	if err := db.peerErr(owner); err != nil {
-		return err
+		// Fail fast behind the open circuit instead of burning a retry
+		// ladder; the wrap keeps errors.Is on the root cause working.
+		return fmt.Errorf("papyruskv: rank %d unreachable (circuit open): %w", owner, err)
 	}
 	seq := db.sendSeq.Add(1)
-	msg := prependSeq(seq, encodePutOne(putOne{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone}))
+	msg := prependSeq(seq, db.incarnation.Load(), encodePutOne(putOne{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone}))
 	// Retries are charged to PutSyncRetries: sequential puts are an
 	// application-visible latency path and must not pollute the migration
 	// counter the relaxed-mode experiments assert on.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"papyruskv/internal/memtable"
@@ -161,42 +162,45 @@ func (db *DB) dispatcherThread() {
 }
 
 // migrateOne delivers one sealed remote MemTable, batch per owner, through
-// the reliable request path: each batch carries a sequence number, is
-// retried on ack timeout, and is deduplicated at the owner, so a batch that
-// raced a lost or duplicated message is still applied exactly once. An owner
-// that stays silent past the retry budget, or answers with an error, is
-// recorded as a failed peer — the sender's own domain stays healthy, and the
-// loss surfaces at the next Fence or Barrier.
+// the reliable request path: each batch carries a sequence number and the
+// sender's incarnation, is retried on ack timeout, and is deduplicated at
+// the owner, so a batch that raced a lost or duplicated message is still
+// applied exactly once. An owner that stays silent past the retry budget,
+// or answers with an error, trips its circuit breaker — and the batch is
+// parked behind the circuit, not abandoned: redelivery runs when a probe
+// proves the owner back (recover.go). Owners are visited in rank order so
+// a given run parks and sends deterministically.
+//
+// The table is released through the parked-batch refcount: it leaves the
+// get-visible immutable list, and its WAL segment is deleted, only when no
+// parked batch still needs either — a parked pair stays readable on this
+// rank and replayable from its segment until it is applied or declared
+// lost.
 func (db *DB) migrateOne(table *memtable.Table) {
-	for owner, entries := range table.ByOwner() {
-		if db.peerErr(owner) != nil {
-			continue // fail-fast: this peer's pairs cannot be applied
-		}
+	db.retainTable(table)
+	byOwner := table.ByOwner()
+	owners := make([]int, 0, len(byOwner))
+	for owner := range byOwner {
+		owners = append(owners, owner)
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
+		entries := byOwner[owner]
 		seq := db.sendSeq.Add(1)
-		msg := prependSeq(seq, memtable.EncodeEntries(entries))
+		msg := prependSeq(seq, db.incarnation.Load(), memtable.EncodeEntries(entries))
+		b := parkedBatch{seq: seq, msg: msg, pairs: len(entries), table: table}
+		if db.tryPark(owner, b) {
+			continue // queued behind the circuit; the prober redelivers
+		}
 		err := db.sendReliable(owner, tagMigBatch, tagMigAck, seq, msg, &db.metrics.MigrationRetries)
 		if err != nil {
-			db.peerFail(owner, err)
+			db.parkFailed(owner, err, b)
 			continue
 		}
 		db.metrics.Migrations.Add(1)
 		db.metrics.MigratedPairs.Add(uint64(len(entries)))
 	}
-	// All deliverable pairs are applied at their owners; drop the table
-	// from the get-visible immutable remote list, and the WAL segment
-	// that was shadowing it. (Pairs bound for a failed peer are gone
-	// either way — their loss is already recorded in peerFailed and
-	// reported at the next Fence — so the segment must not resurrect
-	// them into a divergent replay.)
-	db.mu.Lock()
-	for i, t := range db.immRemote {
-		if t == table {
-			db.immRemote = append(db.immRemote[:i], db.immRemote[i+1:]...)
-			break
-		}
-	}
-	db.mu.Unlock()
-	db.walDropSegment(table)
+	db.releaseTableRef(table)
 }
 
 // handlerWorkerQueueDepth bounds each worker's request queue. The receive
@@ -252,7 +256,10 @@ func (db *DB) handlerThread() {
 			return
 		case tagMigBatch, tagPutOne:
 			writeQ[m.Source%n] <- m
-		case tagGet:
+		case tagGet, tagPing:
+			// Pings share the get queue: they mutate nothing, so any free
+			// worker may answer, and they must not queue behind a write
+			// shard — the probe exists to measure liveness, not backlog.
 			getQ <- m
 		default:
 			db.metrics.BadRequests.Add(1)
@@ -277,7 +284,11 @@ func (db *DB) handlerWorker(workers *sync.WaitGroup, writeQ, getQ chan mpi.Messa
 				getQ = nil
 				continue
 			}
-			db.handleGet(m)
+			if m.Tag == tagPing {
+				db.handlePing(m)
+			} else {
+				db.handleGet(m)
+			}
 		}
 	}
 }
@@ -291,7 +302,7 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 	if migration {
 		ackTag = tagMigAck
 	}
-	seq, body, err := splitSeq(m.Data)
+	seq, inc, body, err := splitSeq(m.Data)
 	if err != nil {
 		// A peer's malformed frame is the peer's defect, not ours: failing
 		// this rank's own domain over it would let one buggy (or byzantine)
@@ -300,7 +311,8 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 		db.metrics.BadRequests.Add(1)
 		return
 	}
-	if rec, dup := db.dedup.seen(m.Source, seq); dup {
+	db.observeIncarnation(m.Source, inc)
+	if rec, dup := db.dedup.seen(m.Source, inc, seq); dup {
 		db.metrics.DupsDropped.Add(1)
 		db.sendResp(m.Source, ackTag, encodeAck(seq, rec))
 		return
@@ -327,13 +339,40 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 		// sender's retry discipline means the ack is the durability
 		// promise, so it is issued only after the commit.
 		if rec.status == ackOK {
-			if err := db.walCommit(db.walLocal); err != nil {
+			if err := db.walCommit(db.walStream(false)); err != nil {
 				rec = ackRecord{status: ackFailed, msg: err.Error()}
 			}
 		}
 	}
-	db.dedup.record(m.Source, seq, rec)
+	// Only applied outcomes enter the dedup window. A failed request was
+	// never applied, so a retry is safe to attempt fresh — and must be:
+	// the window is keyed by the sender's incarnation, which does not
+	// change when *this* rank recovers, so a recorded failure would
+	// replay forever and hold the sender's parked batches hostage after
+	// this rank healed.
+	if rec.status == ackOK {
+		db.dedup.record(m.Source, inc, seq, rec)
+	}
 	db.sendResp(m.Source, ackTag, encodeAck(seq, rec))
+}
+
+// handlePing answers a circuit breaker's half-open probe with this rank's
+// health and current incarnation. A failed rank answers too — with
+// ackFailed, which keeps the prober's circuit open without costing it a
+// full retry-timeout — and the incarnations exchanged in both directions
+// let each side notice the other was reborn since they last spoke.
+func (db *DB) handlePing(m mpi.Message) {
+	seq, inc, err := decodePing(m.Data)
+	if err != nil {
+		db.metrics.BadRequests.Add(1)
+		return
+	}
+	db.observeIncarnation(m.Source, inc)
+	status := byte(ackOK)
+	if db.Health() != nil {
+		status = ackFailed
+	}
+	db.sendResp(m.Source, tagPingAck, encodePingAck(seq, status, db.incarnation.Load()))
 }
 
 // handleGet answers a remote get. If the requester shares this rank's

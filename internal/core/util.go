@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -74,6 +75,20 @@ type Metrics struct {
 	RepliesUnclaimed atomic.Uint64 // stale/duplicate replies dropped by the response router
 	BadRequests      atomic.Uint64 // malformed request frames from peers, dropped or nacked
 
+	Recoveries         atomic.Uint64 // successful in-run Recover calls on this rank
+	ProbesSent         atomic.Uint64 // half-open circuit probes sent
+	CircuitsOpened     atomic.Uint64 // peer circuit breakers tripped open
+	CircuitsClosed     atomic.Uint64 // peer circuit breakers closed by a healthy probe answer
+	ParkedBatches      atomic.Uint64 // migration batches parked for an unreachable peer
+	RedeliveredBatches atomic.Uint64 // parked batches delivered after the peer recovered
+	ParkOverflows      atomic.Uint64 // batches degraded to loss by the parked-bytes budget
+	PairsLost          atomic.Uint64 // pairs definitively lost on the way to their owner
+
+	// lostMu guards the per-owner breakdown behind PairsLost; tests use it
+	// to pin exactly whose pairs a degradation cost.
+	lostMu     sync.Mutex
+	lostByPeer map[int]uint64
+
 	// WAL holds the write-ahead-log counters (records/bytes appended,
 	// fsyncs, group commits, recovery totals), incremented by the wal
 	// package and flattened into Snapshot with a wal_ prefix.
@@ -86,8 +101,32 @@ type Metrics struct {
 	Readers *stats.ReaderCache
 }
 
+// addPairsLost counts pairs lost on the way to owner, both in the total
+// and the per-owner breakdown.
+func (m *Metrics) addPairsLost(owner int, pairs uint64) {
+	m.PairsLost.Add(pairs)
+	m.lostMu.Lock()
+	if m.lostByPeer == nil {
+		m.lostByPeer = make(map[int]uint64)
+	}
+	m.lostByPeer[owner] += pairs
+	m.lostMu.Unlock()
+}
+
+// PairsLostByPeer returns a copy of the per-owner loss breakdown.
+func (m *Metrics) PairsLostByPeer() map[int]uint64 {
+	m.lostMu.Lock()
+	defer m.lostMu.Unlock()
+	out := make(map[int]uint64, len(m.lostByPeer))
+	for r, n := range m.lostByPeer {
+		out[r] = n
+	}
+	return out
+}
+
 // Snapshot returns a plain-values copy for reporting, the WAL counters
-// included under their wal_ keys.
+// included under their wal_ keys (and the per-rank loss breakdown under
+// pairs_lost_rank_ keys).
 func (m *Metrics) Snapshot() map[string]uint64 {
 	snap := map[string]uint64{
 		"puts_local":        m.PutsLocal.Load(),
@@ -110,7 +149,21 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"dups_dropped":      m.DupsDropped.Load(),
 		"replies_unclaimed": m.RepliesUnclaimed.Load(),
 		"bad_requests":      m.BadRequests.Load(),
+
+		"recoveries":          m.Recoveries.Load(),
+		"probes_sent":         m.ProbesSent.Load(),
+		"circuits_opened":     m.CircuitsOpened.Load(),
+		"circuits_closed":     m.CircuitsClosed.Load(),
+		"parked_batches":      m.ParkedBatches.Load(),
+		"redelivered_batches": m.RedeliveredBatches.Load(),
+		"park_overflows":      m.ParkOverflows.Load(),
+		"pairs_lost":          m.PairsLost.Load(),
 	}
+	m.lostMu.Lock()
+	for r, n := range m.lostByPeer {
+		snap[fmt.Sprintf("pairs_lost_rank_%d", r)] = n
+	}
+	m.lostMu.Unlock()
 	for k, v := range m.WAL.Snapshot() {
 		snap[k] = v
 	}

@@ -26,9 +26,23 @@ type walSegRef struct {
 	name string
 }
 
+// walStream returns the requested WAL stream under db.mu. Every read of
+// the stream pointers outside the mutex must come through here: Recover
+// swaps them mid-run, so a bare field read from the group-commit thread or
+// a commit path would race the swap.
+func (db *DB) walStream(remote bool) *wal.Log {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if remote {
+		return db.walRemote
+	}
+	return db.walLocal
+}
+
 // walOpen recovers both WAL streams and replays the surviving records into
-// the fresh MemTables. Called from Open before the background threads
-// start, so nothing races the replay.
+// the fresh MemTables. Open calls it before the background threads start;
+// Recover calls it under db.mu on a failed rank, whose health gate keeps
+// every other MemTable writer out until the failure is cleared.
 func (db *DB) walOpen() error {
 	base := wal.Config{
 		Device: db.rt.cfg.Device,
@@ -182,11 +196,15 @@ func (db *DB) walFlushThread() {
 			if db.Health() != nil {
 				continue
 			}
-			if err := db.walLocal.GroupCommit(); err != nil {
+			local, remote := db.walStream(false), db.walStream(true)
+			if local == nil {
+				continue // recovery never produced logs to commit
+			}
+			if err := local.GroupCommit(); err != nil {
 				db.fail(fmt.Errorf("wal group commit: %w", err))
 				continue
 			}
-			if err := db.walRemote.GroupCommit(); err != nil {
+			if err := remote.GroupCommit(); err != nil {
 				db.fail(fmt.Errorf("wal group commit: %w", err))
 			}
 		}
@@ -200,17 +218,18 @@ func (db *DB) walFlushThread() {
 // contract says may be lost. What remains in the active segments is
 // exactly what the next Open replays.
 func (db *DB) walClose() {
-	if db.walLocal == nil {
+	local, remote := db.walStream(false), db.walStream(true)
+	if local == nil {
 		return
 	}
 	if db.Health() != nil {
-		db.walLocal.Abandon()
-		db.walRemote.Abandon()
+		local.Abandon()
+		remote.Abandon()
 		return
 	}
 	// Errors are deliberately not propagated: the bytes a failed close
 	// could not persist are re-replayable or already flushed, and Close's
 	// return value is reserved for the run's root cause.
-	_ = db.walLocal.Close()
-	_ = db.walRemote.Close()
+	_ = local.Close()
+	_ = remote.Close()
 }

@@ -23,6 +23,13 @@ const (
 	// tagShutdown stops a rank's message handler and response router
 	// (sent to self on Close, on their respective communicators).
 	tagShutdown = 7
+	// tagPing is the circuit breaker's half-open probe: a tripped peer is
+	// periodically pinged through the response router, and a healthy
+	// answer (tagPingAck) closes the circuit. Both directions carry the
+	// sender's incarnation number so either side can notice the other was
+	// reborn since they last spoke.
+	tagPing    = 8
+	tagPingAck = 9
 )
 
 // Every reply format — acks (encodeAck) and get responses
@@ -177,26 +184,65 @@ func decodeGetResponse(data []byte) (getResponse, error) {
 }
 
 // Reliable-request framing: migration batches and synchronous puts carry an
-// 8-byte sequence number ahead of their payload, and their acks echo it with
-// a status byte and, on failure, the owner's error text. The seq lets a
-// sender retry without risking double application (the receiver's dedup
-// window replays the original ack) and lets it discard stale acks produced
-// by duplicated requests.
+// 8-byte sequence number and the sender's 4-byte incarnation number ahead of
+// their payload, and their acks echo the seq with a status byte and, on
+// failure, the owner's error text. The seq lets a sender retry without
+// risking double application (the receiver's dedup window replays the
+// original ack) and lets it discard stale acks produced by duplicated
+// requests. The incarnation scopes the dedup window: a reborn sender
+// restarts from its replayed WAL, so its seqs must not match acks recorded
+// against its previous life.
 
-// prependSeq frames body with its sequence number.
-func prependSeq(seq uint64, body []byte) []byte {
-	out := make([]byte, 8+len(body))
+// prependSeq frames body with its sequence number and the sender's
+// incarnation.
+func prependSeq(seq uint64, inc uint32, body []byte) []byte {
+	out := make([]byte, 12+len(body))
 	binary.LittleEndian.PutUint64(out, seq)
-	copy(out[8:], body)
+	binary.LittleEndian.PutUint32(out[8:], inc)
+	copy(out[12:], body)
 	return out
 }
 
 // splitSeq undoes prependSeq.
-func splitSeq(data []byte) (uint64, []byte, error) {
-	if len(data) < 8 {
-		return 0, nil, fmt.Errorf("core: short reliable request (%d bytes)", len(data))
+func splitSeq(data []byte) (uint64, uint32, []byte, error) {
+	if len(data) < 12 {
+		return 0, 0, nil, fmt.Errorf("core: short reliable request (%d bytes)", len(data))
 	}
-	return binary.LittleEndian.Uint64(data), data[8:], nil
+	return binary.LittleEndian.Uint64(data), binary.LittleEndian.Uint32(data[8:]), data[12:], nil
+}
+
+// encodePing builds a half-open probe: [seq u64][sender incarnation u32].
+func encodePing(seq uint64, inc uint32) []byte {
+	out := make([]byte, 12)
+	binary.LittleEndian.PutUint64(out, seq)
+	binary.LittleEndian.PutUint32(out[8:], inc)
+	return out
+}
+
+func decodePing(data []byte) (seq uint64, inc uint32, err error) {
+	if len(data) != 12 {
+		return 0, 0, fmt.Errorf("core: bad ping frame (%d bytes)", len(data))
+	}
+	return binary.LittleEndian.Uint64(data), binary.LittleEndian.Uint32(data[8:]), nil
+}
+
+// encodePingAck builds the probe reply: [seq u64][status u8][responder
+// incarnation u32]. The seq leads so the response router demultiplexes it
+// like every other reply; status is ackOK only when the responder's
+// failure domain is healthy.
+func encodePingAck(seq uint64, status byte, inc uint32) []byte {
+	out := make([]byte, 13)
+	binary.LittleEndian.PutUint64(out, seq)
+	out[8] = status
+	binary.LittleEndian.PutUint32(out[9:], inc)
+	return out
+}
+
+func decodePingAck(data []byte) (seq uint64, status byte, inc uint32, err error) {
+	if len(data) != 13 {
+		return 0, 0, 0, fmt.Errorf("core: bad ping ack (%d bytes)", len(data))
+	}
+	return binary.LittleEndian.Uint64(data), data[8], binary.LittleEndian.Uint32(data[9:]), nil
 }
 
 // encodeAck builds an acknowledgement: [seq u64][status u8][error text].

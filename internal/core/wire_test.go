@@ -88,12 +88,42 @@ func TestAckRoundTrip(t *testing.T) {
 }
 
 func TestPrependSplitSeq(t *testing.T) {
-	seq, body, err := splitSeq(prependSeq(42, []byte("payload")))
-	if err != nil || seq != 42 || string(body) != "payload" {
-		t.Fatalf("splitSeq = %d %q %v", seq, body, err)
+	seq, inc, body, err := splitSeq(prependSeq(42, 7, []byte("payload")))
+	if err != nil || seq != 42 || inc != 7 || string(body) != "payload" {
+		t.Fatalf("splitSeq = %d %d %q %v", seq, inc, body, err)
 	}
-	if _, _, err := splitSeq([]byte{1, 2, 3}); err == nil {
+	if _, _, _, err := splitSeq([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short frame split")
+	}
+	// An old-style 8-byte seq-only frame is short too: the incarnation
+	// field is part of the header, not optional.
+	if _, _, _, err := splitSeq(make([]byte, 8)); err == nil {
+		t.Fatal("incarnationless frame split")
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	seq, inc, err := decodePing(encodePing(99, 3))
+	if err != nil || seq != 99 || inc != 3 {
+		t.Fatalf("decodePing = %d %d %v", seq, inc, err)
+	}
+	if _, _, err := decodePing([]byte{1, 2}); err == nil {
+		t.Fatal("short ping decoded")
+	}
+	if _, _, err := decodePing(make([]byte, 13)); err == nil {
+		t.Fatal("oversized ping decoded")
+	}
+	aseq, status, ainc, err := decodePingAck(encodePingAck(7, ackFailed, 12))
+	if err != nil || aseq != 7 || status != ackFailed || ainc != 12 {
+		t.Fatalf("decodePingAck = %d %d %d %v", aseq, status, ainc, err)
+	}
+	if _, _, _, err := decodePingAck(make([]byte, 12)); err == nil {
+		t.Fatal("short ping ack decoded")
+	}
+	// The ack must lead with the seq so the response router can
+	// demultiplex it without decoding the body.
+	if got, ok := peekReplySeq(encodePingAck(1234, ackOK, 1)); !ok || got != 1234 {
+		t.Fatalf("peekReplySeq on ping ack = %d %v", got, ok)
 	}
 }
 
@@ -204,8 +234,17 @@ func TestMetricsSnapshotComplete(t *testing.T) {
 	if snap["wal_records_appended"] != 11 {
 		t.Fatalf("snapshot is missing the WAL counters: %v", snap)
 	}
-	if len(snap) != 27 {
+	if len(snap) != 35 {
 		t.Fatalf("snapshot has %d fields; update Snapshot when adding metrics", len(snap))
+	}
+	if _, ok := snap["pairs_lost"]; !ok {
+		t.Fatalf("snapshot is missing the recovery counters: %v", snap)
+	}
+	// The per-rank loss breakdown appears only for owners that lost pairs.
+	m.addPairsLost(3, 5)
+	snap = m.Snapshot()
+	if snap["pairs_lost"] != 5 || snap["pairs_lost_rank_3"] != 5 {
+		t.Fatalf("per-rank loss breakdown missing: %v", snap)
 	}
 }
 

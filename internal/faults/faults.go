@@ -118,8 +118,15 @@ type Rule struct {
 	// with this probability, decided by a hash of (seed, rule, index) —
 	// deterministic for a fixed evaluation order.
 	Probability float64
+	// Every, when > 0, makes the rule periodic: after its first firing
+	// (the Count-th matching evaluation, or the Every-th when Count is 0)
+	// it fires again on every Every-th matching evaluation. Fires still
+	// bounds the total, but the Count-rule default of a single firing is
+	// lifted to unlimited — a periodic schedule exists to keep firing.
+	// Chaos tests use it for deterministic kill-then-recover loops.
+	Every uint64
 	// Fires bounds the number of firings. 0 means: once for Count
-	// rules, unlimited for Probability rules.
+	// rules (unless Every makes them periodic), unlimited otherwise.
 	Fires uint64
 	// Delay is the stall duration for NetDelay.
 	Delay time.Duration
@@ -263,7 +270,7 @@ func (r *armedRule) matches(s Site) bool {
 func (r *armedRule) shouldFire(seed, eval uint64) bool {
 	maxFires := r.Fires
 	if maxFires == 0 {
-		if r.Count > 0 {
+		if r.Count > 0 && r.Every == 0 {
 			maxFires = 1
 		} else {
 			maxFires = ^uint64(0)
@@ -271,6 +278,13 @@ func (r *armedRule) shouldFire(seed, eval uint64) bool {
 	}
 	if r.fired >= maxFires {
 		return false
+	}
+	if r.Every > 0 {
+		first := r.Count
+		if first == 0 {
+			first = r.Every
+		}
+		return eval >= first && (eval-first)%r.Every == 0
 	}
 	if r.Count > 0 {
 		return eval >= r.Count

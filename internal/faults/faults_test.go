@@ -48,6 +48,48 @@ func TestCountRuleWithFiresWindow(t *testing.T) {
 	}
 }
 
+func TestRuleEvery(t *testing.T) {
+	// Count sets the first firing, Every the period, Fires the total.
+	in := New(1).Enable(Rule{Point: CoreKill, Rank: AnyRank, Count: 3, Every: 5, Fires: 3})
+	var fires []int
+	for i := 1; i <= 20; i++ {
+		if in.Eval(CoreKill, Site{Rank: 0}).Fire {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 8, 13}
+	if len(fires) != len(want) {
+		t.Fatalf("periodic rule fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("periodic rule fired at %v, want %v", fires, want)
+		}
+	}
+	if in.Fired(CoreKill) != 3 {
+		t.Fatalf("Fired = %d, want 3", in.Fired(CoreKill))
+	}
+
+	// Without Count the period sets the first firing too, and without
+	// Fires a periodic rule keeps firing.
+	in = New(1).Enable(Rule{Point: NetDrop, Rank: AnyRank, Every: 4})
+	fires = nil
+	for i := 1; i <= 13; i++ {
+		if in.Eval(NetDrop, Site{Rank: 0}).Fire {
+			fires = append(fires, i)
+		}
+	}
+	want = []int{4, 8, 12}
+	if len(fires) != len(want) {
+		t.Fatalf("count-less periodic rule fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("count-less periodic rule fired at %v, want %v", fires, want)
+		}
+	}
+}
+
 func TestRankTagWhereFilters(t *testing.T) {
 	in := New(1).Enable(Rule{Point: NetDrop, Rank: 1, Tag: 5, Where: "d0", Count: 1, Fires: 99})
 	misses := []Site{

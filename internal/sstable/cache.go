@@ -219,6 +219,30 @@ func (c *ReaderCache) release(r *tableReader) {
 	}
 }
 
+// Validate loads and CRC-checks SSTable ssid's bloom filter and SSIndex in
+// dir — exactly the validation a cached read performs at load time —
+// without looking for any key. In-run rank recovery calls it for every
+// listed SSTable after evicting the rank's directory: a table damaged by
+// the failure surfaces as a typed error before the rank is declared
+// healthy, instead of as a corrupt read later. With the cache enabled the
+// validated handle stays registered, so the pass doubles as a warm-up;
+// with the cache disabled the structures are read, checked, and dropped.
+func (c *ReaderCache) Validate(dir string, ssid uint64) error {
+	if !c.enabled() {
+		if _, err := loadBloom(c.dev, dir, ssid); err != nil {
+			return err
+		}
+		_, err := loadIndex(c.dev, dir, ssid)
+		return err
+	}
+	r, err := c.acquire(dir, ssid)
+	if err != nil {
+		return err
+	}
+	c.release(r)
+	return nil
+}
+
 // Evict drops the entry for (dir, ssid), if cached. Compaction calls it
 // for each merged input after deleting the files, and the read path's
 // retry loops call it on fs.ErrNotExist before re-listing.

@@ -176,6 +176,17 @@ func (l *Log) site() faults.Site {
 	return faults.Site{Rank: l.rank, Tag: faults.AnyTag, Where: l.activeName}
 }
 
+// Epoch returns the stream's current epoch. Recover always starts a fresh
+// epoch above every surviving segment, so the value is strictly monotonic
+// across process restarts and in-run recoveries alike — which is exactly
+// what lets core use the local stream's epoch as the rank's persistent
+// incarnation number.
+func (l *Log) Epoch() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
 // Append frames r into the in-memory buffer, stamping it with the current
 // epoch. Nothing touches the device until Commit, GroupCommit, or Rotate;
 // the caller decides the durability point.
