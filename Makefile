@@ -6,7 +6,7 @@ GO ?= go
 RACE_PKGS = ./internal/fifo ./internal/lru ./internal/mpi ./internal/sstable ./internal/wal
 RACE_CORE = ./internal/core
 
-.PHONY: all build vet test race chaos fuzz bench-smoke ci clean
+.PHONY: all build vet test race chaos overload fuzz bench-smoke ci clean
 
 all: build
 
@@ -21,7 +21,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'TestFault|TestEvent|TestWAL|TestReaderCache|TestSharedRead|TestRPC|TestRecover' $(RACE_CORE)
+	$(GO) test -race -run 'TestFault|TestEvent|TestWAL|TestReaderCache|TestSharedRead|TestRPC|TestRecover|TestDegrade' $(RACE_CORE)
 
 # Seeded kill/recover soak under the race detector: a periodic fault rule
 # kills a rank over and over while every rank loads, the victim Recovers in
@@ -29,6 +29,14 @@ race:
 # schedule, bounded wall clock.
 chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 -timeout 300s $(RACE_CORE)
+
+# Seeded overload soak under the race detector: sustained put pressure on
+# every rank while one rank's device churns in and out of ENOSPC, so the
+# degradation ladder (read-only refusals, write stalls, reclaim, parked
+# redelivery) is exercised end to end. Acked puts must survive, reads must
+# never fail, and the cluster must converge once the churn stops.
+overload:
+	$(GO) test -race -run 'TestOverloadSoak' -count=1 -timeout 300s $(RACE_CORE)
 
 # Short coverage-guided run of the WAL replay decoder on top of its
 # committed seed corpus (internal/wal/testdata/fuzz).
@@ -41,7 +49,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkSSTableGet -benchtime 1x ./internal/sstable
 	$(GO) test -run '^$$' -bench BenchmarkConcurrentRemoteGet -benchtime 1x ./internal/core
 
-ci: build vet test race chaos fuzz bench-smoke
+ci: build vet test race chaos overload fuzz bench-smoke
 
 clean:
 	$(GO) clean ./...

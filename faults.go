@@ -76,7 +76,9 @@ var (
 	ErrWALCorrupt = wal.ErrCorrupt
 	// ErrDeviceFull is the typed ENOSPC sentinel: organic full-device
 	// write errors map to it, and the injected FaultNVMWriteNoSpace wraps
-	// it alongside ErrNoSpace, so Health() reports a full device as the
-	// root cause with one matchable identity.
+	// it alongside ErrNoSpace, so a full device surfaces with one
+	// matchable identity — as the cause inside Health()'s ErrReadOnly,
+	// since resource exhaustion degrades a rank to read-only rather than
+	// failing it.
 	ErrDeviceFull = nvm.ErrNoSpace
 )

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"papyruskv/internal/memtable"
+)
+
+// Write admission control and the deferred-table lists.
+//
+// The put path used to have exactly one form of backpressure: a silently
+// blocking flushQ.Enqueue with no latency bound — a put could stall for as
+// long as the compaction thread took to drain a queue slot, and on a
+// Degraded rank (whose flushes cannot run at all) it would have blocked
+// forever. Both problems are solved here:
+//
+//   - Enqueueing never blocks. A sealed MemTable that does not fit in its
+//     queue — or that the background thread dequeued while the rank was
+//     Degraded — is deferred: it stays get-visible in immLocal/immRemote,
+//     stays WAL-backed, holds no pendingFlush/pendingMigr count (so Fence
+//     and Barrier on a degraded rank terminate), and is requeued when
+//     space and health allow.
+//   - Backpressure moves to admission control at the top of the put path:
+//     above Options.StallSoftDepth immutable tables, puts stall in short
+//     jittered sleeps bounded by Options.StallTimeout; at StallHardDepth,
+//     or when the stall budget expires, they fail fast with typed
+//     ErrWriteStalled. No put ever blocks longer than StallTimeout plus
+//     one stall period.
+
+// immDepth reports the immutable-table backlog the put path contributes to:
+// local tables awaiting flush, or remote tables awaiting migration.
+func (db *DB) immDepth(remote bool) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if remote {
+		return len(db.immRemote)
+	}
+	return len(db.immLocal)
+}
+
+// stallPeriod is one admission-control sleep quantum, jittered so stalled
+// writers do not re-probe the backlog in lockstep.
+func (db *DB) stallPeriod() time.Duration {
+	d := db.opt.StallTimeout / 8
+	if d < 200*time.Microsecond {
+		d = 200 * time.Microsecond
+	}
+	if d > 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return jitterBackoff(d)
+}
+
+// sleepStall sleeps one stall period, waking early when the caller's
+// context ends or the database begins closing.
+func (db *DB) sleepStall(ctx context.Context) error {
+	timer := time.NewTimer(db.stallPeriod())
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("papyruskv: %w", ctx.Err())
+	case <-db.closing:
+		return ErrInvalidDB
+	}
+}
+
+// admitWrite is the put path's admission control. Below the soft threshold
+// it admits immediately; at or above the hard threshold it sheds the put
+// with ErrWriteStalled at once; in between it stalls in bounded jittered
+// sleeps until the backlog drains below soft or the stall budget expires.
+func (db *DB) admitWrite(ctx context.Context, remote bool) error {
+	soft := db.opt.StallSoftDepth
+	if soft < 0 {
+		return nil // admission control disabled
+	}
+	hard := db.opt.StallHardDepth
+	depth := db.immDepth(remote)
+	if depth < soft {
+		return nil
+	}
+	if depth >= hard {
+		db.metrics.PutsShed.Add(1)
+		return fmt.Errorf("%w: %d immutable tables at hard threshold %d", ErrWriteStalled, depth, hard)
+	}
+	db.metrics.Stalls.Add(1)
+	start := time.Now()
+	defer func() { db.metrics.StallNanos.Add(uint64(time.Since(start))) }()
+	deadline := start.Add(db.opt.StallTimeout)
+	for {
+		if err := db.sleepStall(ctx); err != nil {
+			return err
+		}
+		depth = db.immDepth(remote)
+		if depth < soft {
+			return nil
+		}
+		// The rank may have degraded or failed mid-stall; its typed cause
+		// beats an opaque stall timeout.
+		if err := db.Health(); err != nil {
+			return err
+		}
+		if depth >= hard || !time.Now().Before(deadline) {
+			db.metrics.PutsShed.Add(1)
+			return fmt.Errorf("%w: backlog still %d tables after %v (soft %d, hard %d)",
+				ErrWriteStalled, depth, db.opt.StallTimeout, soft, hard)
+		}
+	}
+}
+
+// enqueueFlush hands a sealed local MemTable to the compaction thread
+// without ever blocking: a full queue — or older tables already deferred,
+// which must flush first — defers the table instead. Only a closed queue
+// (the database is shutting down) is an error.
+func (db *DB) enqueueFlush(sealed *memtable.Table) error {
+	db.stallMu.Lock()
+	if len(db.deferredFlush) == 0 {
+		db.pendingFlush.add(1)
+		if db.flushQ.TryEnqueue(sealed) {
+			db.stallMu.Unlock()
+			return nil
+		}
+		db.pendingFlush.done()
+		if db.flushQ.Closed() {
+			db.stallMu.Unlock()
+			return ErrInvalidDB
+		}
+	}
+	db.deferredFlush = append(db.deferredFlush, sealed)
+	db.stallMu.Unlock()
+	db.metrics.FlushesDeferred.Add(1)
+	return nil
+}
+
+// enqueueMigration is enqueueFlush's twin for sealed remote MemTables.
+func (db *DB) enqueueMigration(sealed *memtable.Table) error {
+	db.stallMu.Lock()
+	if len(db.deferredMigr) == 0 {
+		db.pendingMigr.add(1)
+		if db.migrateQ.TryEnqueue(sealed) {
+			db.stallMu.Unlock()
+			return nil
+		}
+		db.pendingMigr.done()
+		if db.migrateQ.Closed() {
+			db.stallMu.Unlock()
+			return ErrInvalidDB
+		}
+	}
+	db.deferredMigr = append(db.deferredMigr, sealed)
+	db.stallMu.Unlock()
+	db.metrics.FlushesDeferred.Add(1)
+	return nil
+}
+
+// deferFlush parks a dequeued table back on the deferred list — the
+// compaction thread's move when the rank is Degraded and the device cannot
+// take the SSTable. The table keeps serving gets from immLocal and its WAL
+// segment stays pinned; the flush reruns after heal.
+func (db *DB) deferFlush(t *memtable.Table) {
+	db.stallMu.Lock()
+	db.deferredFlush = append(db.deferredFlush, t)
+	db.stallMu.Unlock()
+	db.metrics.FlushesDeferred.Add(1)
+}
+
+// requeueDeferredFlushes moves deferred local tables back into the flushing
+// queue, oldest first, while the rank is Healthy and the queue has room.
+// Called by the compaction thread after each dequeue, by heal, and by the
+// prober's tick as a belt-and-braces sweep.
+func (db *DB) requeueDeferredFlushes() {
+	if db.State() != StateHealthy {
+		return // a degraded rank's flushes would only fail again
+	}
+	db.stallMu.Lock()
+	for len(db.deferredFlush) > 0 {
+		t := db.deferredFlush[0]
+		db.pendingFlush.add(1)
+		if !db.flushQ.TryEnqueue(t) {
+			db.pendingFlush.done()
+			break
+		}
+		// Copy-shrink so the backing array does not pin requeued tables.
+		db.deferredFlush = append([]*memtable.Table(nil), db.deferredFlush[1:]...)
+	}
+	db.stallMu.Unlock()
+}
+
+// requeueDeferredMigrations moves deferred remote tables back into the
+// migration queue. A Degraded rank still migrates out — sending frees its
+// WAL segments, which is reclaim — so the gate is failed-only.
+func (db *DB) requeueDeferredMigrations() {
+	if db.readHealth() != nil {
+		return
+	}
+	db.stallMu.Lock()
+	for len(db.deferredMigr) > 0 {
+		t := db.deferredMigr[0]
+		db.pendingMigr.add(1)
+		if !db.migrateQ.TryEnqueue(t) {
+			db.pendingMigr.done()
+			break
+		}
+		db.deferredMigr = append([]*memtable.Table(nil), db.deferredMigr[1:]...)
+	}
+	db.stallMu.Unlock()
+}
+
+// drainDeferredMigrations blocks until every deferred migration table has
+// been handed to the dispatcher (Fence's completeness guarantee), the rank
+// fails, or the database begins closing. The dispatcher is live in every
+// state this loop runs in, so queue space keeps appearing.
+func (db *DB) drainDeferredMigrations() {
+	for {
+		db.requeueDeferredMigrations()
+		db.stallMu.Lock()
+		n := len(db.deferredMigr)
+		db.stallMu.Unlock()
+		if n == 0 || db.readHealth() != nil || db.isClosing() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// drainDeferredFlushes blocks until every deferred local table has been
+// handed to the compaction thread, the rank leaves the Healthy state, or
+// the database begins closing. Barrier(LevelSSTable) calls it so "flushed"
+// means the deferred backlog too, not just the queue.
+func (db *DB) drainDeferredFlushes() {
+	for {
+		db.requeueDeferredFlushes()
+		db.stallMu.Lock()
+		n := len(db.deferredFlush)
+		db.stallMu.Unlock()
+		if n == 0 || db.State() != StateHealthy || db.isClosing() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// isClosing reports whether Close has begun teardown.
+func (db *DB) isClosing() bool {
+	select {
+	case <-db.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// clearDeferred empties both deferred lists — Recover drops the MemTables
+// they point at wholesale (the WAL replay resurrects their pairs), so the
+// references must not outlive them.
+func (db *DB) clearDeferred() {
+	db.stallMu.Lock()
+	db.deferredFlush, db.deferredMigr = nil, nil
+	db.stallMu.Unlock()
+}

@@ -90,10 +90,22 @@ type DB struct {
 	// Fence drains.
 	failMu          sync.Mutex
 	failedErr       error
+	degradedErr     error // read-only degradation cause; Failed dominates
 	peers           map[int]*peerCircuit
 	parkedBytesUsed int64
 	parkedTables    map[*memtable.Table]int
 	lost            map[int]*lossRecord
+
+	// stallMu guards the deferred-table lists: sealed MemTables that could
+	// not be queued — the queue was full, or the rank was Degraded when the
+	// background thread dequeued them. Deferred tables stay get-visible in
+	// immLocal/immRemote and hold no pendingFlush/pendingMigr count, so a
+	// degraded rank's Fence and Barrier terminate instead of waiting on
+	// work that cannot run; requeueDeferred* moves them back into the
+	// queues as space and health allow.
+	stallMu       sync.Mutex
+	deferredFlush []*memtable.Table
+	deferredMigr  []*memtable.Table
 
 	// incarnation is this rank's life number — the replayed WAL epoch, so
 	// it is strictly monotonic across restarts and in-run recoveries. It

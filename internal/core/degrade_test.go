@@ -1,0 +1,378 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"papyruskv/internal/faults"
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+)
+
+// waitState polls until db reaches the wanted ladder state.
+func waitState(t *testing.T, db *DB, want HealthState, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for db.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("state = %v, want %v (health: %v)", db.State(), want, db.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDegradeENOSPCReadOnlyThenReclaim is the tentpole acceptance scenario:
+// a rank whose device returns ENOSPC mid-flush degrades to read-only — it
+// keeps answering local and remote gets with zero errors while returning
+// typed ErrReadOnly for puts (local ones, and its peers' migrations across
+// the wire, which park behind the circuit breaker) — then resumes accepting
+// writes after Reclaim, and the peers' parked batches are redelivered.
+func TestDegradeENOSPCReadOnlyThenReclaim(t *testing.T) {
+	const victim = 0
+	inj := faults.New(0xde96ade)
+	opt := recoverOpt()
+	runCluster(t, clusterSpec{ranks: 3, faults: inj}, func(rt *Runtime, c *mpi.Comm) error {
+		o := opt
+		if rt.Rank() == victim {
+			// The victim heals only through the explicit Reclaim call, so
+			// the degraded window is test-controlled, not prober-timed.
+			o.ProbeInterval = -1
+		}
+		db, err := rt.Open("degradedb", o)
+		if err != nil {
+			return err
+		}
+		vkeys := ownKeys(db, victim, 45)
+		own := ownKeys(db, rt.Rank(), 20) // == vkeys[:20] on the victim
+		migr := vkeys[20:40]              // victim-owned, staged by the peers
+		extra := vkeys[40:]               // victim-owned, put after the heal
+
+		// Phase 1: every rank loads its own keys while healthy, then the
+		// victim's SSTable writes start returning ENOSPC. ClearAfter makes
+		// the exhaustion transient: the first write attempt fails, and the
+		// post-reclaim retry finds the space back.
+		for _, k := range own {
+			mustPut(t, db, string(k), string(val(k)))
+		}
+		if rt.Rank() == victim {
+			inj.Enable(faults.Rule{
+				Point: faults.NVMWriteNoSpace, Rank: faults.AnyRank, Tag: faults.AnyTag,
+				Where: fmt.Sprintf("r%d/sst-", victim), Count: 1, Fires: 1 << 20, ClearAfter: 1,
+			})
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// Phase 2: the collective flush drives the victim into the ENOSPC.
+		// Its Barrier reports the degradation; the healthy ranks' returns
+		// nil — a peer's full device is not their failure.
+		berr := db.Barrier(LevelSSTable)
+		if rt.Rank() == victim {
+			if !errors.Is(berr, ErrReadOnly) || !errors.Is(berr, nvm.ErrNoSpace) {
+				t.Errorf("victim Barrier err = %v, want ErrReadOnly wrapping ErrNoSpace", berr)
+			}
+			if got := db.State(); got != StateDegraded {
+				t.Errorf("victim state = %v, want degraded", got)
+			}
+			if err := db.Put(extra[0], val(extra[0])); !errors.Is(err, ErrReadOnly) {
+				t.Errorf("degraded Put err = %v, want ErrReadOnly", err)
+			}
+			for _, k := range own {
+				if err := wantGet(db, string(k), string(val(k))); err != nil {
+					t.Errorf("degraded local get: %v", err)
+				}
+			}
+			m := db.Metrics()
+			if m.DegradedTransitions.Load() != 1 || m.Degraded.Load() != 1 {
+				t.Errorf("degraded_transitions=%d degraded=%d, want 1/1",
+					m.DegradedTransitions.Load(), m.Degraded.Load())
+			}
+			if m.FlushesDeferred.Load() == 0 {
+				t.Error("no flush was deferred on the degraded rank")
+			}
+		} else if berr != nil {
+			t.Errorf("rank %d Barrier err = %v, want nil", rt.Rank(), berr)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// Phase 3: the peers read the degraded rank remotely — its data is
+		// intact and it must serve — then stage writes it owns. Fence
+		// reports them parked with the typed refusal as the cause.
+		if rt.Rank() != victim {
+			for _, k := range vkeys[:20] {
+				if err := wantGet(db, string(k), string(val(k))); err != nil {
+					t.Errorf("remote get from degraded rank: %v", err)
+				}
+			}
+			share := migr[:10]
+			if rt.Rank() == 2 {
+				share = migr[10:]
+			}
+			for _, k := range share {
+				mustPut(t, db, string(k), string(val(k)))
+			}
+			if err := db.Fence(); !errors.Is(err, ErrReadOnly) {
+				t.Errorf("Fence err = %v, want parked report wrapping ErrReadOnly", err)
+			}
+			if db.Metrics().ParkedBatches.Load() == 0 {
+				t.Error("no batch parked for the degraded owner")
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// Phase 4: the application reclaims space (the transient fault has
+		// cleared); the rank heals, requeues the deferred flush, and
+		// accepts writes again.
+		if rt.Rank() == victim {
+			if err := db.Reclaim(); err != nil {
+				t.Errorf("Reclaim: %v", err)
+			}
+			waitState(t, db, StateHealthy, 5*time.Second)
+			for _, k := range extra {
+				mustPut(t, db, string(k), string(val(k)))
+			}
+			m := db.Metrics()
+			if m.Reclaims.Load() != 1 || m.Degraded.Load() != 0 {
+				t.Errorf("reclaims=%d degraded=%d, want 1/0", m.Reclaims.Load(), m.Degraded.Load())
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// Phase 5: the peers' probes get ackOK now, circuits close, parked
+		// batches redeliver in order, and a Fence finally runs clean.
+		if rt.Rank() != victim {
+			waitFenceClean(t, db, 10*time.Second)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if err := db.Barrier(LevelSSTable); err != nil {
+			t.Errorf("post-heal Barrier: %v", err)
+		}
+		for r := 0; r < 3; r++ {
+			for _, k := range ownKeys(db, r, 20) {
+				if err := wantGet(db, string(k), string(val(k))); err != nil {
+					t.Errorf("rank %d: %v", rt.Rank(), err)
+				}
+			}
+		}
+		for _, k := range append(append([][]byte{}, migr...), extra...) {
+			if err := wantGet(db, string(k), string(val(k))); err != nil {
+				t.Errorf("rank %d: %v", rt.Rank(), err)
+			}
+		}
+		if lost := db.Metrics().PairsLost.Load(); lost != 0 {
+			t.Errorf("pairs_lost = %d, want 0", lost)
+		}
+		return db.Close()
+	})
+}
+
+// TestDegradeStallTimeout drives the flush backlog past StallSoftDepth on a
+// deliberately slow device and asserts the admission-control contract: a
+// put stalls, is shed with typed ErrWriteStalled once the stall budget
+// expires, and never blocks longer than twice StallTimeout. The stall and
+// shed metrics must move.
+func TestDegradeStallTimeout(t *testing.T) {
+	const stallTimeout = 150 * time.Millisecond
+	slow := nvm.PerfModel{Name: "slow", WriteLatency: 60 * time.Millisecond, TimeScale: 1}
+	runCluster(t, clusterSpec{ranks: 1, nvmModel: slow}, func(rt *Runtime, c *mpi.Comm) error {
+		o := faultOpt()
+		o.MemTableCapacity = 256
+		o.QueueDepth = 1
+		o.StallSoftDepth = 1
+		o.StallHardDepth = 8
+		o.StallTimeout = stallTimeout
+		o.WAL = WALDisabled // keep the flush path the only device writer
+		o.ProbeInterval = -1
+		db, err := rt.Open("stalldb", o)
+		if err != nil {
+			return err
+		}
+		var shed error
+		deadline := time.Now().Add(30 * time.Second)
+		for i := 0; i < 2000 && time.Now().Before(deadline); i++ {
+			k := []byte(fmt.Sprintf("stall-%05d", i))
+			start := time.Now()
+			err := db.Put(k, val(k))
+			if elapsed := time.Since(start); elapsed > 2*stallTimeout {
+				t.Errorf("Put blocked %v, want <= %v", elapsed, 2*stallTimeout)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrWriteStalled) {
+					t.Fatalf("Put err = %v, want ErrWriteStalled", err)
+				}
+				shed = err
+				break
+			}
+		}
+		if shed == nil {
+			t.Fatal("backlog never shed a put with ErrWriteStalled")
+		}
+		m := db.Metrics()
+		if m.Stalls.Load() == 0 || m.StallNanos.Load() == 0 || m.PutsShed.Load() == 0 {
+			t.Errorf("stalls=%d stall_ns=%d puts_shed=%d, want all > 0",
+				m.Stalls.Load(), m.StallNanos.Load(), m.PutsShed.Load())
+		}
+		return db.Close()
+	})
+}
+
+// TestDegradeGetCtxCancel: a caller blocked on an unreachable owner is
+// unblocked by its own context — cancellation and deadline both — long
+// before the retry ladder would give up, and the breaker does not punish
+// the peer for the caller's choice.
+func TestDegradeGetCtxCancel(t *testing.T) {
+	inj := faults.New(0xc47c31)
+	opt := faultOpt()
+	opt.RetryTimeout = time.Second
+	opt.ProbeInterval = -1
+	runCluster(t, clusterSpec{ranks: 2, faults: inj}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("ctxdb", opt)
+		if err != nil {
+			return err
+		}
+		k := ownKeys(db, 0, 1)[0]
+		if rt.Rank() == 0 {
+			mustPut(t, db, string(k), string(val(k)))
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if rt.Rank() == 1 {
+			// Every remote-get request vanishes on the wire; the owner
+			// stays healthy and reachable for everything else.
+			inj.Enable(faults.Rule{
+				Point: faults.NetDrop, Rank: faults.AnyRank, Tag: tagGet,
+				Count: 1, Fires: 1 << 20,
+			})
+
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(50 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			_, err := db.GetCtx(ctx, k)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("GetCtx err = %v, want context.Canceled", err)
+			}
+			if elapsed := time.Since(start); elapsed > opt.RetryTimeout {
+				t.Errorf("cancelled GetCtx took %v, want well under the %v retry timeout", elapsed, opt.RetryTimeout)
+			}
+
+			dctx, dcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			_, err = db.GetCtx(dctx, k)
+			dcancel()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("GetCtx err = %v, want context.DeadlineExceeded", err)
+			}
+
+			inj.Disable(faults.NetDrop)
+			if err := wantGet(db, string(k), string(val(k))); err != nil {
+				t.Errorf("after disabling the drop: %v", err)
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+}
+
+// TestOverloadSoak is the `make overload` target: sustained put pressure on
+// three ranks while rank 0's device flips in and out of ENOSPC (a periodic
+// transient fault the reclaim prober keeps healing). Acknowledged puts must
+// survive, reads must never fail, refused writes must carry their typed
+// errors, and after the churn stops the cluster must converge: everyone
+// healthy, every parked batch redelivered, nothing lost.
+func TestOverloadSoak(t *testing.T) {
+	const victim = 0
+	inj := faults.New(0x50a4)
+	// Fires on the 2nd matching SSTable write and every 7th after it, so
+	// the victim's flushes alternate between failing (degrading it) and
+	// succeeding (after its prober reclaims).
+	inj.Enable(faults.Rule{
+		Point: faults.NVMWriteNoSpace, Rank: faults.AnyRank, Tag: faults.AnyTag,
+		Where: fmt.Sprintf("r%d/sst-", victim), Count: 2, Every: 7, Fires: 1 << 20,
+	})
+	opt := faultOpt()
+	opt.ProbeInterval = 2 * time.Millisecond
+	opt.StallTimeout = 50 * time.Millisecond
+	runCluster(t, clusterSpec{ranks: 3, faults: inj}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("soakdb", opt)
+		if err != nil {
+			return err
+		}
+		var ackedLocal, ackedRemote [][]byte
+		deadline := time.Now().Add(1200 * time.Millisecond)
+		for i := 0; i < 2500 && time.Now().Before(deadline); i++ {
+			k := []byte(fmt.Sprintf("soak-%d-%06d", rt.Rank(), i))
+			switch err := db.Put(k, val(k)); {
+			case err == nil:
+				if db.Owner(k) == rt.Rank() {
+					ackedLocal = append(ackedLocal, k)
+				} else {
+					ackedRemote = append(ackedRemote, k)
+				}
+			case errors.Is(err, ErrReadOnly), errors.Is(err, ErrWriteStalled):
+				// The ladder refusing writes under pressure is the point.
+			default:
+				t.Errorf("rank %d Put(%s): %v", rt.Rank(), k, err)
+			}
+			// Reads must keep serving through every degraded window.
+			if len(ackedLocal) > 0 && i%64 == 0 {
+				k := ackedLocal[i%len(ackedLocal)]
+				if err := wantGet(db, string(k), string(val(k))); err != nil {
+					t.Errorf("rank %d read under pressure: %v", rt.Rank(), err)
+				}
+			}
+		}
+		if rt.Rank() == victim {
+			inj.Disable(faults.NVMWriteNoSpace)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Convergence: the victim's prober reclaims for the last time, the
+		// peers' probes close their circuits and redeliver, and a full
+		// flush barrier runs clean on every rank.
+		waitState(t, db, StateHealthy, 10*time.Second)
+		waitFenceClean(t, db, 20*time.Second)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if err := db.Barrier(LevelSSTable); err != nil {
+			t.Errorf("rank %d convergence Barrier: %v", rt.Rank(), err)
+		}
+		for _, k := range append(append([][]byte{}, ackedLocal...), ackedRemote...) {
+			if err := wantGet(db, string(k), string(val(k))); err != nil {
+				t.Errorf("rank %d acked put lost: %v", rt.Rank(), err)
+			}
+		}
+		m := db.Metrics()
+		if lost := m.PairsLost.Load(); lost != 0 {
+			t.Errorf("rank %d pairs_lost = %d, want 0", rt.Rank(), lost)
+		}
+		if rt.Rank() == victim {
+			if m.DegradedTransitions.Load() == 0 || m.Reclaims.Load() == 0 {
+				t.Errorf("victim never churned: degraded_transitions=%d reclaims=%d",
+					m.DegradedTransitions.Load(), m.Reclaims.Load())
+			}
+			t.Logf("victim churn: %d degradations, %d reclaims, %d flushes deferred, %d stalls, %d puts shed",
+				m.DegradedTransitions.Load(), m.Reclaims.Load(), m.FlushesDeferred.Load(),
+				m.Stalls.Load(), m.PutsShed.Load())
+		}
+		return db.Close()
+	})
+}

@@ -40,6 +40,20 @@ var (
 	// cause is wrapped; Health returns the same error. Other ranks keep
 	// serving — only operations involving the failed rank see it.
 	ErrRankFailed = errors.New("papyruskv: rank failed")
+	// ErrReadOnly reports that this rank's database is degraded to
+	// read-only: a resource-exhaustion error (typically a full NVM device,
+	// nvm.ErrNoSpace) stopped it persisting new writes, but everything
+	// already stored is intact and keeps serving. Puts and incoming
+	// migrations are refused with this sentinel — carried across the wire,
+	// so a remote writer sees the same typed error the local application
+	// does — until space is reclaimed (Reclaim, or the background reclaim
+	// probe) and the rank returns to Healthy. The root cause is wrapped.
+	ErrReadOnly = errors.New("papyruskv: rank degraded to read-only")
+	// ErrWriteStalled reports that a put was shed by write admission
+	// control: the flush/migration backlog sat above the soft threshold
+	// past StallTimeout, or above the hard threshold outright. The pair
+	// was not applied; the caller may retry after backing off.
+	ErrWriteStalled = errors.New("papyruskv: write stalled by backlog")
 )
 
 // ErrCorrupt reports data that failed checksum or structural validation —

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -13,6 +14,18 @@ import (
 // Get retrieves the value for key (papyruskv_get), following the search
 // order of Figure 3. The returned slice is the caller's to keep.
 func (db *DB) Get(key []byte) ([]byte, error) {
+	return db.get(context.Background(), key)
+}
+
+// GetCtx is Get with a caller-supplied deadline or cancellation: the
+// context's expiry unblocks a remote get waiting out the retry ladder
+// against a dead or slow owner, returning the context's error wrapped for
+// errors.Is. A Background context makes it identical to Get.
+func (db *DB) GetCtx(ctx context.Context, key []byte) ([]byte, error) {
+	return db.get(ctx, key)
+}
+
+func (db *DB) get(ctx context.Context, key []byte) ([]byte, error) {
 	if len(key) == 0 {
 		return nil, fmt.Errorf("%w: empty key", ErrInvalidArgument)
 	}
@@ -20,7 +33,9 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		return nil, err
 	}
 	db.maybeKill()
-	if err := db.Health(); err != nil {
+	// readHealth, not Health: a Degraded (read-only) rank keeps serving
+	// gets from its MemTables and SSTables; only a Failed rank refuses.
+	if err := db.readHealth(); err != nil {
 		return nil, err
 	}
 	owner := db.opt.Hash(key, db.rt.size)
@@ -36,7 +51,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		return copyValue(val), nil
 	}
 	db.metrics.GetsRemote.Add(1)
-	val, err := db.getRemote(owner, key)
+	val, err := db.getRemote(ctx, owner, key)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +163,7 @@ func (db *DB) searchSSTableList(dir string, ids []uint64, key []byte) ([]byte, b
 // message crosses the network to the owner's message handler. Within a
 // storage group the handler answers "search my SSTables yourself" instead
 // of shipping the value (§2.7).
-func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
+func (db *DB) getRemote(ctx context.Context, owner int, key []byte) ([]byte, error) {
 	// Remote-side staging only exists in relaxed mode, but checking is
 	// harmless (empty tables) in sequential mode.
 	db.mu.Lock()
@@ -189,7 +204,7 @@ func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
 	for attempt := 0; attempt < db.opt.RetryAttempts; attempt++ {
 		if attempt > 0 {
 			db.metrics.GetRetries.Add(1)
-			if err := db.sleepBackoff(&backoff); err != nil {
+			if err := db.sleepBackoff(ctx, &backoff); err != nil {
 				return nil, err
 			}
 		}
@@ -203,7 +218,7 @@ func (db *DB) getRemote(owner int, key []byte) ([]byte, error) {
 			db.calls.deregister(tagGetResp, seq)
 			return nil, err
 		}
-		m, err := db.awaitReply(ch)
+		m, err := db.awaitReply(ctx, ch)
 		db.calls.deregister(tagGetResp, seq)
 		if errors.Is(err, mpi.ErrTimeout) {
 			lastErr = err

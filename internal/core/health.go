@@ -1,25 +1,84 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"papyruskv/internal/faults"
+	"papyruskv/internal/nvm"
 )
 
-// Failure-domain isolation. A background error (failed flush, failed
-// compaction, injected kill) used to abort the whole world like an
-// MPI_Abort; instead it now marks only the owning rank's database failed.
-// A failed rank's Put/Get/Barrier return ErrRankFailed wrapping the root
-// cause, its background threads drain their queues without doing work (so
-// Fence and Barrier never hang), and its message handler stays alive
-// answering remote requests with error responses — healthy ranks keep
-// serving everything that does not involve the failed rank.
+// Failure-domain health ladder: Healthy → Degraded (read-only) → Failed.
 //
-// Failure is no longer terminal within a run: Recover (recover.go) heals
-// the rank from its WAL, and the per-peer circuit breakers below let the
-// healthy ranks notice the resurrection and redeliver what they parked.
+// A background error (failed flush, failed compaction, injected kill) used
+// to abort the whole world like an MPI_Abort, then (PR 1) to mark only the
+// owning rank failed. Failure is still a blunt instrument, though: an
+// ErrNoSpace from a flush leaves every SSTable, MemTable, and cache
+// perfectly readable. The ladder keeps that distinction:
+//
+//   - Degraded (read-only): a resource-exhaustion error — ErrNoSpace from
+//     flush/WAL/compaction, or a parked-bytes budget overflow — stopped the
+//     rank persisting new writes. Puts and incoming migrations are refused
+//     with typed ErrReadOnly (carried across the wire), but local gets,
+//     remote gets, shared reads, and checkpoint reads keep serving from
+//     MemTables + SSTables. Sealed tables whose flush cannot run are
+//     deferred, readable, and still WAL-backed. The proberThread's reclaim
+//     probe — or an explicit Reclaim call — transitions back to Healthy
+//     once the device accepts writes again; peers' circuit probes then see
+//     ackOK and redeliver what they parked, exactly as after Recover.
+//   - Failed: everything else. The rank's Put/Get/Barrier return
+//     ErrRankFailed wrapping the root cause, its background threads drain
+//     their queues without doing work (so Fence and Barrier never hang),
+//     and its message handler stays alive answering remote requests with
+//     error responses. Recover (recover.go) heals a failed rank from its
+//     WAL. Failed dominates Degraded: a degraded rank that then hits a
+//     non-resource error is failed outright.
+
+// HealthState is a rank's position on the degradation ladder.
+type HealthState int
+
+const (
+	// StateHealthy: reads and writes are served.
+	StateHealthy HealthState = iota
+	// StateDegraded: reads are served; writes are refused with ErrReadOnly
+	// until resources are reclaimed.
+	StateDegraded
+	// StateFailed: every operation is refused with ErrRankFailed until
+	// Recover heals the rank.
+	StateFailed
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case StateDegraded:
+		return "degraded"
+	case StateFailed:
+		return "failed"
+	default:
+		return "healthy"
+	}
+}
+
+// State returns this rank's current position on the ladder.
+func (db *DB) State() HealthState {
+	db.failMu.Lock()
+	defer db.failMu.Unlock()
+	return db.stateLocked()
+}
+
+// stateLocked computes the ladder position. Caller holds db.failMu.
+func (db *DB) stateLocked() HealthState {
+	switch {
+	case db.failedErr != nil:
+		return StateFailed
+	case db.degradedErr != nil:
+		return StateDegraded
+	default:
+		return StateHealthy
+	}
+}
 
 // fail records err as this database's root-cause failure. Only the first
 // call wins; later errors are usually consequences of the first. The first
@@ -38,10 +97,70 @@ func (db *DB) fail(err error) {
 	}
 	db.failMu.Unlock()
 	if first {
+		// Failed dominates Degraded on the ladder; the gauge tracks the
+		// Degraded state only.
+		db.metrics.Degraded.Store(0)
 		// Outside failMu: eviction takes the cache lock and closes fds,
 		// and callers of Health() hold failMu-adjacent paths.
 		db.readers.EvictDir(db.dir(db.rt.rank))
 	}
+}
+
+// degrade moves a healthy rank to Degraded (read-only) with err as the
+// cause. A rank already degraded or failed keeps its original cause. Unlike
+// fail it does NOT evict the reader cache: nothing on the device is suspect
+// — it is merely full — and every table must keep serving reads.
+func (db *DB) degrade(err error) {
+	if err == nil {
+		return
+	}
+	db.failMu.Lock()
+	db.degradeLocked(err)
+	db.failMu.Unlock()
+}
+
+// degradeLocked is degrade for callers already holding db.failMu.
+func (db *DB) degradeLocked(err error) {
+	if err == nil || db.failedErr != nil || db.degradedErr != nil {
+		return
+	}
+	db.degradedErr = err
+	db.metrics.DegradedTransitions.Add(1)
+	db.metrics.Degraded.Store(1)
+}
+
+// failOrDegrade routes a background error to its rung of the ladder:
+// resource exhaustion (a full device) degrades to read-only, everything
+// else fails the domain.
+func (db *DB) failOrDegrade(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, nvm.ErrNoSpace) {
+		db.degrade(err)
+		return
+	}
+	db.fail(err)
+}
+
+// heal moves a Degraded rank back to Healthy and requeues the flushes that
+// were deferred while it could not write. A Failed rank is not healed here
+// — that is Recover's job. Returns whether a transition happened.
+func (db *DB) heal() bool {
+	db.failMu.Lock()
+	healed := db.failedErr == nil && db.degradedErr != nil
+	if healed {
+		db.degradedErr = nil
+	}
+	db.failMu.Unlock()
+	if !healed {
+		return false
+	}
+	db.metrics.Degraded.Store(0)
+	db.metrics.Reclaims.Add(1)
+	db.requeueDeferredFlushes()
+	db.requeueDeferredMigrations()
+	return true
 }
 
 // Fail marks this rank's database failed with the given root cause, exactly
@@ -54,16 +173,34 @@ func (db *DB) Fail(err error) {
 	db.fail(err)
 }
 
-// Health returns nil while this rank's database is healthy, or ErrRankFailed
-// wrapping the first root-cause error once it has failed. Remote ranks'
-// failures do not show up here — they surface per-operation.
+// Health returns nil while this rank's database accepts writes. A Degraded
+// rank returns ErrReadOnly wrapping the exhaustion cause (reads still work
+// — gate those on readHealth); a Failed rank returns ErrRankFailed wrapping
+// the first root-cause error. Remote ranks' failures do not show up here —
+// they surface per-operation.
 func (db *DB) Health() error {
 	db.failMu.Lock()
 	defer db.failMu.Unlock()
-	if db.failedErr == nil {
-		return nil
+	if db.failedErr != nil {
+		return fmt.Errorf("%w: %w", ErrRankFailed, db.failedErr)
 	}
-	return fmt.Errorf("%w: %w", ErrRankFailed, db.failedErr)
+	if db.degradedErr != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, db.degradedErr)
+	}
+	return nil
+}
+
+// readHealth gates the read path: it fails only when the rank is Failed. A
+// Degraded rank's MemTables, SSTables, and caches are fully intact — only
+// new writes have nowhere to go — so gets, shared reads, and checkpoint
+// reads keep serving through degradation.
+func (db *DB) readHealth() error {
+	db.failMu.Lock()
+	defer db.failMu.Unlock()
+	if db.failedErr != nil {
+		return fmt.Errorf("%w: %w", ErrRankFailed, db.failedErr)
+	}
+	return nil
 }
 
 // peerCircuit is this rank's circuit breaker for one peer. Tripped open by

@@ -149,6 +149,13 @@ type Options struct {
 	// whichever worker is free, so a get stuck in an NVM SSTable search
 	// cannot head-of-line-block migration acks. 0 selects the default (4).
 	HandlerThreads int
+	// HandlerQueueDepth bounds each handler worker's request queue. The
+	// receive dispatcher blocks when a worker's queue fills, which
+	// back-pressures through the request communicator exactly like the
+	// original single-threaded handler did; deeper queues absorb burstier
+	// request mixes at the cost of more buffered wire bytes per rank.
+	// 0 selects the default (16).
+	HandlerQueueDepth int
 	// WAL selects the write-ahead-log durability mode. The zero value is
 	// WALAsync: logging on, group commit.
 	WAL WALMode
@@ -166,9 +173,32 @@ type Options struct {
 	ParkedBytes int64
 	// ProbeInterval is the circuit breaker's half-open probe period: how
 	// often a rank pings each peer whose circuit is open to learn whether
-	// it has recovered. 0 selects the default (250ms); a negative value
-	// disables probing, so tripped circuits stay open for the run.
+	// it has recovered. While this rank itself is Degraded the same tick
+	// drives its reclaim probe, so the interval also bounds how quickly a
+	// cleaned-up device is noticed. 0 selects the default (250ms); a
+	// negative value disables probing, so tripped circuits stay open and a
+	// degraded rank heals only through an explicit Reclaim call.
 	ProbeInterval time.Duration
+	// StallSoftDepth is the write admission control's stall threshold:
+	// when the count of immutable local (for local puts) or remote (for
+	// staged remote puts) MemTables reaches it, puts sleep in short
+	// jittered periods — bounded by StallTimeout — waiting for the flush
+	// or migration backlog to drain, instead of growing it. 0 selects the
+	// default (2x QueueDepth); a negative value disables admission control
+	// entirely, restoring unbounded backlog growth.
+	StallSoftDepth int
+	// StallHardDepth is the fail-fast threshold: a put finding the backlog
+	// at or above it returns ErrWriteStalled immediately, spending no
+	// stall budget — the backlog is so deep that waiting one StallTimeout
+	// cannot plausibly drain it. 0 selects the default (4x the effective
+	// StallSoftDepth); values <= StallSoftDepth are raised to
+	// StallSoftDepth+1.
+	StallHardDepth int
+	// StallTimeout bounds the total time one put may spend stalled above
+	// StallSoftDepth before giving up with ErrWriteStalled. No put ever
+	// blocks longer than StallTimeout plus one stall period (StallTimeout/8,
+	// clamped to [200us, 10ms]). 0 selects the default (1s).
+	StallTimeout time.Duration
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -189,10 +219,14 @@ func DefaultOptions() Options {
 		RetryBackoff:        2 * time.Millisecond,
 		RetryBackoffCap:     500 * time.Millisecond,
 		HandlerThreads:      4,
+		HandlerQueueDepth:   16,
 		WAL:                 WALAsync,
 		WALFlushInterval:    2 * time.Millisecond,
 		ParkedBytes:         8 << 20,
 		ProbeInterval:       250 * time.Millisecond,
+		StallSoftDepth:      8, // 2x the default QueueDepth
+		StallHardDepth:      32,
+		StallTimeout:        time.Second,
 	}
 }
 
@@ -229,6 +263,9 @@ func (o Options) withDefaults() Options {
 	if o.HandlerThreads <= 0 {
 		o.HandlerThreads = d.HandlerThreads
 	}
+	if o.HandlerQueueDepth <= 0 {
+		o.HandlerQueueDepth = d.HandlerQueueDepth
+	}
 	if o.WALFlushInterval <= 0 {
 		o.WALFlushInterval = d.WALFlushInterval
 	}
@@ -237,6 +274,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProbeInterval == 0 {
 		o.ProbeInterval = d.ProbeInterval
+	}
+	if o.StallSoftDepth == 0 {
+		o.StallSoftDepth = 2 * o.QueueDepth
+	}
+	if o.StallSoftDepth > 0 {
+		if o.StallHardDepth <= 0 {
+			o.StallHardDepth = 4 * o.StallSoftDepth
+		}
+		if o.StallHardDepth <= o.StallSoftDepth {
+			o.StallHardDepth = o.StallSoftDepth + 1
+		}
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = d.StallTimeout
 	}
 	return o
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"papyruskv/internal/memtable"
@@ -12,20 +13,35 @@ import (
 // mode) or migrated synchronously to its owner (sequential mode), per
 // Figure 2.
 func (db *DB) Put(key, value []byte) error {
-	return db.put(key, value, false)
+	return db.put(context.Background(), key, value, false)
+}
+
+// PutCtx is Put with a caller-supplied deadline or cancellation: the
+// context's expiry unblocks an admission-control stall or a sequential-mode
+// send awaiting a slow owner, returning the context's error wrapped for
+// errors.Is. A Background context makes it identical to Put.
+func (db *DB) PutCtx(ctx context.Context, key, value []byte) error {
+	return db.put(ctx, key, value, false)
 }
 
 // Delete removes the pair for key (papyruskv_delete): a put of a zero-length
 // value with the tombstone bit set (§2.5).
 func (db *DB) Delete(key []byte) error {
-	return db.put(key, nil, true)
+	return db.put(context.Background(), key, nil, true)
 }
 
-func (db *DB) put(key, value []byte, tombstone bool) error {
+// DeleteCtx is Delete with a caller-supplied deadline or cancellation.
+func (db *DB) DeleteCtx(ctx context.Context, key []byte) error {
+	return db.put(ctx, key, nil, true)
+}
+
+func (db *DB) put(ctx context.Context, key, value []byte, tombstone bool) error {
 	if len(key) == 0 {
 		return fmt.Errorf("%w: empty key", ErrInvalidArgument)
 	}
 	db.maybeKill()
+	// Health is the write gate: a Degraded rank refuses writes with
+	// ErrReadOnly here while Get keeps serving through readHealth.
 	if err := db.Health(); err != nil {
 		return err
 	}
@@ -45,12 +61,18 @@ func (db *DB) put(key, value []byte, tombstone bool) error {
 	e := memtable.Entry{Key: key, Value: value, Tombstone: tombstone, Owner: owner}
 
 	if owner == db.rt.rank {
+		if err := db.admitWrite(ctx, false); err != nil {
+			return err
+		}
 		db.metrics.PutsLocal.Add(1)
 		return db.putLocal(e)
 	}
 	if mode == Sequential {
 		db.metrics.PutsSync.Add(1)
-		return db.putSync(owner, e)
+		return db.putSync(ctx, owner, e)
+	}
+	if err := db.admitWrite(ctx, true); err != nil {
+		return err
 	}
 	db.metrics.PutsRemote.Add(1)
 	return db.putRemote(e)
@@ -84,7 +106,9 @@ func (db *DB) putLocalBuffered(e memtable.Entry) error {
 	}
 	if err := db.walAppendLocked(db.walLocal, e); err != nil {
 		db.mu.Unlock()
-		db.fail(fmt.Errorf("wal append: %w", err))
+		// A full WAL device degrades the rank to read-only instead of
+		// failing it: the data already accepted stays fully readable.
+		db.failOrDegrade(fmt.Errorf("wal append: %w", err))
 		return db.Health()
 	}
 	db.localMT.Put(e)
@@ -95,13 +119,9 @@ func (db *DB) putLocalBuffered(e memtable.Entry) error {
 	db.mu.Unlock()
 
 	if sealed != nil {
-		db.pendingFlush.add(1)
-		// Enqueue may block when the flushing queue is full: the paper's
-		// back-pressure against DRAM outrunning NVM (§2.4).
-		if !db.flushQ.Enqueue(sealed) {
-			db.pendingFlush.done()
-			return ErrInvalidDB
-		}
+		// Never blocks: a full queue defers the sealed table instead (the
+		// paper's §2.4 back-pressure now lives in admitWrite, with a bound).
+		return db.enqueueFlush(sealed)
 	}
 	return nil
 }
@@ -131,7 +151,7 @@ func (db *DB) putRemote(e memtable.Entry) error {
 	}
 	if err := db.walAppendLocked(db.walRemote, e); err != nil {
 		db.mu.Unlock()
-		db.fail(fmt.Errorf("wal append: %w", err))
+		db.failOrDegrade(fmt.Errorf("wal append: %w", err))
 		return db.Health()
 	}
 	db.remoteMT.Put(e)
@@ -142,10 +162,8 @@ func (db *DB) putRemote(e memtable.Entry) error {
 	db.mu.Unlock()
 
 	if sealed != nil {
-		db.pendingMigr.add(1)
-		if !db.migrateQ.Enqueue(sealed) {
-			db.pendingMigr.done()
-			return ErrInvalidDB
+		if err := db.enqueueMigration(sealed); err != nil {
+			return err
 		}
 	}
 	return db.walCommit(db.walStream(true))
@@ -167,8 +185,11 @@ func (db *DB) rollRemoteLocked() *memtable.Table {
 // owner's message handler acknowledges the migration. The request rides the
 // reliable path — retried on ack timeout, deduplicated at the owner — so a
 // lost or duplicated message still applies the put exactly once. Errors are
-// returned to the caller; they do not fail this rank's domain.
-func (db *DB) putSync(owner int, e memtable.Entry) error {
+// returned to the caller; they do not fail this rank's domain. An owner that
+// refused the write because it is Degraded answers ackReadOnly, which
+// surfaces here as a typed ErrReadOnly — and does not trip the circuit,
+// since a read-only owner is still alive and answering.
+func (db *DB) putSync(ctx context.Context, owner int, e memtable.Entry) error {
 	if err := db.peerErr(owner); err != nil {
 		// Fail fast behind the open circuit instead of burning a retry
 		// ladder; the wrap keeps errors.Is on the root cause working.
@@ -179,9 +200,11 @@ func (db *DB) putSync(owner int, e memtable.Entry) error {
 	// Retries are charged to PutSyncRetries: sequential puts are an
 	// application-visible latency path and must not pollute the migration
 	// counter the relaxed-mode experiments assert on.
-	err := db.sendReliable(owner, tagPutOne, tagPutAck, seq, msg, &db.metrics.PutSyncRetries)
+	err := db.sendReliable(ctx, owner, tagPutOne, tagPutAck, seq, msg, &db.metrics.PutSyncRetries)
 	if err != nil {
-		db.peerFail(owner, err)
+		if !isRefusal(err) {
+			db.peerFail(owner, err)
+		}
 		return err
 	}
 	return nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -8,6 +10,11 @@ import (
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/sstable"
 )
+
+// errParkedOverflow is the degradation cause recorded when the parked-batch
+// budget fills: the rank can no longer absorb undeliverable migrations, so
+// it stops admitting the writes that produce them until the backlog drains.
+var errParkedOverflow = errors.New("parked-batch budget exhausted")
 
 // In-run rank recovery. Before this file, a failure was a one-way door: a
 // failed rank answered errors until the job restarted, its peers' sticky
@@ -120,11 +127,19 @@ func (db *DB) parkLocked(st *peerCircuit, owner int, b parkedBatch) {
 	if db.opt.ParkedBytes < 0 || db.parkedBytesUsed+cost > db.opt.ParkedBytes {
 		cause := st.cause
 		if cause == nil {
-			cause = fmt.Errorf("parked-batch budget exhausted")
+			cause = errParkedOverflow
 		}
-		db.lostLocked(owner, fmt.Errorf("parked-batch budget exhausted (%d bytes): %w",
-			db.opt.ParkedBytes, cause), b.pairs)
+		db.lostLocked(owner, fmt.Errorf("%w (%d bytes): %w",
+			errParkedOverflow, db.opt.ParkedBytes, cause), b.pairs)
 		db.metrics.ParkOverflows.Add(1)
+		if db.opt.ParkedBytes >= 0 {
+			// The budget overflowed: degrade to read-only so new writes stop
+			// feeding an outbox that can only convert them into loss. With
+			// parking deliberately disabled (negative budget) loss is the
+			// configured policy, so no degradation. tryReclaim heals once the
+			// backlog drains below half the budget.
+			db.degradeLocked(fmt.Errorf("%w (budget %d bytes)", errParkedOverflow, db.opt.ParkedBytes))
+		}
 		return
 	}
 	st.parked = append(st.parked, b)
@@ -140,8 +155,12 @@ func (db *DB) parkLocked(st *peerCircuit, owner int, b parkedBatch) {
 // ProbeInterval it pings each peer whose circuit is open, and a healthy
 // answer closes the circuit and redelivers the parked backlog. It also
 // re-drives redelivery for closed circuits with a backlog, so no missed
-// wakeup can strand a parked batch. A failed rank does not probe — its own
-// domain is down, and Recover restarts the duty by clearing the failure.
+// wakeup can strand a parked batch. The same tick drives this rank's own
+// reclaim probe while it is Degraded, and sweeps the deferred-table lists
+// as a backstop against missed requeues. A failed rank does neither — its
+// domain is down, and Recover restarts the duty by clearing the failure; a
+// Degraded rank keeps probing peers, because migrating out is exactly the
+// work that frees its space.
 func (db *DB) proberThread() {
 	defer db.wg.Done()
 	if db.opt.ProbeInterval <= 0 {
@@ -155,9 +174,16 @@ func (db *DB) proberThread() {
 		case <-db.closing:
 			return
 		case <-ticker.C:
-			if db.Health() != nil {
+			if db.readHealth() != nil {
 				continue
 			}
+			if db.State() == StateDegraded {
+				// Best effort; the cause may not have cleared yet. A
+				// successful reclaim heals and requeues deferred work.
+				_ = db.tryReclaim()
+			}
+			db.requeueDeferredFlushes()
+			db.requeueDeferredMigrations()
 			open, backlogged := db.circuitRanks()
 			for _, r := range open {
 				db.probe(r)
@@ -167,6 +193,63 @@ func (db *DB) proberThread() {
 			}
 		}
 	}
+}
+
+// tryReclaim tests whether this rank's degradation cause has cleared and,
+// if so, heals it back to Healthy: deferred flushes requeue, stalled puts
+// admit again, and the next peer ping answered ackOK triggers redelivery of
+// everything parked for this rank. The test matches the cause: a
+// parked-budget overflow heals once the backlog has drained below half the
+// budget (hysteresis — healing at exactly the rim would flap), while a
+// device exhaustion heals when a probe write round-trips, proving space was
+// reclaimed by compaction, migration, segment GC, or the application.
+func (db *DB) tryReclaim() error {
+	db.failMu.Lock()
+	cause := db.degradedErr
+	backlogHigh := db.opt.ParkedBytes >= 0 && db.parkedBytesUsed*2 > db.opt.ParkedBytes
+	db.failMu.Unlock()
+	if cause == nil {
+		return nil
+	}
+	if errors.Is(cause, errParkedOverflow) {
+		if backlogHigh {
+			return fmt.Errorf("papyruskv: reclaim: %w", cause)
+		}
+	} else if err := db.probeDevice(); err != nil {
+		return fmt.Errorf("papyruskv: reclaim: device still refuses writes: %w", err)
+	}
+	db.heal()
+	return nil
+}
+
+// probeDevice tests writability by round-tripping a tiny file through this
+// rank's directory on the device — the same path flushes and WAL segments
+// take, so its verdict is theirs.
+func (db *DB) probeDevice() error {
+	name := db.dir(db.rt.rank) + "/reclaim.probe"
+	if err := db.rt.cfg.Device.WriteFile(name, []byte("probe")); err != nil {
+		return err
+	}
+	return db.rt.cfg.Device.Remove(name)
+}
+
+// Reclaim is the application's hook into the reclaim probe: after freeing
+// space (deleting checkpoints, trimming the device), calling it re-tests
+// writability immediately instead of waiting for the prober's next tick. It
+// returns nil once the rank is Healthy — including when it already was —
+// and the blocking cause while degradation persists. A Failed rank is not
+// reclaimed; that is Recover's job.
+func (db *DB) Reclaim() error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	if err := db.readHealth(); err != nil {
+		return err
+	}
+	if db.State() == StateHealthy {
+		return nil
+	}
+	return db.tryReclaim()
 }
 
 // circuitRanks snapshots the peers with open circuits and the closed ones
@@ -203,7 +286,7 @@ func (db *DB) probe(r int) {
 	if err := db.reqComm.Send(r, tagPing, encodePing(seq, db.incarnation.Load())); err != nil {
 		return
 	}
-	m, err := db.awaitReply(ch)
+	m, err := db.awaitReply(context.Background(), ch)
 	if err != nil {
 		return
 	}
@@ -256,7 +339,7 @@ func (db *DB) redeliver(r int) {
 		b := st.parked[0]
 		db.failMu.Unlock()
 
-		if err := db.sendReliable(r, tagMigBatch, tagMigAck, b.seq, b.msg, &db.metrics.MigrationRetries); err != nil {
+		if err := db.sendReliable(context.Background(), r, tagMigBatch, tagMigAck, b.seq, b.msg, &db.metrics.MigrationRetries); err != nil {
 			db.peerFail(r, err)
 			return
 		}
@@ -310,7 +393,9 @@ func (db *DB) Recover() error {
 	}
 	db.recoverMu.Lock()
 	defer db.recoverMu.Unlock()
-	if db.Health() == nil {
+	// Only a Failed rank needs the full rebuild; a merely Degraded one has
+	// nothing poisoned — Reclaim is its exit from the ladder.
+	if db.readHealth() == nil {
 		return nil
 	}
 
@@ -335,6 +420,9 @@ func (db *DB) Recover() error {
 	db.immRemote = nil
 	db.walSegs = make(map[*memtable.Table]walSegRef)
 	db.mu.Unlock()
+	// The deferred lists reference tables the lines above just dropped; the
+	// WAL replay below resurrects their pairs, so the references must go too.
+	db.clearDeferred()
 	db.localCache.Clear()
 	db.remoteCache.Clear()
 
@@ -397,7 +485,10 @@ func (db *DB) Recover() error {
 
 	db.failMu.Lock()
 	db.failedErr = nil
+	// Any degradation predating the failure died with the state it described.
+	db.degradedErr = nil
 	db.failMu.Unlock()
+	db.metrics.Degraded.Store(0)
 	db.metrics.Recoveries.Add(1)
 	return nil
 }

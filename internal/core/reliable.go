@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -12,6 +13,13 @@ import (
 const (
 	ackOK     = 0
 	ackFailed = 1 // msg carries the owner's error text
+	// ackReadOnly: the owner is Degraded (read-only) and refused the
+	// write; msg carries the degradation cause. The sender rebuilds the
+	// typed ErrReadOnly from this status — the wire-level twin of
+	// getErrorFailed carrying ErrRankFailed the other way. Crucially the
+	// owner does NOT enter a refused seq into its dedup window, so the
+	// same batch redelivered after the owner heals applies fresh.
+	ackReadOnly = 2
 )
 
 // sendReliable delivers one already-seq-framed request to dest's message
@@ -29,7 +37,7 @@ const (
 // reuses the seq — and a duplicate ack provoked by a duplicated request is
 // either buffered for the next attempt (its content is identical, the dedup
 // window replays the original) or dropped centrally by the router.
-func (db *DB) sendReliable(dest, reqTag, ackTag int, seq uint64, msg []byte, retries *atomic.Uint64) error {
+func (db *DB) sendReliable(ctx context.Context, dest, reqTag, ackTag int, seq uint64, msg []byte, retries *atomic.Uint64) error {
 	ch, err := db.calls.register(ackTag, seq)
 	if err != nil {
 		return err
@@ -40,14 +48,14 @@ func (db *DB) sendReliable(dest, reqTag, ackTag int, seq uint64, msg []byte, ret
 	for attempt := 0; attempt < db.opt.RetryAttempts; attempt++ {
 		if attempt > 0 {
 			retries.Add(1)
-			if err := db.sleepBackoff(&backoff); err != nil {
+			if err := db.sleepBackoff(ctx, &backoff); err != nil {
 				return err
 			}
 		}
 		if err := db.reqComm.Send(dest, reqTag, msg); err != nil {
 			return err
 		}
-		m, err := db.awaitReply(ch)
+		m, err := db.awaitReply(ctx, ch)
 		if errors.Is(err, mpi.ErrTimeout) {
 			lastErr = err
 			continue
@@ -59,11 +67,27 @@ func (db *DB) sendReliable(dest, reqTag, ackTag int, seq uint64, msg []byte, ret
 		if err != nil {
 			return err
 		}
-		if rec.status != ackOK {
+		switch rec.status {
+		case ackOK:
+			return nil
+		case ackReadOnly:
+			// Rebuild the typed sentinel the owner's refusal lost crossing
+			// the wire, so errors.Is(err, ErrReadOnly) holds on this side.
+			return fmt.Errorf("papyruskv: rank %d refused write: %w: %s", dest, ErrReadOnly, rec.msg)
+		default:
 			return fmt.Errorf("papyruskv: rank %d rejected request: %s", dest, rec.msg)
 		}
-		return nil
 	}
 	return fmt.Errorf("papyruskv: rank %d did not acknowledge after %d attempts: %w",
 		dest, db.opt.RetryAttempts, lastErr)
+}
+
+// isRefusal reports whether a sendReliable error says nothing about the
+// peer's liveness: a deliberate ackReadOnly refusal (the peer is alive and
+// answering, merely degraded) or this caller's own context ending. Neither
+// may trip the circuit breaker.
+func isRefusal(err error) bool {
+	return errors.Is(err, ErrReadOnly) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -133,10 +135,12 @@ func (db *DB) routerThread() {
 
 // awaitReply waits for the reply registered under ch, one retry attempt's
 // worth: it resolves to the routed reply, mpi.ErrTimeout after the
-// per-attempt deadline, or a shutdown error the moment the database begins
-// closing or the router dies — the reply path's half of "retry loops must
-// never stall Close".
-func (db *DB) awaitReply(ch <-chan mpi.Message) (mpi.Message, error) {
+// per-attempt deadline, a context error when the caller's deadline expires
+// or it cancels, or a shutdown error the moment the database begins closing
+// or the router dies — the reply path's half of "retry loops must never
+// stall Close". Internal callers with no deadline pass
+// context.Background(), whose Done channel is nil and never selected.
+func (db *DB) awaitReply(ctx context.Context, ch <-chan mpi.Message) (mpi.Message, error) {
 	timer := time.NewTimer(db.opt.RetryTimeout)
 	defer timer.Stop()
 	select {
@@ -144,6 +148,8 @@ func (db *DB) awaitReply(ch <-chan mpi.Message) (mpi.Message, error) {
 		return m, nil
 	case <-timer.C:
 		return mpi.Message{}, mpi.ErrTimeout
+	case <-ctx.Done():
+		return mpi.Message{}, fmt.Errorf("papyruskv: %w", ctx.Err())
 	case <-db.closing:
 		return mpi.Message{}, ErrInvalidDB
 	case <-db.routerDone:
@@ -168,7 +174,7 @@ func (db *DB) shutdownErr() error {
 // the database starts shutting down first, in which case it returns the
 // shutdown error immediately. This replaces the bare time.Sleep ladders
 // that used to stall Close for the whole remaining retry budget.
-func (db *DB) sleepBackoff(backoff *time.Duration) error {
+func (db *DB) sleepBackoff(ctx context.Context, backoff *time.Duration) error {
 	d := jitterBackoff(*backoff)
 	*backoff = nextBackoff(*backoff, db.opt.RetryBackoffCap)
 	timer := time.NewTimer(d)
@@ -176,6 +182,8 @@ func (db *DB) sleepBackoff(backoff *time.Duration) error {
 	select {
 	case <-timer.C:
 		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("papyruskv: %w", ctx.Err())
 	case <-db.closing:
 		return ErrInvalidDB
 	case <-db.routerDone:

@@ -23,7 +23,10 @@ func (db *DB) Fence() error {
 	if err := db.checkOpen(); err != nil {
 		return err
 	}
-	if err := db.Health(); err != nil {
+	// readHealth, not Health: a Degraded rank still fences — migrating its
+	// staged pairs out is read-side work for it (the owners do the writes)
+	// and frees the WAL segments backing them, which is itself reclaim.
+	if err := db.readHealth(); err != nil {
 		return err
 	}
 	db.mu.Lock()
@@ -35,12 +38,11 @@ func (db *DB) Fence() error {
 	db.mu.Unlock()
 
 	if roll {
-		db.pendingMigr.add(1)
-		if !db.migrateQ.Enqueue(table) {
-			db.pendingMigr.done()
-			return ErrInvalidDB
+		if err := db.enqueueMigration(table); err != nil {
+			return err
 		}
 	}
+	db.drainDeferredMigrations()
 	db.pendingMigr.wait()
 	return db.anyPeerErr()
 }
@@ -61,8 +63,10 @@ func (db *DB) Barrier(level BarrierLevel) error {
 	db.maybeKill()
 	// Phase 1: everyone drains outgoing migrations. Each batch is acked
 	// only after the owner applied it, so once every rank passes the MPI
-	// barrier, every pair is in its owner's MemTables.
-	rankErr := db.Health()
+	// barrier, every pair is in its owner's MemTables. A Degraded rank
+	// participates fully in this phase — migrating out needs no local NVM
+	// writes — so only a Failed rank skips the fence.
+	rankErr := db.readHealth()
 	if rankErr == nil {
 		rankErr = db.Fence()
 	}
@@ -73,10 +77,11 @@ func (db *DB) Barrier(level BarrierLevel) error {
 		return rankErr
 	}
 	// Phase 2: flush local MemTables — after receiving everyone's pairs,
-	// per the paper — and wait for the compaction thread to drain. A
-	// failed rank skips the flush: its compaction thread is draining
-	// without writing, so enqueueing would silently discard the table.
-	if db.Health() == nil {
+	// per the paper — and wait for the compaction thread to drain. Only a
+	// Healthy rank flushes: a Failed rank's compaction thread is draining
+	// without writing, and a Degraded rank's would only defer the table —
+	// it reports the incomplete flush through its Health error below.
+	if db.State() == StateHealthy {
 		db.mu.Lock()
 		table := db.localMT
 		roll := table.Len() > 0
@@ -85,12 +90,11 @@ func (db *DB) Barrier(level BarrierLevel) error {
 		}
 		db.mu.Unlock()
 		if roll {
-			db.pendingFlush.add(1)
-			if !db.flushQ.Enqueue(table) {
-				db.pendingFlush.done()
-				return ErrInvalidDB
+			if err := db.enqueueFlush(table); err != nil {
+				return err
 			}
 		}
+		db.drainDeferredFlushes()
 	}
 	db.pendingFlush.wait()
 	if err := db.respComm.Barrier(); err != nil {
@@ -99,7 +103,8 @@ func (db *DB) Barrier(level BarrierLevel) error {
 	if rankErr != nil {
 		return rankErr
 	}
-	// The flush itself may have failed during the wait.
+	// The flush itself may have failed — or degraded the rank, leaving
+	// deferred tables unflushed — during the wait.
 	return db.Health()
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
 	"papyruskv/internal/sstable"
 )
 
@@ -17,9 +19,12 @@ import (
 // the configured compaction interval (§2.4 Flushing, §2.5 Compaction). It
 // exits when the flushing queue is closed and drained.
 //
-// Once the database has failed, the thread keeps draining the queue without
-// touching NVM — every table still passes through pendingFlush.done(), so
-// Fence and Barrier on the failed rank terminate instead of hanging.
+// The thread follows the degradation ladder. Healthy: flush; a flush that
+// degrades the rank (ENOSPC) defers its table instead of abandoning it.
+// Degraded: defer every dequeued table — it stays get-visible in immLocal
+// and WAL-backed, and requeues after heal. Failed: drain without touching
+// NVM. Every table still passes through pendingFlush.done(), so Fence and
+// Barrier terminate in every state instead of hanging.
 func (db *DB) compactionThread() {
 	defer db.wg.Done()
 	for {
@@ -28,19 +33,26 @@ func (db *DB) compactionThread() {
 			return
 		}
 		db.maybeKill()
-		if db.Health() == nil {
-			db.flushOne(table)
+		switch db.State() {
+		case StateHealthy:
+			if !db.flushOne(table) && db.State() == StateDegraded {
+				db.deferFlush(table)
+			}
+		case StateDegraded:
+			db.deferFlush(table)
 		}
 		db.pendingFlush.done()
+		db.requeueDeferredFlushes()
 	}
 }
 
 // flushOne writes one sealed MemTable as a new SSTable, publishes it, drops
 // the MemTable from the get-visible immutable list, and runs compaction if
-// due. A failed flush means this rank can no longer guarantee durability:
-// the rank's failure domain is marked failed and the MemTable stays in the
-// immutable list, so its data remains readable in memory until a restart.
-func (db *DB) flushOne(table *memtable.Table) {
+// due, reporting whether the flush landed. A failed flush is triaged by
+// cause: resource exhaustion (ENOSPC) degrades the rank to read-only — the
+// MemTable stays in the immutable list, readable and WAL-backed, awaiting
+// reclaim — while any other write error fails the domain outright.
+func (db *DB) flushOne(table *memtable.Table) bool {
 	dir := db.dir(db.rt.rank)
 
 	db.sstMu.Lock()
@@ -49,8 +61,8 @@ func (db *DB) flushOne(table *memtable.Table) {
 	db.sstMu.Unlock()
 
 	if _, err := sstable.WriteTable(db.rt.cfg.Device, dir, ssid, table.Entries()); err != nil {
-		db.fail(fmt.Errorf("flush of SSTable %d: %w", ssid, err))
-		return
+		db.failOrDegrade(fmt.Errorf("flush of SSTable %d: %w", ssid, err))
+		return false
 	}
 	db.metrics.Flushes.Add(1)
 
@@ -75,6 +87,7 @@ func (db *DB) flushOne(table *memtable.Table) {
 	if db.opt.CompactionEvery > 0 && ssid%db.opt.CompactionEvery == 0 && db.checkpointPin.value() == 0 {
 		db.compact()
 	}
+	return true
 }
 
 // compact merges all live SSTables into one new table with a fresh highest
@@ -99,7 +112,7 @@ func (db *DB) compact() {
 
 	dir := db.dir(db.rt.rank)
 	if _, err := sstable.Merge(db.rt.cfg.Device, dir, inputs, mergedID); err != nil {
-		db.fail(fmt.Errorf("compaction into SSTable %d: %w", mergedID, err))
+		db.failOrDegrade(fmt.Errorf("compaction into SSTable %d: %w", mergedID, err))
 		return
 	}
 	db.metrics.Compactions.Add(1)
@@ -145,7 +158,9 @@ func sortSSIDs(ids []uint64) {
 // remote MemTables from the migration queue, groups their pairs by owner
 // rank, and sends one accumulated chunk per owner, retrying until the owner
 // acknowledges application (§2.4 Migration). On a failed rank it drains the
-// queue without sending so waiters never hang.
+// queue without sending so waiters never hang; a Degraded rank keeps
+// migrating — sending frees the batches' WAL segments, which is itself
+// reclaim — so the gate is readHealth, not Health.
 func (db *DB) dispatcherThread() {
 	defer db.wg.Done()
 	for {
@@ -154,10 +169,11 @@ func (db *DB) dispatcherThread() {
 			return
 		}
 		db.maybeKill()
-		if db.Health() == nil {
+		if db.readHealth() == nil {
 			db.migrateOne(table)
 		}
 		db.pendingMigr.done()
+		db.requeueDeferredMigrations()
 	}
 }
 
@@ -192,7 +208,12 @@ func (db *DB) migrateOne(table *memtable.Table) {
 		if db.tryPark(owner, b) {
 			continue // queued behind the circuit; the prober redelivers
 		}
-		err := db.sendReliable(owner, tagMigBatch, tagMigAck, seq, msg, &db.metrics.MigrationRetries)
+		// An owner that answers ackReadOnly lands here too: the batch parks
+		// behind the circuit, the prober's pings keep answering ackReadOnly
+		// (circuit stays open, cheaply), and the first ackOK ping after the
+		// owner heals triggers redelivery — which applies fresh, because the
+		// owner never dedup-recorded the refused seq.
+		err := db.sendReliable(context.Background(), owner, tagMigBatch, tagMigAck, seq, msg, &db.metrics.MigrationRetries)
 		if err != nil {
 			db.parkFailed(owner, err, b)
 			continue
@@ -202,11 +223,6 @@ func (db *DB) migrateOne(table *memtable.Table) {
 	}
 	db.releaseTableRef(table)
 }
-
-// handlerWorkerQueueDepth bounds each worker's request queue. The receive
-// dispatcher blocks when a queue fills, which back-pressures through the
-// request communicator exactly like the single-threaded handler did.
-const handlerWorkerQueueDepth = 16
 
 // handlerThread is the paper's message handler, grown into a worker pool:
 // a receive dispatcher drains the private request communicator and hands
@@ -229,11 +245,16 @@ const handlerWorkerQueueDepth = 16
 func (db *DB) handlerThread() {
 	defer db.wg.Done()
 	n := db.opt.HandlerThreads
+	// Options.HandlerQueueDepth bounds each worker's request queue. The
+	// receive dispatcher blocks when a queue fills, which back-pressures
+	// through the request communicator exactly like the single-threaded
+	// handler did.
+	depth := db.opt.HandlerQueueDepth
 	writeQ := make([]chan mpi.Message, n)
-	getQ := make(chan mpi.Message, n*handlerWorkerQueueDepth)
+	getQ := make(chan mpi.Message, n*depth)
 	var workers sync.WaitGroup
 	for i := range writeQ {
-		writeQ[i] = make(chan mpi.Message, handlerWorkerQueueDepth)
+		writeQ[i] = make(chan mpi.Message, depth)
 		workers.Add(1)
 		go db.handlerWorker(&workers, writeQ[i], getQ)
 	}
@@ -318,8 +339,14 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 		return
 	}
 	rec := ackRecord{status: ackOK}
-	if healthErr := db.Health(); healthErr != nil {
+	if healthErr := db.readHealth(); healthErr != nil {
 		rec = ackRecord{status: ackFailed, msg: healthErr.Error()}
+	} else if healthErr := db.Health(); healthErr != nil {
+		// Degraded: refuse the incoming write with the typed read-only
+		// status. The refusal is deliberately NOT entered into the dedup
+		// window — the sender parks the batch and redelivers it verbatim
+		// after this rank heals, and it must then apply fresh.
+		rec = ackRecord{status: ackReadOnly, msg: healthErr.Error()}
 	} else if entries, err := memtable.DecodeEntries(body); err != nil {
 		// An undecodable body is likewise the sender's defect: answer with
 		// a typed nack so the sender's sendReliable surfaces the error
@@ -329,9 +356,11 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 	} else {
 		for _, e := range entries {
 			e.Owner = db.rt.rank
+			// putLocalBuffered triages its own failure (failOrDegrade): a
+			// full WAL device mid-batch degrades this rank and the typed
+			// status tells the sender to park, not give up.
 			if err := db.putLocalBuffered(e); err != nil {
-				db.fail(err)
-				rec = ackRecord{status: ackFailed, msg: err.Error()}
+				rec = ackRecord{status: ackStatusFor(err), msg: err.Error()}
 				break
 			}
 		}
@@ -340,7 +369,7 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 		// promise, so it is issued only after the commit.
 		if rec.status == ackOK {
 			if err := db.walCommit(db.walStream(false)); err != nil {
-				rec = ackRecord{status: ackFailed, msg: err.Error()}
+				rec = ackRecord{status: ackStatusFor(err), msg: err.Error()}
 			}
 		}
 	}
@@ -357,10 +386,13 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 }
 
 // handlePing answers a circuit breaker's half-open probe with this rank's
-// health and current incarnation. A failed rank answers too — with
-// ackFailed, which keeps the prober's circuit open without costing it a
-// full retry-timeout — and the incarnations exchanged in both directions
-// let each side notice the other was reborn since they last spoke.
+// position on the degradation ladder and its current incarnation. A failed
+// rank answers ackFailed and a degraded one ackReadOnly — both keep the
+// prober's circuit open without costing it a full retry-timeout, and only
+// ackOK (truly Healthy, writable again) closes the circuit and triggers
+// redelivery of parked batches. The incarnations exchanged in both
+// directions let each side notice the other was reborn since they last
+// spoke.
 func (db *DB) handlePing(m mpi.Message) {
 	seq, inc, err := decodePing(m.Data)
 	if err != nil {
@@ -369,10 +401,24 @@ func (db *DB) handlePing(m mpi.Message) {
 	}
 	db.observeIncarnation(m.Source, inc)
 	status := byte(ackOK)
-	if db.Health() != nil {
+	switch db.State() {
+	case StateDegraded:
+		status = ackReadOnly
+	case StateFailed:
 		status = ackFailed
 	}
 	db.sendResp(m.Source, tagPingAck, encodePingAck(seq, status, db.incarnation.Load()))
+}
+
+// ackStatusFor triages a handler-side write error into its ack status: a
+// resource-exhaustion refusal (this rank degraded mid-request) answers the
+// typed ackReadOnly so the sender parks and redelivers; anything else is a
+// hard ackFailed.
+func ackStatusFor(err error) byte {
+	if errors.Is(err, ErrReadOnly) || errors.Is(err, nvm.ErrNoSpace) {
+		return ackReadOnly
+	}
+	return ackFailed
 }
 
 // handleGet answers a remote get. If the requester shares this rank's
@@ -397,7 +443,10 @@ func (db *DB) handleGet(m mpi.Message) {
 		return
 	}
 	resp := getResponse{Seq: req.Seq}
-	if healthErr := db.Health(); healthErr != nil {
+	// readHealth, not Health: a Degraded rank's MemTables and SSTables are
+	// intact, so remote gets keep being served — read availability is the
+	// point of the read-only state.
+	if healthErr := db.readHealth(); healthErr != nil {
 		resp.Status, resp.Err = getErrorFailed, healthErr.Error()
 	} else if req.Group == db.rt.group {
 		if val, tomb, hit := db.getMemory(req.Key); hit {

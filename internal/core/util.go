@@ -76,6 +76,13 @@ type Metrics struct {
 	BadRequests      atomic.Uint64 // malformed request frames from peers, dropped or nacked
 
 	Recoveries         atomic.Uint64 // successful in-run Recover calls on this rank
+	Reclaims           atomic.Uint64 // Degraded→Healthy transitions (reclaim probe or Reclaim call)
+	DegradedTransitions atomic.Uint64 // Healthy→Degraded transitions
+	Degraded           atomic.Uint64 // gauge: 1 while the rank is Degraded (read-only)
+	Stalls             atomic.Uint64 // puts that entered the admission-control stall loop
+	StallNanos         atomic.Uint64 // total nanoseconds puts spent stalled
+	PutsShed           atomic.Uint64 // puts refused with ErrWriteStalled
+	FlushesDeferred    atomic.Uint64 // sealed MemTables deferred (queue full or rank degraded)
 	ProbesSent         atomic.Uint64 // half-open circuit probes sent
 	CircuitsOpened     atomic.Uint64 // peer circuit breakers tripped open
 	CircuitsClosed     atomic.Uint64 // peer circuit breakers closed by a healthy probe answer
@@ -150,7 +157,15 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"replies_unclaimed": m.RepliesUnclaimed.Load(),
 		"bad_requests":      m.BadRequests.Load(),
 
-		"recoveries":          m.Recoveries.Load(),
+		"recoveries":           m.Recoveries.Load(),
+		"reclaims":             m.Reclaims.Load(),
+		"degraded_transitions": m.DegradedTransitions.Load(),
+		"degraded":             m.Degraded.Load(),
+		"stalls":               m.Stalls.Load(),
+		"stall_ns_total":       m.StallNanos.Load(),
+		"puts_shed":            m.PutsShed.Load(),
+		"flushes_deferred":     m.FlushesDeferred.Load(),
+
 		"probes_sent":         m.ProbesSent.Load(),
 		"circuits_opened":     m.CircuitsOpened.Load(),
 		"circuits_closed":     m.CircuitsClosed.Load(),

@@ -132,14 +132,15 @@ func (db *DB) walAppendLocked(l *wal.Log, e memtable.Entry) error {
 // walCommit is the WALSync durability point: it persists stream l's
 // appended records before the caller acknowledges them. In WALAsync mode
 // it is a no-op — the group-commit thread persists on its own clock. A
-// commit failure (a full device, an injected sync error) fails this rank's
-// domain: the rank can no longer keep its durability promise.
+// commit failure means the rank can no longer keep its durability promise;
+// a full device degrades it to read-only (reclaim can restore it), any
+// other cause fails the domain.
 func (db *DB) walCommit(l *wal.Log) error {
 	if l == nil || db.opt.WAL != WALSync {
 		return nil
 	}
 	if err := l.Commit(); err != nil {
-		db.fail(fmt.Errorf("wal commit: %w", err))
+		db.failOrDegrade(fmt.Errorf("wal commit: %w", err))
 		return db.Health()
 	}
 	return nil
@@ -153,7 +154,7 @@ func (db *DB) walRotateLocked(l *wal.Log, sealed *memtable.Table) {
 	}
 	name, err := l.Rotate()
 	if err != nil {
-		db.fail(fmt.Errorf("wal rotate: %w", err))
+		db.failOrDegrade(fmt.Errorf("wal rotate: %w", err))
 	}
 	if name != "" {
 		db.walSegs[sealed] = walSegRef{log: l, name: name}
@@ -193,7 +194,9 @@ func (db *DB) walFlushThread() {
 		case <-db.walStop:
 			return
 		case <-ticker.C:
-			if db.Health() != nil {
+			// Only a Healthy rank group-commits: a Degraded one's device is
+			// full, so re-driving the fsync every tick would only churn.
+			if db.State() != StateHealthy {
 				continue
 			}
 			local, remote := db.walStream(false), db.walStream(true)
@@ -201,11 +204,11 @@ func (db *DB) walFlushThread() {
 				continue // recovery never produced logs to commit
 			}
 			if err := local.GroupCommit(); err != nil {
-				db.fail(fmt.Errorf("wal group commit: %w", err))
+				db.failOrDegrade(fmt.Errorf("wal group commit: %w", err))
 				continue
 			}
 			if err := remote.GroupCommit(); err != nil {
-				db.fail(fmt.Errorf("wal group commit: %w", err))
+				db.failOrDegrade(fmt.Errorf("wal group commit: %w", err))
 			}
 		}
 	}

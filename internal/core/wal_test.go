@@ -429,34 +429,52 @@ func TestWALSyncErrorFailsDomain(t *testing.T) {
 	}
 }
 
-// TestWALDeviceFullRootCause: ENOSPC on a WAL write surfaces the typed
-// nvm.ErrNoSpace as the failure domain's root cause — an operator reading
-// Health() sees "device full", not a generic write error.
+// TestWALDeviceFullRootCause: ENOSPC on a WAL write is resource exhaustion,
+// not damage — the rank degrades to read-only instead of failing. The put
+// reports typed ErrReadOnly carrying nvm.ErrNoSpace as the root cause, and
+// once the device accepts writes again Reclaim heals the rank back to
+// Healthy, writes flow, and Close is clean.
 func TestWALDeviceFullRootCause(t *testing.T) {
 	inj := faults.New(0xe205).Enable(faults.Rule{
 		Point: faults.NVMWriteNoSpace, Rank: faults.AnyRank, Where: "wal/", Count: 1, Fires: 1,
 	})
 	opt := walOpt(WALSync)
+	opt.ProbeInterval = -1 // reclaim only via the explicit call, deterministically
 	runCluster(t, clusterSpec{ranks: 1, faults: inj}, func(rt *Runtime, c *mpi.Comm) error {
 		db, err := rt.Open("walfull", opt)
 		if err != nil {
 			return err
 		}
-		k := ownKeys(db, 0, 1)[0]
-		err = db.Put(k, val(k))
-		if !errors.Is(err, ErrRankFailed) {
-			t.Errorf("Put err = %v, want ErrRankFailed", err)
+		keys := ownKeys(db, 0, 2)
+		err = db.Put(keys[0], val(keys[0]))
+		if !errors.Is(err, ErrReadOnly) {
+			t.Errorf("Put err = %v, want ErrReadOnly", err)
 		}
 		if !errors.Is(err, nvm.ErrNoSpace) {
 			t.Errorf("Put err = %v does not carry the typed ErrNoSpace root cause", err)
 		}
-		if err := db.Health(); !errors.Is(err, nvm.ErrNoSpace) {
-			t.Errorf("Health = %v, want the full device as root cause", err)
+		if err := db.Health(); !errors.Is(err, ErrReadOnly) || !errors.Is(err, nvm.ErrNoSpace) {
+			t.Errorf("Health = %v, want ErrReadOnly with the full device as root cause", err)
 		}
-		if err := db.Close(); !errors.Is(err, ErrRankFailed) {
-			t.Errorf("Close err = %v, want ErrRankFailed", err)
+		if st := db.State(); st != StateDegraded {
+			t.Errorf("State = %v, want %v", st, StateDegraded)
 		}
-		return nil
+		// The injected ENOSPC cleared after one firing — as if space was
+		// freed — so the application's reclaim hook heals the rank.
+		if err := db.Reclaim(); err != nil {
+			return fmt.Errorf("Reclaim: %w", err)
+		}
+		if st := db.State(); st != StateHealthy {
+			t.Errorf("State after reclaim = %v, want %v", st, StateHealthy)
+		}
+		if err := db.Put(keys[1], val(keys[1])); err != nil {
+			return fmt.Errorf("Put after reclaim: %w", err)
+		}
+		got, err := db.Get(keys[1])
+		if err != nil || string(got) != string(val(keys[1])) {
+			t.Errorf("Get after reclaim = %q, %v", got, err)
+		}
+		return db.Close()
 	})
 	if inj.Fired(faults.NVMWriteNoSpace) != 1 {
 		t.Fatalf("ENOSPC fired %d times, want 1", inj.Fired(faults.NVMWriteNoSpace))

@@ -128,6 +128,15 @@ type Rule struct {
 	// Fires bounds the number of firings. 0 means: once for Count
 	// rules (unless Every makes them periodic), unlimited otherwise.
 	Fires uint64
+	// ClearAfter, when > 0, disarms the rule after that many matching
+	// evaluations: from evaluation ClearAfter+1 on, the rule never fires
+	// again, regardless of Count, Every, or Probability. It models
+	// *transient* exhaustion — a device that fills up and is later cleaned,
+	// a congestion window that passes — so degrade→reclaim→heal round
+	// trips are testable deterministically: the fault stops firing after a
+	// known number of operations, and the next reclaim probe finds the
+	// device writable again.
+	ClearAfter uint64
 	// Delay is the stall duration for NetDelay.
 	Delay time.Duration
 }
@@ -268,6 +277,9 @@ func (r *armedRule) matches(s Site) bool {
 }
 
 func (r *armedRule) shouldFire(seed, eval uint64) bool {
+	if r.ClearAfter > 0 && eval > r.ClearAfter {
+		return false // the transient window has passed
+	}
 	maxFires := r.Fires
 	if maxFires == 0 {
 		if r.Count > 0 && r.Every == 0 {

@@ -201,3 +201,54 @@ func TestInjectedErrors(t *testing.T) {
 		t.Fatal("ErrNoSpace does not wrap ErrInjected")
 	}
 }
+
+// TestRuleTransient: ClearAfter disarms a rule after N matching evaluations,
+// modelling transient exhaustion. A Count:1 rule with a large Fires budget
+// and ClearAfter:N fires on evaluations 1..N and never again — and the
+// window is counted per rule in evaluations, not firings, so a periodic
+// (Every) rule inside the window also stops dead at the boundary.
+func TestRuleTransient(t *testing.T) {
+	in := New(7).Enable(Rule{
+		Point: NVMWriteNoSpace, Rank: AnyRank, Count: 1, Fires: 1 << 20, ClearAfter: 3,
+	})
+	site := Site{Rank: AnyRank, Tag: AnyTag, Where: "dev0/wal/seg"}
+	var fires []bool
+	for i := 0; i < 8; i++ {
+		fires = append(fires, in.Eval(NVMWriteNoSpace, site).Fire)
+	}
+	want := []bool{true, true, true, false, false, false, false, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("eval %d: fire = %v, want %v (all: %v)", i+1, fires[i], want[i], fires)
+		}
+	}
+	if got := in.Fired(NVMWriteNoSpace); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+
+	// Periodic rule: every 2nd evaluation, but only inside the window.
+	in2 := New(7).Enable(Rule{
+		Point: NetDrop, Rank: AnyRank, Every: 2, ClearAfter: 5,
+	})
+	var got []bool
+	for i := 0; i < 10; i++ {
+		got = append(got, in2.Eval(NetDrop, Site{Rank: 0, Tag: AnyTag}).Fire)
+	}
+	want = []bool{false, true, false, true, false, false, false, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("periodic eval %d: fire = %v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+
+	// A probability rule never fires outside its window, whatever the seed.
+	in3 := New(0xdead).Enable(Rule{
+		Point: NetDrop, Rank: AnyRank, Probability: 1.0, ClearAfter: 2,
+	})
+	for i := 0; i < 6; i++ {
+		fire := in3.Eval(NetDrop, Site{Rank: 0, Tag: AnyTag}).Fire
+		if want := i < 2; fire != want {
+			t.Fatalf("probability eval %d: fire = %v, want %v", i+1, fire, want)
+		}
+	}
+}

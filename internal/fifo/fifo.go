@@ -114,6 +114,15 @@ func (q *Queue[T]) Len() int {
 // Cap reports the queue capacity.
 func (q *Queue[T]) Cap() int { return len(q.items) }
 
+// Closed reports whether Close has been called. TryEnqueue returns false
+// for both a full and a closed queue; producers that defer on full need
+// this to tell the two apart.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
 // Snapshot returns the queued items oldest-first. Gets use it to search
 // immutable MemTables newest-first by walking the result backwards.
 func (q *Queue[T]) Snapshot() []T {

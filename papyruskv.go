@@ -72,6 +72,20 @@ type (
 	// Options.WAL: WALAsync (group commit, the default), WALSync (fsync
 	// before every acknowledgement), or WALDisabled.
 	WALMode = core.WALMode
+	// HealthState is a rank's position on the degradation ladder reported
+	// by DB.State: Healthy → Degraded (read-only) → Failed.
+	HealthState = core.HealthState
+)
+
+// Degradation-ladder states (DB.State). A Healthy rank serves reads and
+// writes; a Degraded rank — out of NVM space, or over its parked-batch
+// budget — serves reads but refuses writes with ErrReadOnly until resources
+// are reclaimed (DB.Reclaim, or the background reclaim probe); a Failed
+// rank refuses everything with ErrRankFailed until DB.Recover heals it.
+const (
+	StateHealthy  = core.StateHealthy
+	StateDegraded = core.StateDegraded
+	StateFailed   = core.StateFailed
 )
 
 // Consistency modes (PAPYRUSKV_RELAXED, PAPYRUSKV_SEQUENTIAL).
@@ -110,6 +124,16 @@ var (
 	ErrProtected       = core.ErrProtected
 	ErrInvalidArgument = core.ErrInvalidArgument
 	ErrNoSnapshot      = core.ErrNoSnapshot
+	// ErrReadOnly is returned for writes — local puts, and remote puts or
+	// migrations refused by their owner across the wire — while a rank is
+	// Degraded (read-only). Reads keep working; Reclaim or freed space
+	// lifts the state.
+	ErrReadOnly = core.ErrReadOnly
+	// ErrWriteStalled is returned when a put, after stalling up to
+	// Options.StallTimeout on a full immutable-table backlog, still finds
+	// the backlog above the soft threshold — or immediately once the
+	// backlog reaches Options.StallHardDepth. The put was not applied.
+	ErrWriteStalled = core.ErrWriteStalled
 )
 
 // DefaultOptions returns the paper's default database configuration.
