@@ -120,6 +120,7 @@ func (db *DB) enqueueFlush(sealed *memtable.Table) error {
 	if len(db.deferredFlush) == 0 {
 		db.pendingFlush.add(1)
 		if db.flushQ.TryEnqueue(sealed) {
+			db.flushOut = append(db.flushOut, sealed.SealSeq())
 			db.stallMu.Unlock()
 			return nil
 		}
@@ -129,7 +130,7 @@ func (db *DB) enqueueFlush(sealed *memtable.Table) error {
 			return ErrInvalidDB
 		}
 	}
-	db.deferredFlush = append(db.deferredFlush, sealed)
+	db.insertDeferredFlushLocked(sealed)
 	db.stallMu.Unlock()
 	db.metrics.FlushesDeferred.Add(1)
 	return nil
@@ -160,17 +161,107 @@ func (db *DB) enqueueMigration(sealed *memtable.Table) error {
 // compaction thread's move when the rank is Degraded and the device cannot
 // take the SSTable. The table keeps serving gets from immLocal and its WAL
 // segment stays pinned; the flush reruns after heal.
+//
+// The list is kept sorted by seal sequence, NOT append order: entries
+// already deferred because the queue was full were sealed LATER than a
+// table the thread just dequeued, and flushing them first would hand the
+// older table a higher SSID — reads and compaction would then prefer its
+// stale values forever.
 func (db *DB) deferFlush(t *memtable.Table) {
 	db.stallMu.Lock()
-	db.deferredFlush = append(db.deferredFlush, t)
+	db.removeFlushOutLocked(t.SealSeq())
+	db.insertDeferredFlushLocked(t)
 	db.stallMu.Unlock()
 	db.metrics.FlushesDeferred.Add(1)
+}
+
+// flushDone retires a dequeued table's seal seq from the outstanding set
+// once its flush landed (or the table was drained on a Failed rank).
+func (db *DB) flushDone(t *memtable.Table) {
+	db.stallMu.Lock()
+	db.removeFlushOutLocked(t.SealSeq())
+	db.stallMu.Unlock()
+}
+
+// deferBatch re-defers the unflushed remainder of a flush run in one step:
+// the dequeued table leaves the outstanding set and every table in batch
+// rejoins the deferred list at its seal-order position, under a single
+// critical section — a concurrent requeue can never observe the dequeued
+// table retired while older claimed tables are still off the list.
+func (db *DB) deferBatch(table *memtable.Table, batch []*memtable.Table) {
+	db.stallMu.Lock()
+	db.removeFlushOutLocked(table.SealSeq())
+	for _, t := range batch {
+		db.insertDeferredFlushLocked(t)
+	}
+	db.stallMu.Unlock()
+	db.metrics.FlushesDeferred.Add(uint64(len(batch)))
+}
+
+// insertDeferredFlushLocked inserts t into deferredFlush at its seal-order
+// position. Caller holds db.stallMu.
+func (db *DB) insertDeferredFlushLocked(t *memtable.Table) {
+	seq := t.SealSeq()
+	i := len(db.deferredFlush)
+	for i > 0 && db.deferredFlush[i-1].SealSeq() > seq {
+		i--
+	}
+	db.deferredFlush = append(db.deferredFlush, nil)
+	copy(db.deferredFlush[i+1:], db.deferredFlush[i:])
+	db.deferredFlush[i] = t
+}
+
+// flushOutMaxLocked returns the newest seal seq currently in the flushing
+// queue or in flight at the compaction thread. Caller holds db.stallMu.
+func (db *DB) flushOutMaxLocked() (uint64, bool) {
+	var max uint64
+	for _, s := range db.flushOut {
+		if s > max {
+			max = s
+		}
+	}
+	return max, len(db.flushOut) > 0
+}
+
+// removeFlushOutLocked drops one seal seq from the outstanding set. Caller
+// holds db.stallMu.
+func (db *DB) removeFlushOutLocked(seq uint64) {
+	for i, s := range db.flushOut {
+		if s == seq {
+			db.flushOut = append(db.flushOut[:i], db.flushOut[i+1:]...)
+			return
+		}
+	}
+}
+
+// claimOlderDeferred removes and returns the deferred tables sealed before
+// t, oldest first — the tables the compaction thread must flush ahead of t
+// to keep SSID order equal to seal order. They come back via deferFlush if
+// the flush run fails partway.
+func (db *DB) claimOlderDeferred(t *memtable.Table) []*memtable.Table {
+	seq := t.SealSeq()
+	db.stallMu.Lock()
+	defer db.stallMu.Unlock()
+	n := 0
+	for n < len(db.deferredFlush) && db.deferredFlush[n].SealSeq() < seq {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	older := append([]*memtable.Table(nil), db.deferredFlush[:n]...)
+	// Copy-shrink so the backing array does not pin the claimed tables.
+	db.deferredFlush = append([]*memtable.Table(nil), db.deferredFlush[n:]...)
+	return older
 }
 
 // requeueDeferredFlushes moves deferred local tables back into the flushing
 // queue, oldest first, while the rank is Healthy and the queue has room.
 // Called by the compaction thread after each dequeue, by heal, and by the
-// prober's tick as a belt-and-braces sweep.
+// prober's tick as a belt-and-braces sweep. A deferred table older than
+// anything still queued or in flight is NOT re-enqueued — FIFO order would
+// flush it last, inverting seal order; the compaction thread picks such
+// tables up via claimOlderDeferred before it flushes the newer table.
 func (db *DB) requeueDeferredFlushes() {
 	if db.State() != StateHealthy {
 		return // a degraded rank's flushes would only fail again
@@ -178,11 +269,15 @@ func (db *DB) requeueDeferredFlushes() {
 	db.stallMu.Lock()
 	for len(db.deferredFlush) > 0 {
 		t := db.deferredFlush[0]
+		if max, ok := db.flushOutMaxLocked(); ok && t.SealSeq() < max {
+			break
+		}
 		db.pendingFlush.add(1)
 		if !db.flushQ.TryEnqueue(t) {
 			db.pendingFlush.done()
 			break
 		}
+		db.flushOut = append(db.flushOut, t.SealSeq())
 		// Copy-shrink so the backing array does not pin requeued tables.
 		db.deferredFlush = append([]*memtable.Table(nil), db.deferredFlush[1:]...)
 	}
@@ -255,9 +350,19 @@ func (db *DB) isClosing() bool {
 
 // clearDeferred empties both deferred lists — Recover drops the MemTables
 // they point at wholesale (the WAL replay resurrects their pairs), so the
-// references must not outlive them.
+// references must not outlive them. The outstanding-flush set goes with
+// them: the compaction thread of a failed rank drains without flushing.
 func (db *DB) clearDeferred() {
 	db.stallMu.Lock()
-	db.deferredFlush, db.deferredMigr = nil, nil
+	db.deferredFlush, db.deferredMigr, db.flushOut = nil, nil, nil
 	db.stallMu.Unlock()
+}
+
+// writeBacklogged reports whether this rank's local flush backlog is at or
+// past the hard admission threshold — the point where its own puts are
+// already being shed. The message handler refuses incoming writes with
+// ackStalled at the same line, so N-1 remote senders cannot grow a slow
+// owner's immutable list without bound while its own writers are blocked.
+func (db *DB) writeBacklogged() bool {
+	return db.opt.StallSoftDepth >= 0 && db.immDepth(false) >= db.opt.StallHardDepth
 }

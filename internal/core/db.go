@@ -55,6 +55,10 @@ type DB struct {
 	consistency Consistency
 	protection  Protection
 	closed      bool
+	// sealSeq numbers sealed MemTables in seal order (local and remote share
+	// it; only relative order within each list matters). Flushes must retire
+	// local tables in this order — see deferFlush.
+	sealSeq uint64
 
 	localCache  *lru.Cache
 	remoteCache *lru.Cache
@@ -103,9 +107,15 @@ type DB struct {
 	// degraded rank's Fence and Barrier terminate instead of waiting on
 	// work that cannot run; requeueDeferred* moves them back into the
 	// queues as space and health allow.
+	// deferredFlush is kept sorted by seal sequence, and flushOut tracks the
+	// seal seqs of tables currently in flushQ or in flight at the compaction
+	// thread: requeueDeferredFlushes only re-enqueues a deferred table newer
+	// than everything outstanding, so the flush order always equals the seal
+	// order even when tables detour through the deferred list.
 	stallMu       sync.Mutex
 	deferredFlush []*memtable.Table
 	deferredMigr  []*memtable.Table
+	flushOut      []uint64
 
 	// incarnation is this rank's life number — the replayed WAL epoch, so
 	// it is strictly monotonic across restarts and in-run recoveries. It

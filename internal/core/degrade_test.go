@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -372,6 +373,141 @@ func TestOverloadSoak(t *testing.T) {
 			t.Logf("victim churn: %d degradations, %d reclaims, %d flushes deferred, %d stalls, %d puts shed",
 				m.DegradedTransitions.Load(), m.Reclaims.Load(), m.FlushesDeferred.Load(),
 				m.Stalls.Load(), m.PutsShed.Load())
+		}
+		return db.Close()
+	})
+}
+
+// TestDegradeDeferredFlushOrder: deferred flushes must retire in seal order.
+// Three MemTables seal back-to-back while the first one's flush is stuck in
+// a slow device write that ends in ENOSPC, so the FIRST-sealed table is
+// deferred AFTER the later two. The regression this guards: deferFlush used
+// to append the dequeued (oldest) table behind entries deferred later, so
+// after reclaim the newer table flushed first and the older one took the
+// higher SSID — reads and compaction then preferred the older table's value
+// for any overlapping key, permanently.
+func TestDegradeDeferredFlushOrder(t *testing.T) {
+	const hot = "hot-key"
+	inj := faults.New(0x5ea105)
+	slow := nvm.PerfModel{Name: "slow", WriteLatency: 120 * time.Millisecond, TimeScale: 1}
+	runCluster(t, clusterSpec{ranks: 1, nvmModel: slow, faults: inj}, func(rt *Runtime, c *mpi.Comm) error {
+		o := faultOpt()
+		o.MemTableCapacity = 256 // every put below seals a table
+		o.QueueDepth = 1
+		o.StallSoftDepth = 64 // keep admission control out of the way
+		o.WAL = WALDisabled   // keep the flush path the only device writer
+		o.ProbeInterval = -1  // heal only through the explicit Reclaim
+		db, err := rt.Open("orderdb", o)
+		if err != nil {
+			return err
+		}
+		// The first flush attempt fails with ENOSPC — after the slow
+		// write's model latency, which is the window the later seals land
+		// in. Disabled again before Reclaim so the requeued flushes land.
+		inj.Enable(faults.Rule{
+			Point: faults.NVMWriteNoSpace, Rank: faults.AnyRank, Tag: faults.AnyTag,
+			Where: "r0/sst-", Count: 1, Fires: 1 << 20,
+		})
+		pad := func(c byte) string { return strings.Repeat(string(c), 300) }
+		// Table A: hot = a. Seals and its flush starts failing slowly.
+		mustPut(t, db, hot, pad('a'))
+		// Table B: filler; lands in (or queues behind) the depth-1 queue.
+		mustPut(t, db, "filler", pad('b'))
+		// Table C: hot = c. Deferred — ahead of A, which is still in
+		// flight and will only join the deferred list after its failure.
+		mustPut(t, db, hot, pad('c'))
+
+		waitState(t, db, StateDegraded, 10*time.Second)
+		// All three tables must be on the deferred list before the reclaim:
+		// A (failed flush), B (dequeued while Degraded), C (full queue).
+		deadline := time.Now().Add(10 * time.Second)
+		for db.Metrics().FlushesDeferred.Load() < 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("flushes_deferred = %d, want >= 3", db.Metrics().FlushesDeferred.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		inj.Disable(faults.NVMWriteNoSpace)
+		if err := db.Reclaim(); err != nil {
+			t.Fatalf("Reclaim: %v", err)
+		}
+		// The barrier drains the deferred backlog into SSTables.
+		if err := db.Barrier(LevelSSTable); err != nil {
+			t.Fatalf("Barrier: %v", err)
+		}
+		if err := wantGet(db, hot, pad('c')); err != nil {
+			t.Errorf("after in-order requeue: %v", err)
+		}
+		return db.Close()
+	})
+}
+
+// TestHandlerBackpressureShedsRemoteWrites: an owner whose flush backlog is
+// past the hard admission threshold — the line where it already sheds its
+// own puts — refuses incoming remote writes with the typed stall status
+// instead of buffering them without bound, while its reads keep serving and
+// the sender's circuit stays closed (the owner is alive, just overloaded).
+// Once the backlog drains, writes flow again.
+func TestHandlerBackpressureShedsRemoteWrites(t *testing.T) {
+	opt := faultOpt()
+	opt.Consistency = Sequential
+	opt.WAL = WALDisabled
+	opt.StallSoftDepth = 2
+	opt.StallHardDepth = 4
+	runCluster(t, clusterSpec{ranks: 2}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("backpressure", opt)
+		if err != nil {
+			return err
+		}
+		keys := ownKeys(db, 0, 2)
+		if rt.Rank() == 0 {
+			// White-box: pile sealed-but-unqueued tables past the hard
+			// threshold. The handler must refuse on the backlog itself,
+			// whatever produced it.
+			db.mu.Lock()
+			for len(db.immLocal) < opt.StallHardDepth {
+				db.rollLocalLocked()
+			}
+			db.mu.Unlock()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if rt.Rank() == 1 {
+			// A sequential put to the backlogged owner is shed, typed...
+			if err := db.Put(keys[0], val(keys[0])); !errors.Is(err, ErrWriteStalled) {
+				t.Errorf("putSync to backlogged owner err = %v, want ErrWriteStalled", err)
+			}
+			// ...the refusal does not trip the circuit...
+			if err := db.peerErr(0); err != nil {
+				t.Errorf("circuit tripped by stall refusal: %v", err)
+			}
+			// ...and reads keep being served through the overload.
+			if err := wantMissing(db, string(keys[1])); err != nil {
+				t.Errorf("remote read during owner backlog: %v", err)
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if rt.Rank() == 0 {
+			if got := db.Metrics().PutsShed.Load(); got == 0 {
+				t.Error("owner recorded no shed puts")
+			}
+			// Drain the backlog (the piled tables are empty, nothing is
+			// lost) and let the writer in again.
+			db.mu.Lock()
+			db.immLocal = nil
+			db.mu.Unlock()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if rt.Rank() == 1 {
+			mustPut(t, db, string(keys[0]), string(val(keys[0])))
+			if err := wantGet(db, string(keys[0]), string(val(keys[0]))); err != nil {
+				t.Errorf("after backlog drained: %v", err)
+			}
 		}
 		return db.Close()
 	})

@@ -94,12 +94,13 @@ func (db *DB) fail(err error) {
 	first := db.failedErr == nil
 	if first {
 		db.failedErr = err
+		// Failed dominates Degraded on the ladder; the gauge tracks the
+		// Degraded state only. Stored under failMu so it cannot race a
+		// concurrent degradeLocked's Store(1) and end up stale.
+		db.metrics.Degraded.Store(0)
 	}
 	db.failMu.Unlock()
 	if first {
-		// Failed dominates Degraded on the ladder; the gauge tracks the
-		// Degraded state only.
-		db.metrics.Degraded.Store(0)
 		// Outside failMu: eviction takes the cache lock and closes fds,
 		// and callers of Health() hold failMu-adjacent paths.
 		db.readers.EvictDir(db.dir(db.rt.rank))
@@ -151,12 +152,15 @@ func (db *DB) heal() bool {
 	healed := db.failedErr == nil && db.degradedErr != nil
 	if healed {
 		db.degradedErr = nil
+		// Under failMu: a Store(0) after the unlock could race a concurrent
+		// degradeLocked's Store(1) and leave the gauge reading 0 while the
+		// rank is Degraded again.
+		db.metrics.Degraded.Store(0)
 	}
 	db.failMu.Unlock()
 	if !healed {
 		return false
 	}
-	db.metrics.Degraded.Store(0)
 	db.metrics.Reclaims.Add(1)
 	db.requeueDeferredFlushes()
 	db.requeueDeferredMigrations()

@@ -132,6 +132,8 @@ func (db *DB) putLocalBuffered(e memtable.Entry) error {
 func (db *DB) rollLocalLocked() *memtable.Table {
 	sealed := db.localMT
 	sealed.Seal()
+	db.sealSeq++
+	sealed.SetSealSeq(db.sealSeq)
 	db.immLocal = append(db.immLocal, sealed)
 	db.localMT = memtable.New()
 	db.walRotateLocked(db.walLocal, sealed)
@@ -174,6 +176,8 @@ func (db *DB) putRemote(e memtable.Entry) error {
 func (db *DB) rollRemoteLocked() *memtable.Table {
 	sealed := db.remoteMT
 	sealed.Seal()
+	db.sealSeq++
+	sealed.SetSealSeq(db.sealSeq)
 	db.immRemote = append(db.immRemote, sealed)
 	db.remoteMT = memtable.New()
 	db.walRotateLocked(db.walRemote, sealed)

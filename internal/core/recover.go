@@ -487,8 +487,10 @@ func (db *DB) Recover() error {
 	db.failedErr = nil
 	// Any degradation predating the failure died with the state it described.
 	db.degradedErr = nil
-	db.failMu.Unlock()
+	// Gauge store under failMu, like heal: it must not race a concurrent
+	// degradeLocked's Store(1).
 	db.metrics.Degraded.Store(0)
+	db.failMu.Unlock()
 	db.metrics.Recoveries.Add(1)
 	return nil
 }

@@ -20,6 +20,13 @@ const (
 	// owner does NOT enter a refused seq into its dedup window, so the
 	// same batch redelivered after the owner heals applies fresh.
 	ackReadOnly = 2
+	// ackStalled: the owner is Healthy but its flush backlog is past the
+	// hard admission threshold — the same line at which it sheds its own
+	// puts — so it refused to buffer the incoming write. The sender
+	// rebuilds the typed ErrWriteStalled; migration batches park behind
+	// the circuit and redeliver once the backlog drains. Like ackReadOnly
+	// the refusal is never dedup-recorded, so redelivery applies fresh.
+	ackStalled = 3
 )
 
 // sendReliable delivers one already-seq-framed request to dest's message
@@ -74,6 +81,8 @@ func (db *DB) sendReliable(ctx context.Context, dest, reqTag, ackTag int, seq ui
 			// Rebuild the typed sentinel the owner's refusal lost crossing
 			// the wire, so errors.Is(err, ErrReadOnly) holds on this side.
 			return fmt.Errorf("papyruskv: rank %d refused write: %w: %s", dest, ErrReadOnly, rec.msg)
+		case ackStalled:
+			return fmt.Errorf("papyruskv: rank %d shed write: %w: %s", dest, ErrWriteStalled, rec.msg)
 		default:
 			return fmt.Errorf("papyruskv: rank %d rejected request: %s", dest, rec.msg)
 		}
@@ -83,11 +92,12 @@ func (db *DB) sendReliable(ctx context.Context, dest, reqTag, ackTag int, seq ui
 }
 
 // isRefusal reports whether a sendReliable error says nothing about the
-// peer's liveness: a deliberate ackReadOnly refusal (the peer is alive and
-// answering, merely degraded) or this caller's own context ending. Neither
-// may trip the circuit breaker.
+// peer's liveness: a deliberate ackReadOnly or ackStalled refusal (the peer
+// is alive and answering, merely degraded or overloaded) or this caller's
+// own context ending. None of these may trip the circuit breaker.
 func isRefusal(err error) bool {
 	return errors.Is(err, ErrReadOnly) ||
+		errors.Is(err, ErrWriteStalled) ||
 		errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded)
 }

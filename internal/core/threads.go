@@ -35,15 +35,37 @@ func (db *DB) compactionThread() {
 		db.maybeKill()
 		switch db.State() {
 		case StateHealthy:
-			if !db.flushOne(table) && db.State() == StateDegraded {
-				db.deferFlush(table)
-			}
+			db.flushInOrder(table)
 		case StateDegraded:
 			db.deferFlush(table)
+		default:
+			// Failed: drain without touching NVM; Recover rebuilds from WAL.
+			db.flushDone(table)
 		}
 		db.pendingFlush.done()
 		db.requeueDeferredFlushes()
 	}
+}
+
+// flushInOrder flushes a dequeued table, preceded by any deferred tables
+// sealed before it: a table that detoured through the deferred list (failed
+// flush, full queue) must still get a lower SSID than every table sealed
+// after it, or reads and compaction resolve the wrong version. A failure
+// partway re-defers the unflushed remainder — a Degraded rank retries it
+// after heal; a Failed rank's Recover drops it and replays the WAL.
+func (db *DB) flushInOrder(table *memtable.Table) {
+	batch := append(db.claimOlderDeferred(table), table)
+	for i, t := range batch {
+		if !db.flushOne(t) {
+			if db.State() == StateDegraded {
+				db.deferBatch(table, batch[i:])
+			} else {
+				db.flushDone(table)
+			}
+			return
+		}
+	}
+	db.flushDone(table)
 }
 
 // flushOne writes one sealed MemTable as a new SSTable, publishes it, drops
@@ -347,6 +369,17 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 		// window — the sender parks the batch and redelivers it verbatim
 		// after this rank heals, and it must then apply fresh.
 		rec = ackRecord{status: ackReadOnly, msg: healthErr.Error()}
+	} else if db.writeBacklogged() {
+		// Healthy but the flush backlog is past the hard admission
+		// threshold: this rank is already shedding its OWN puts, so
+		// buffering remote writes would grow immLocal without bound — the
+		// old blocking flushQ.Enqueue throttled senders here, and this
+		// typed refusal is its non-blocking replacement. Senders park the
+		// batch and redeliver once a ping reports the backlog drained;
+		// like ackReadOnly the refusal is never dedup-recorded.
+		db.metrics.PutsShed.Add(1)
+		rec = ackRecord{status: ackStalled,
+			msg: fmt.Sprintf("%d immutable tables at hard threshold %d", db.immDepth(false), db.opt.StallHardDepth)}
 	} else if entries, err := memtable.DecodeEntries(body); err != nil {
 		// An undecodable body is likewise the sender's defect: answer with
 		// a typed nack so the sender's sendReliable surfaces the error
@@ -387,10 +420,11 @@ func (db *DB) handleBatch(m mpi.Message, migration bool) {
 
 // handlePing answers a circuit breaker's half-open probe with this rank's
 // position on the degradation ladder and its current incarnation. A failed
-// rank answers ackFailed and a degraded one ackReadOnly — both keep the
-// prober's circuit open without costing it a full retry-timeout, and only
-// ackOK (truly Healthy, writable again) closes the circuit and triggers
-// redelivery of parked batches. The incarnations exchanged in both
+// rank answers ackFailed, a degraded one ackReadOnly, and a healthy rank
+// whose flush backlog is past the hard admission threshold ackStalled — all
+// keep the prober's circuit open without costing it a full retry-timeout,
+// and only ackOK (truly Healthy and accepting writes) closes the circuit
+// and triggers redelivery of parked batches. The incarnations exchanged in both
 // directions let each side notice the other was reborn since they last
 // spoke.
 func (db *DB) handlePing(m mpi.Message) {
@@ -406,6 +440,13 @@ func (db *DB) handlePing(m mpi.Message) {
 		status = ackReadOnly
 	case StateFailed:
 		status = ackFailed
+	default:
+		if db.writeBacklogged() {
+			// Healthy but shedding writes: answer the typed stall status so
+			// an open circuit stays open — closing it would trigger a
+			// redelivery the batch handler would immediately refuse.
+			status = ackStalled
+		}
 	}
 	db.sendResp(m.Source, tagPingAck, encodePingAck(seq, status, db.incarnation.Load()))
 }
