@@ -1,0 +1,43 @@
+// Command pkvadmin is the offline administration tool: it inspects a
+// store's on-device state without opening the database (or needing the job
+// that owns it to be down cleanly).
+//
+// Usage:
+//
+//	pkvadmin manifest dump <path-to-manifest-log>
+//
+// `manifest dump` prints a rank's table-lifecycle manifest frame by frame —
+// every add/delete edit, allocator-floor raise, WAL-epoch record, and
+// checkpoint marker — followed by the composed version: the live table set
+// a reopen would adopt. The log path is the literal file, e.g.
+// <data-root>/<db>/r0/manifest/log. A torn tail is reported as a note (a
+// reopen truncates it); mid-log corruption stops the dump with an error
+// after the clean prefix has printed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"papyruskv/internal/manifest"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: pkvadmin manifest dump <path-to-manifest-log>\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) != 4 || os.Args[1] != "manifest" || os.Args[2] != "dump" {
+		usage()
+	}
+	raw, err := os.ReadFile(os.Args[3])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pkvadmin: %v\n", err)
+		os.Exit(1)
+	}
+	if err := manifest.DumpLog(raw, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pkvadmin: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -46,6 +46,12 @@ const (
 	FaultNetDup   = faults.NetDup
 	// Core domain: kill one rank's background threads mid-run.
 	FaultCoreKill = faults.CoreKill
+	// Manifest domain: tear a table-lifecycle edit mid-append (the rank is
+	// modelled as crashed at that instruction and must reopen), or abort a
+	// log rotation before its rename (non-fatal; the old log stays
+	// authoritative and the failure is counted).
+	FaultManifestTornAppend = faults.ManifestTornAppend
+	FaultManifestRotateFail = faults.ManifestRotateFail
 )
 
 // Wildcard filters for FaultRule fields.
@@ -81,4 +87,10 @@ var (
 	// since resource exhaustion degrades a rank to read-only rather than
 	// failing it.
 	ErrDeviceFull = nvm.ErrNoSpace
+	// ErrManifestCorrupt marks mid-log corruption in a rank's
+	// table-lifecycle manifest, or on-NVM state contradicting it: the live
+	// SSTable set can no longer be reconstructed, so the rank fails rather
+	// than guessing. It surfaces as the root cause inside Health()'s
+	// ErrRankFailed.
+	ErrManifestCorrupt = core.ErrManifestCorrupt
 )

@@ -8,6 +8,7 @@ import (
 	"papyruskv/internal/faults"
 	"papyruskv/internal/fifo"
 	"papyruskv/internal/lru"
+	"papyruskv/internal/manifest"
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
 	"papyruskv/internal/sstable"
@@ -79,6 +80,12 @@ type DB struct {
 	sstMu    sync.RWMutex
 	ssids    []uint64
 	nextSSID uint64
+
+	// man is this rank's table-lifecycle manifest (manifest.go): the
+	// durable record of which SSTables are live. Every flush, compaction,
+	// and restore commits its edit here before old files are unlinked;
+	// nil after a failed manifest open, which refuses further transitions.
+	man *manifest.Manifest
 
 	// checkpointPin suppresses compaction while a checkpoint is copying
 	// the snapshot's SSTables (updates never touch snapshotted SSTables,
@@ -202,14 +209,15 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 	// ranks), surfaced here under the reader_cache_ snapshot keys.
 	db.metrics.Readers = db.readers.Counters()
 
-	// Compose from SSTables already on NVM (zero-copy reopen).
-	existing, err := sstable.ListSSIDs(rt.cfg.Device, db.dir(rt.rank))
-	if err != nil {
-		return nil, err
-	}
-	db.ssids = existing
-	if n := len(existing); n > 0 {
-		db.nextSSID = existing[n-1] + 1
+	// Compose from the manifest log (zero-copy reopen): the log alone
+	// decides which SSTables are live; unlisted files are quarantined, and
+	// a directory with tables but no log — a legacy pre-manifest image —
+	// is adopted into a first edit. A corrupt or unopenable manifest fails
+	// this rank's domain rather than the collective Open, exactly like a
+	// corrupt WAL below: the world keeps its alignment, the damage stays
+	// inside the failure domain that owns it.
+	if err := db.manifestOpen(false); err != nil {
+		db.fail(fmt.Errorf("manifest open: %w", err))
 	}
 
 	// Recover the write-ahead log and replay acknowledged-but-unflushed
@@ -228,6 +236,13 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 	// advances it on every rebirth), else a counter recovery bumps.
 	if db.walLocal != nil {
 		db.incarnation.Store(db.walLocal.Epoch())
+		// Record the epoch this life opened with; a manifest dump then
+		// tells which WAL generation pairs with the listed tables. An
+		// append failure here poisons the manifest and fails the rank —
+		// proceeding would let later transitions go unrecorded.
+		if err := db.manifestApply(manifest.Edit{WALEpoch: db.walLocal.Epoch()}); err != nil && db.man != nil {
+			db.fail(fmt.Errorf("manifest: record WAL epoch: %w", err))
+		}
 	} else {
 		db.incarnation.Store(1)
 	}
@@ -329,6 +344,7 @@ func (db *DB) Close() error {
 	// pair that never reached its owner.
 	lossErr := db.abandonParked()
 	db.walClose()
+	db.manifestClose()
 	// Release this rank's cached reader handles (and their fds). The
 	// per-device cache outlives the database — peers may still be reading
 	// shared tables — but this rank's own directory has no readers left.

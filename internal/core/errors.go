@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 
+	"papyruskv/internal/manifest"
 	"papyruskv/internal/sstable"
 )
 
@@ -61,3 +62,11 @@ var (
 // contradict its manifest. It is sstable.ErrCorrupt re-exported so callers
 // match one sentinel for every corruption site.
 var ErrCorrupt = sstable.ErrCorrupt
+
+// ErrManifestCorrupt reports mid-log corruption in a rank's table-lifecycle
+// manifest, or on-NVM state that contradicts it (a listed table missing or
+// resized): the live table set can no longer be reconstructed, so the rank
+// fails rather than guessing. A torn tail — the expected remains of a crash
+// mid-append — is truncated silently, never this error. It surfaces as the
+// root cause inside Health()'s ErrRankFailed.
+var ErrManifestCorrupt = manifest.ErrCorrupt

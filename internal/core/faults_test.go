@@ -285,7 +285,7 @@ func TestFaultCorruptSnapshotRestart(t *testing.T) {
 		pfs := rt.cfg.PFS
 
 		// Pick the snapshot's data file and keep pristine copies.
-		files, err := pfs.List("snap/r0")
+		files, err := pfs.List("snap/g1/r0")
 		if err != nil {
 			return err
 		}

@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 
+	"papyruskv/internal/manifest"
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/nvm"
 	"papyruskv/internal/sstable"
@@ -39,20 +41,27 @@ type manifestFile struct {
 	CRC  uint32 `json:"crc"`
 }
 
-// manifest describes a snapshot on the parallel file system. It is written
-// by rank 0 only after every rank has finished its transfers (two-phase
-// commit), so a manifest's existence implies the snapshot is complete.
-type manifest struct {
+// ckptManifest describes a snapshot on the parallel file system. It is
+// written by rank 0 only after every rank has finished its transfers
+// (two-phase commit), so a manifest's existence implies the snapshot is
+// complete. Each checkpoint writes into its own generation directory
+// (path/g<N>/) and the manifest names the committed generation: a later
+// checkpoint to the same path that crashes mid-transfer damages only its
+// own uncommitted g<N+1>, and the old generation keeps restoring.
+type ckptManifest struct {
 	Name   string           `json:"name"`
 	Ranks  int              `json:"ranks"`
 	Format int              `json:"format"`
+	Gen    int              `json:"gen"`
 	Files  [][]manifestFile `json:"files"` // indexed by snapshot rank
 }
 
-const manifestFormat = 2
+const manifestFormat = 3
 
-func manifestName(path string) string       { return path + "/MANIFEST" }
-func snapshotDir(path string, r int) string { return fmt.Sprintf("%s/r%d", path, r) }
+func manifestName(path string) string { return path + "/MANIFEST" }
+func snapshotDir(path string, gen, r int) string {
+	return fmt.Sprintf("%s/g%d/r%d", path, gen, r)
+}
 
 // ckptReport is one rank's phase-1 outcome, gathered to rank 0 on the
 // dedicated checkpoint communicator before the manifest is committed.
@@ -108,11 +117,32 @@ func (db *DB) copyOut(path string, ssids []uint64, rankErr error) error {
 	pfs := db.rt.cfg.PFS
 	rank := db.rt.rank
 
+	// Generation handshake: rank 0 reads the committed manifest (if any)
+	// and broadcasts the next generation number, so every rank transfers
+	// into the same fresh path/g<N> directory and the committed snapshot —
+	// a different generation — is never overwritten in place.
+	var genBuf []byte
+	if rank == 0 {
+		gen := 1
+		if old, err := readManifest(pfs, path); err == nil {
+			gen = old.Gen + 1
+		}
+		genBuf = []byte(fmt.Sprintf("%d", gen))
+	}
+	genBuf, bcastErr := db.ckptComm.Bcast(0, genBuf)
+	if bcastErr != nil {
+		return bcastErr
+	}
+	gen, genErr := strconv.Atoi(string(genBuf))
+	if genErr != nil || gen < 1 {
+		return fmt.Errorf("papyruskv: checkpoint: bad generation %q", genBuf)
+	}
+
 	// Phase 1: transfer this rank's SSTable files, fingerprinting each.
 	var files []manifestFile
 	xferErr := rankErr
 	if xferErr == nil {
-		files, xferErr = db.transferFiles(pfs, path, ssids)
+		files, xferErr = db.transferFiles(pfs, path, gen, ssids)
 	}
 
 	// Phase 2: gather every rank's report to rank 0 on the dedicated
@@ -137,7 +167,7 @@ func (db *DB) copyOut(path string, ssids []uint64, rankErr error) error {
 
 	var verdict []byte
 	if rank == 0 {
-		if err := db.commitManifest(pfs, path, reports); err != nil {
+		if err := db.commitManifest(pfs, path, gen, reports); err != nil {
 			verdict = []byte(err.Error())
 		}
 	}
@@ -150,15 +180,20 @@ func (db *DB) copyOut(path string, ssids []uint64, rankErr error) error {
 	case len(verdict) > 0:
 		return fmt.Errorf("papyruskv: checkpoint not committed: %s", verdict)
 	default:
+		// Record the committed checkpoint in this rank's own manifest log:
+		// a later inspection (pkvadmin manifest dump) shows which snapshot
+		// this rank's tables last reached. Best-effort — the snapshot's own
+		// commit record is the PFS manifest written above.
+		_ = db.manifestApply(manifest.Edit{Checkpoint: fmt.Sprintf("%s/g%d", path, gen)})
 		return nil
 	}
 }
 
-// transferFiles copies this rank's snapshot files to the PFS and returns
-// their manifest fingerprints.
-func (db *DB) transferFiles(pfs *nvm.Device, path string, ssids []uint64) ([]manifestFile, error) {
+// transferFiles copies this rank's snapshot files into the generation
+// directory on the PFS and returns their manifest fingerprints.
+func (db *DB) transferFiles(pfs *nvm.Device, path string, gen int, ssids []uint64) ([]manifestFile, error) {
 	src := db.dir(db.rt.rank)
-	dst := snapshotDir(path, db.rt.rank)
+	dst := snapshotDir(path, gen, db.rt.rank)
 	if err := pfs.RemoveAll(dst); err != nil {
 		return nil, err
 	}
@@ -177,12 +212,14 @@ func (db *DB) transferFiles(pfs *nvm.Device, path string, ssids []uint64) ([]man
 }
 
 // commitManifest (rank 0 only) validates every rank's report and writes the
-// MANIFEST last, making the snapshot visible atomically. If any rank failed,
-// any stale manifest from a previous snapshot at the same path is removed,
-// so a later Restart reports ErrNoSnapshot instead of restoring a mix of
-// old and new files.
-func (db *DB) commitManifest(pfs *nvm.Device, path string, reports [][]byte) error {
-	m := manifest{Name: db.name, Ranks: db.rt.size, Format: manifestFormat,
+// MANIFEST last, making generation gen visible atomically. On any failure
+// the new generation's directory is discarded and the previous manifest —
+// which names an older, untouched generation — is left in place, so the old
+// snapshot keeps restoring; the pre-generation scheme removed the stale
+// manifest here and a failed re-checkpoint cost the only snapshot. On
+// success the superseded generations are garbage-collected, best-effort.
+func (db *DB) commitManifest(pfs *nvm.Device, path string, gen int, reports [][]byte) error {
+	m := ckptManifest{Name: db.name, Ranks: db.rt.size, Format: manifestFormat, Gen: gen,
 		Files: make([][]manifestFile, len(reports))}
 	var commitErr error
 	for r, raw := range reports {
@@ -204,10 +241,11 @@ func (db *DB) commitManifest(pfs *nvm.Device, path string, reports [][]byte) err
 		}
 	}
 	if commitErr != nil {
-		if pfs.Exists(manifestName(path)) {
-			_ = pfs.Remove(manifestName(path))
-		}
+		_ = pfs.RemoveAll(fmt.Sprintf("%s/g%d", path, gen))
 		return commitErr
+	}
+	for g := gen - 1; g >= 1; g-- {
+		_ = pfs.RemoveAll(fmt.Sprintf("%s/g%d", path, g))
 	}
 	return nil
 }
@@ -216,8 +254,8 @@ func (db *DB) commitManifest(pfs *nvm.Device, path string, reports [][]byte) err
 // manifest is ErrNoSnapshot (the snapshot was never committed), a manifest
 // that does not parse or whose file list disagrees with the files actually
 // present is ErrCorrupt.
-func readManifest(pfs *nvm.Device, path string) (manifest, error) {
-	var m manifest
+func readManifest(pfs *nvm.Device, path string) (ckptManifest, error) {
+	var m ckptManifest
 	raw, err := pfs.ReadFile(manifestName(path))
 	if err != nil {
 		return m, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
@@ -228,6 +266,9 @@ func readManifest(pfs *nvm.Device, path string) (manifest, error) {
 	if m.Format != manifestFormat {
 		return m, fmt.Errorf("%w: unsupported snapshot format %d", ErrNoSnapshot, m.Format)
 	}
+	if m.Gen < 1 {
+		return m, fmt.Errorf("%w: manifest names no generation", ErrCorrupt)
+	}
 	if len(m.Files) != m.Ranks {
 		return m, fmt.Errorf("%w: manifest lists %d ranks' files for %d ranks",
 			ErrCorrupt, len(m.Files), m.Ranks)
@@ -236,7 +277,7 @@ func readManifest(pfs *nvm.Device, path string) (manifest, error) {
 	// with the recorded size. Content (CRC) is verified as files are read
 	// back during the restore itself.
 	for r, files := range m.Files {
-		dir := snapshotDir(path, r)
+		dir := snapshotDir(path, m.Gen, r)
 		for _, f := range files {
 			size, err := pfs.FileSize(dir + "/" + f.Name)
 			if err != nil {
@@ -273,13 +314,13 @@ func (rt *Runtime) Restart(path, name string, opt Options, forceRedistribute boo
 	if m.Ranks == rt.size && !forceRedistribute {
 		return rt.restartVerbatim(path, name, opt, m)
 	}
-	return rt.restartRedistribute(path, name, opt, m.Ranks)
+	return rt.restartRedistribute(path, name, opt, m)
 }
 
 // restartVerbatim copies this rank's snapshot files back to NVM — exactly
 // the files the manifest lists, re-verifying each one's CRC32C on the way —
 // then opens the database over them.
-func (rt *Runtime) restartVerbatim(path, name string, opt Options, m manifest) (*DB, *Event, error) {
+func (rt *Runtime) restartVerbatim(path, name string, opt Options, m ckptManifest) (*DB, *Event, error) {
 	ev := newEvent()
 	// Clear any stale on-NVM state for this database first so the
 	// restored image is exact, and drop any reader handles cached over the
@@ -294,7 +335,7 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options, m manifest) (
 		return nil, nil, err
 	}
 	go func() {
-		src := snapshotDir(path, rt.rank)
+		src := snapshotDir(path, m.Gen, rt.rank)
 		dst := db.dir(rt.rank)
 		for _, f := range m.Files[rt.rank] {
 			size, crc, err := nvm.CopySum(rt.cfg.Device, dst+"/"+f.Name, rt.cfg.PFS, src+"/"+f.Name)
@@ -310,13 +351,30 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options, m manifest) (
 		}
 		// Drop entries cached during the copy window — gets racing the
 		// restore may have memoised not-found (negative entries) for
-		// SSIDs that now exist — then compose: adopt the restored
-		// SSTables.
+		// SSIDs that now exist — then compose: commit the restored tables
+		// to this rank's manifest (the directory was cleared above, so the
+		// log is fresh and they would otherwise be quarantined orphans)
+		// and adopt them.
 		db.readers.EvictDir(dst)
 		ids, err := sstable.ListSSIDs(rt.cfg.Device, dst)
 		if err != nil {
 			ev.complete(err)
 			return
+		}
+		var e manifest.Edit
+		for _, id := range ids {
+			meta, err := sstable.ReadMeta(rt.cfg.Device, dst, id)
+			if err != nil {
+				ev.complete(fmt.Errorf("restored SSTable %d: %w", id, err))
+				return
+			}
+			e.Add = append(e.Add, tableMetaOf(meta))
+		}
+		if len(e.Add) > 0 {
+			if err := db.manifestApply(e); err != nil {
+				ev.complete(fmt.Errorf("manifest commit of restored tables: %w", err))
+				return
+			}
 		}
 		db.sstMu.Lock()
 		db.ssids = ids
@@ -337,7 +395,7 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options, m manifest) (
 // work is partitioned by snapshot source rank; each rank merges its source
 // ranks' SSTables newest-first so only each key's latest version is
 // re-put.
-func (rt *Runtime) restartRedistribute(path, name string, opt Options, snapRanks int) (*DB, *Event, error) {
+func (rt *Runtime) restartRedistribute(path, name string, opt Options, m ckptManifest) (*DB, *Event, error) {
 	if err := rt.cfg.Device.RemoveAll(fmt.Sprintf("%s/r%d", name, rt.rank)); err != nil {
 		return nil, nil, err
 	}
@@ -349,8 +407,8 @@ func (rt *Runtime) restartRedistribute(path, name string, opt Options, snapRanks
 	ev := newEvent()
 	go func() {
 		pfs := rt.cfg.PFS
-		for src := rt.rank; src < snapRanks; src += rt.size {
-			dir := snapshotDir(path, src)
+		for src := rt.rank; src < m.Ranks; src += rt.size {
+			dir := snapshotDir(path, m.Gen, src)
 			ids, err := sstable.ListSSIDs(pfs, dir)
 			if err != nil {
 				ev.complete(err)

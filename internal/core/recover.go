@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"papyruskv/internal/memtable"
-	"papyruskv/internal/sstable"
 )
 
 // errParkedOverflow is the degradation cause recorded when the parked-batch
@@ -449,27 +448,19 @@ func (db *DB) Recover() error {
 	db.parkedTables = nil
 	db.failMu.Unlock()
 
-	// Re-validate the on-NVM image before trusting it: every listed
-	// SSTable's bloom filter and index must pass their CRCs through a
+	// Recompose the on-NVM image from the manifest log before trusting it:
+	// a fresh Open replays the log, quarantines any orphan the failure's
+	// last transition left behind, and — validate=true, the Recover path —
+	// re-checks every listed table's bloom filter and index CRCs through a
 	// fresh reader-cache registration (the eviction dropped every handle
-	// validated before the damage).
+	// validated before the damage). The old manifest handle is as dead as
+	// the rest of the failed rank; close it first.
 	dir := db.dir(db.rt.rank)
 	db.readers.EvictDir(dir)
-	ssids, err := sstable.ListSSIDs(db.rt.cfg.Device, dir)
-	if err != nil {
+	db.manifestClose()
+	if err := db.manifestOpen(true); err != nil {
 		return fmt.Errorf("papyruskv: recover rank %d: %w", db.rt.rank, err)
 	}
-	for _, id := range ssids {
-		if err := db.readers.Validate(dir, id); err != nil {
-			return fmt.Errorf("papyruskv: recover rank %d: SSTable %d: %w", db.rt.rank, id, err)
-		}
-	}
-	db.sstMu.Lock()
-	db.ssids = ssids
-	if n := len(ssids); n > 0 && ssids[n-1] >= db.nextSSID {
-		db.nextSSID = ssids[n-1] + 1
-	}
-	db.sstMu.Unlock()
 
 	if db.opt.WAL != WALDisabled {
 		db.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"papyruskv/internal/manifest"
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
 	"papyruskv/internal/nvm"
@@ -82,8 +83,17 @@ func (db *DB) flushOne(table *memtable.Table) bool {
 	db.nextSSID++
 	db.sstMu.Unlock()
 
-	if _, err := sstable.WriteTable(db.rt.cfg.Device, dir, ssid, table.Entries()); err != nil {
+	meta, err := sstable.WriteTable(db.rt.cfg.Device, dir, ssid, table.Entries())
+	if err != nil {
 		db.failOrDegrade(fmt.Errorf("flush of SSTable %d: %w", ssid, err))
+		return false
+	}
+	// Commit the table to the manifest before publishing it and — crucially
+	// — before walDropSegment below deletes the records that shadow it. A
+	// crash here leaves the written files unlisted: orphans quarantined on
+	// reopen, with the WAL segment still replaying every pair.
+	if err := db.manifestApply(manifest.Edit{Add: []manifest.TableMeta{tableMetaOf(meta)}}); err != nil {
+		db.failOrDegrade(fmt.Errorf("manifest commit of SSTable %d: %w", ssid, err))
 		return false
 	}
 	db.metrics.Flushes.Add(1)
@@ -113,10 +123,11 @@ func (db *DB) flushOne(table *memtable.Table) bool {
 }
 
 // compact merges all live SSTables into one new table with a fresh highest
-// SSID, then atomically swaps the live list and deletes the inputs. Gets
-// that raced the deletion retry against the new list (see
-// searchOwnSSTables). A failed merge fails this rank's domain; the input
-// tables stay live, so no data is lost.
+// SSID, commits the install+delete to the manifest, atomically swaps the
+// live list, then deletes the inputs. Gets that raced the deletion retry
+// against the new list (see searchOwnSSTables). A failed merge or manifest
+// commit fails this rank's domain; the input tables stay live, so no data
+// is lost.
 func (db *DB) compact() {
 	// Decide whether compaction has work before allocating the output
 	// SSID: burning one on the early return would leak an SSID per
@@ -133,25 +144,41 @@ func (db *DB) compact() {
 	db.sstMu.Unlock()
 
 	dir := db.dir(db.rt.rank)
-	if _, err := sstable.Merge(db.rt.cfg.Device, dir, inputs, mergedID); err != nil {
+	meta, err := sstable.Merge(db.rt.cfg.Device, dir, inputs, mergedID)
+	if err != nil {
 		db.failOrDegrade(fmt.Errorf("compaction into SSTable %d: %w", mergedID, err))
 		return
 	}
+	// Commit install+delete as one manifest edit BEFORE unlinking the
+	// inputs. A crash before the commit leaves the old version (the merged
+	// output is an unlisted orphan, quarantined on reopen); a crash after
+	// it leaves the new one (leftover inputs are the orphans). Neither mix
+	// resurrects a deleted or overwritten value — the exact window the
+	// pre-manifest directory scan could not close. On a commit error the
+	// inputs stay live and the transition simply never happened.
+	if err := db.manifestApply(manifest.Edit{
+		Add:    []manifest.TableMeta{tableMetaOf(meta)},
+		Delete: inputs,
+	}); err != nil {
+		db.failOrDegrade(fmt.Errorf("manifest commit of compaction %d: %w", mergedID, err))
+		return
+	}
 	db.metrics.Compactions.Add(1)
-	// The inputs' files are gone; drop their cached reader handles so the
-	// whole storage group (the cache is per-device) stops probing them. A
-	// get holding a pinned handle across the deletion still reads
-	// correctly — the fd outlives the unlink, and the merged table is a
-	// superset — and the pin defers the close, never the eviction.
-	for _, id := range inputs {
-		db.readers.Evict(dir, id)
+	// Crash point between the commit and the unlinks: the in-memory list
+	// still names the inputs, whose files remain — stale but correct —
+	// and the next open composes the merged version from the manifest.
+	db.maybeKill()
+	if db.readHealth() != nil {
+		return
 	}
 
 	db.sstMu.Lock()
-	// Keep any SSTables flushed while the merge ran (they are newer than
-	// mergedID's inputs but may be older or newer than mergedID itself;
-	// SSID order still resolves recency because mergedID was allocated
-	// before they were).
+	// Swap the live list before unlinking anything, so gets follow the
+	// committed version instead of racing the (directory-fsynced, slow)
+	// unlinks below. Keep any SSTables flushed while the merge ran (they
+	// are newer than mergedID's inputs but may be older or newer than
+	// mergedID itself; SSID order still resolves recency because mergedID
+	// was allocated before they were).
 	var live []uint64
 	merged := map[uint64]bool{}
 	for _, id := range inputs {
@@ -166,6 +193,24 @@ func (db *DB) compact() {
 	sortSSIDs(live)
 	db.ssids = live
 	db.sstMu.Unlock()
+
+	// Unlink the inputs and drop their cached reader handles so the whole
+	// storage group (the cache is per-device) stops probing them. A get
+	// holding a pinned handle across the deletion still reads correctly —
+	// the fd outlives the unlink, and the merged table is a superset — and
+	// the pin defers the close, never the eviction. A failed unlink only
+	// leaves orphan files behind (the version is already committed);
+	// surface the device trouble anyway.
+	var removeErr error
+	for _, id := range inputs {
+		if err := sstable.Remove(db.rt.cfg.Device, dir, id); err != nil && removeErr == nil {
+			removeErr = err
+		}
+		db.readers.Evict(dir, id)
+	}
+	if removeErr != nil {
+		db.failOrDegrade(fmt.Errorf("removing compaction inputs: %w", removeErr))
+	}
 }
 
 func sortSSIDs(ids []uint64) {

@@ -90,6 +90,7 @@ type Metrics struct {
 	RedeliveredBatches atomic.Uint64 // parked batches delivered after the peer recovered
 	ParkOverflows      atomic.Uint64 // batches degraded to loss by the parked-bytes budget
 	PairsLost          atomic.Uint64 // pairs definitively lost on the way to their owner
+	QuarantinedTables  atomic.Uint64 // unlisted SSTables moved aside at open/recover, never adopted
 
 	// lostMu guards the per-owner breakdown behind PairsLost; tests use it
 	// to pin exactly whose pairs a degradation cost.
@@ -100,6 +101,11 @@ type Metrics struct {
 	// fsyncs, group commits, recovery totals), incremented by the wal
 	// package and flattened into Snapshot with a wal_ prefix.
 	WAL stats.WAL
+
+	// Manifest holds the table-lifecycle log's counters (edits, rotations,
+	// truncated tails), incremented by the manifest package and flattened
+	// into Snapshot with a manifest_ prefix.
+	Manifest stats.Manifest
 
 	// Readers points at the SSTable reader-cache counters, flattened into
 	// Snapshot with a reader_cache_ prefix. The cache — and therefore
@@ -173,6 +179,7 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"redelivered_batches": m.RedeliveredBatches.Load(),
 		"park_overflows":      m.ParkOverflows.Load(),
 		"pairs_lost":          m.PairsLost.Load(),
+		"quarantined_tables":  m.QuarantinedTables.Load(),
 	}
 	m.lostMu.Lock()
 	for r, n := range m.lostByPeer {
@@ -180,6 +187,9 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 	}
 	m.lostMu.Unlock()
 	for k, v := range m.WAL.Snapshot() {
+		snap[k] = v
+	}
+	for k, v := range m.Manifest.Snapshot() {
 		snap[k] = v
 	}
 	if m.Readers != nil {

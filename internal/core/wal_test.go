@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"testing"
 
 	"papyruskv/internal/faults"
@@ -32,6 +33,12 @@ func walBytes(t *testing.T, dev *nvm.Device, dir string) int64 {
 	for _, n := range names {
 		sz, err := dev.FileSize(n)
 		if err != nil {
+			// A segment listed a moment ago may be garbage-collected by the
+			// flush thread before the stat — the very deletion the bound
+			// relies on. Gone means zero bytes.
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
 			t.Fatal(err)
 		}
 		total += sz

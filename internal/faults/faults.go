@@ -5,6 +5,7 @@
 //
 //	nvm.Device   NVMWriteError, NVMWriteNoSpace, NVMTornWrite, NVMReadBitFlip
 //	wal          WALTornAppend, WALSyncError
+//	manifest     ManifestTornAppend, ManifestRotateFail
 //	mpi/simnet   NetDrop, NetDelay, NetDup
 //	core         CoreKill
 //
@@ -55,6 +56,17 @@ const (
 	// WALSyncError fails a write-ahead-log fsync (a sync-mode commit or
 	// an async group commit) with ErrInjected.
 	WALSyncError Point = "wal.sync-error"
+
+	// ManifestTornAppend tears a manifest-log append: only a prefix of the
+	// edit's frame reaches the device, and the append reports the injected
+	// error — the rank is treated as having crashed at that instruction,
+	// so no caller proceeds past an edit that never became durable. Replay
+	// truncates the torn frame as a tail.
+	ManifestTornAppend Point = "manifest.torn-append"
+	// ManifestRotateFail aborts a manifest snapshot+rotate before the
+	// atomic rename, leaving the old log authoritative. Rotation is
+	// best-effort, so the failure is counted, not fatal.
+	ManifestRotateFail Point = "manifest.rotate-fail"
 
 	// NetDrop silently discards a point-to-point message.
 	NetDrop Point = "net.drop"

@@ -386,6 +386,53 @@ func (d *Device) Remove(name string) error {
 	return nil
 }
 
+// Rename atomically moves oldName to newName within the device, creating
+// newName's parent directory if needed, then fsyncs the affected parent
+// directories so the rename itself survives a crash — the commit step of
+// every temp-file → fsync → rename publication on the device.
+func (d *Device) Rename(oldName, newName string) error {
+	op, np := d.path(oldName), d.path(newName)
+	if err := os.MkdirAll(filepath.Dir(np), 0o755); err != nil {
+		return wrapErr(err)
+	}
+	if err := os.Rename(op, np); err != nil {
+		return wrapErr(err)
+	}
+	if err := syncOSDir(filepath.Dir(np)); err != nil {
+		return err
+	}
+	if filepath.Dir(op) != filepath.Dir(np) {
+		return syncOSDir(filepath.Dir(op))
+	}
+	return nil
+}
+
+// SyncDir fsyncs the directory name (device-relative), making previously
+// completed unlinks and renames inside it durable. Callers that must not
+// resurrect a half-removed file after a crash — SSTable deletion, orphan
+// quarantine — call it once after their batch of namespace operations.
+func (d *Device) SyncDir(name string) error {
+	return syncOSDir(d.path(name))
+}
+
+// syncOSDir fsyncs one directory by absolute OS path. A missing directory is
+// not an error: the namespace operations being made durable may have emptied
+// and removed it already.
+func syncOSDir(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return wrapErr(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return wrapErr(err)
+	}
+	return nil
+}
+
 // Exists reports whether name is present.
 func (d *Device) Exists(name string) bool {
 	_, err := os.Stat(d.path(name))

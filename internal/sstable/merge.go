@@ -12,11 +12,18 @@ import (
 )
 
 // Merge compacts the SSTables listed in ssids (any order) into a single new
-// SSTable newSSID, then deletes the inputs. When several inputs hold the
-// same key, the record from the input with the highest SSID — the newest —
-// wins (§2.5). Tombstones are carried into the merged table: a compaction
-// over a subset of SSTables cannot prove the key is absent from older,
-// unmerged tables, so dropping the tombstone would resurrect deleted keys.
+// SSTable newSSID. When several inputs hold the same key, the record from
+// the input with the highest SSID — the newest — wins (§2.5). Tombstones
+// are carried into the merged table: a compaction over a subset of SSTables
+// cannot prove the key is absent from older, unmerged tables, so dropping
+// the tombstone would resurrect deleted keys.
+//
+// The inputs are NOT deleted here. The caller must first commit the
+// install+delete edit to its manifest and only then Remove the inputs — a
+// crash between writing the merged output and unlinking the inputs must
+// leave either the old version (edit not committed: the output is an
+// orphan, quarantined on reopen) or the new one (edit committed: leftover
+// inputs are orphans), never a mix that resurrects overwritten values.
 //
 // The merge is a streaming k-way heap merge over sequential scanners, so it
 // performs the sequential file reads the paper describes and never holds
@@ -87,16 +94,7 @@ func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, e
 		}
 	}
 
-	meta, err := w.Close()
-	if err != nil {
-		return Meta{}, err
-	}
-	for _, id := range ssids {
-		if err := Remove(dev, dir, id); err != nil {
-			return Meta{}, err
-		}
-	}
-	return meta, nil
+	return w.Close()
 }
 
 // EntryCount returns the number of records in SSTable ssid, from the

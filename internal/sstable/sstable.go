@@ -58,11 +58,18 @@ func DataName(dir string, ssid uint64) string  { return fmt.Sprintf("%s/sst-%06d
 func IndexName(dir string, ssid uint64) string { return fmt.Sprintf("%s/sst-%06d.idx", dir, ssid) }
 func BloomName(dir string, ssid uint64) string { return fmt.Sprintf("%s/sst-%06d.bloom", dir, ssid) }
 
-// Meta summarises a written SSTable.
+// Meta summarises a written SSTable: identity, sizes, key bounds, and the
+// CRC32C of each of its three files. The manifest records it on flush and
+// compaction install, and recovery validates the on-device files against it.
 type Meta struct {
 	SSID      uint64
 	Count     int
 	DataBytes int64
+	DataCRC   uint32
+	IndexCRC  uint32
+	BloomCRC  uint32
+	MinKey    []byte
+	MaxKey    []byte
 }
 
 // Writer streams one SSTable onto a device. Add must be called with strictly
@@ -75,9 +82,11 @@ type Writer struct {
 	data    *nvm.Writer
 	index   []byte
 	filter  *bloom.Filter
-	count   int
-	lastKey []byte
-	buf     []byte
+	count    int
+	firstKey []byte
+	lastKey  []byte
+	dataCRC  uint32 // running CRC32C over the logical SSData byte stream
+	buf      []byte
 	pending []byte // write-behind buffer: records stream to the device in
 	// large sequential chunks, as the compaction thread would, instead of
 	// paying one device operation per record
@@ -108,6 +117,9 @@ func (w *Writer) Add(e memtable.Entry) error {
 	if w.lastKey != nil && bytes.Compare(e.Key, w.lastKey) <= 0 {
 		return fmt.Errorf("sstable: keys not strictly ascending: %q after %q", e.Key, w.lastKey)
 	}
+	if w.count == 0 {
+		w.firstKey = append([]byte(nil), e.Key...)
+	}
 	w.lastKey = append(w.lastKey[:0], e.Key...)
 	offset := w.written
 	recLen := recHeader + len(e.Key) + len(e.Value) + recTrailer
@@ -129,6 +141,7 @@ func (w *Writer) Add(e memtable.Entry) error {
 	w.buf = append(w.buf, u32[:]...)
 	w.pending = append(w.pending, w.buf...)
 	w.written += int64(len(w.buf))
+	w.dataCRC = crc32.Update(w.dataCRC, crcTable, w.buf)
 	if len(w.pending) >= writeChunk {
 		if _, err := w.data.Write(w.pending); err != nil {
 			return err
@@ -166,7 +179,8 @@ func (w *Writer) Close() (Meta, error) {
 	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(w.count))
 	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(w.index, crcTable))
-	if err := w.dev.WriteFile(IndexName(w.dir, w.ssid), append(hdr, w.index...)); err != nil {
+	idx := append(hdr, w.index...)
+	if err := w.dev.WriteFile(IndexName(w.dir, w.ssid), idx); err != nil {
 		return Meta{}, err
 	}
 	// The bloom file carries a leading CRC32C over its payload.
@@ -177,7 +191,16 @@ func (w *Writer) Close() (Meta, error) {
 	if err := w.dev.WriteFile(BloomName(w.dir, w.ssid), blm); err != nil {
 		return Meta{}, err
 	}
-	return Meta{SSID: w.ssid, Count: w.count, DataBytes: dataBytes}, nil
+	return Meta{
+		SSID:      w.ssid,
+		Count:     w.count,
+		DataBytes: dataBytes,
+		DataCRC:   w.dataCRC,
+		IndexCRC:  crc32.Checksum(idx, crcTable),
+		BloomCRC:  crc32.Checksum(blm, crcTable),
+		MinKey:    w.firstKey,
+		MaxKey:    append([]byte(nil), w.lastKey...),
+	}, nil
 }
 
 // Abort discards the partial SSTable.
@@ -382,9 +405,12 @@ func seqSearch(dev *nvm.Device, dir string, ssid uint64, key []byte) ([]byte, bo
 	}
 }
 
-// ListSSIDs returns the SSIDs of all complete SSTables in dir, ascending. A
-// table is complete when all three files exist (a crashed writer can leave
-// partial sets behind; they are ignored).
+// ListSSIDs returns the SSIDs of all complete SSTables that are direct
+// children of dir, ascending. A table is complete when all three files
+// exist (a crashed writer can leave partial sets behind; they are ignored).
+// Subdirectories are excluded deliberately: a rank's directory also holds
+// its WAL, its manifest, and quarantined orphans, none of which may be
+// mistaken for live tables.
 func ListSSIDs(dev *nvm.Device, dir string) ([]uint64, error) {
 	files, err := dev.List(dir)
 	if err != nil {
@@ -393,6 +419,9 @@ func ListSSIDs(dev *nvm.Device, dir string) ([]uint64, error) {
 	parts := map[uint64]int{}
 	for _, f := range files {
 		base := f[strings.LastIndex(f, "/")+1:]
+		if f != dir+"/"+base {
+			continue // a file in a subdirectory, not a live table
+		}
 		if !strings.HasPrefix(base, "sst-") {
 			continue
 		}
@@ -419,12 +448,65 @@ func ListSSIDs(dev *nvm.Device, dir string) ([]uint64, error) {
 	return out, nil
 }
 
-// Remove deletes all three files of SSTable ssid.
+// Remove deletes all three files of SSTable ssid, then fsyncs the parent
+// directory so the unlinks survive a crash — a half-removed table whose
+// directory entries reappear after a power cut would be re-listed (and
+// quarantined) on the next boot, defeating the deletion the manifest
+// already committed.
 func Remove(dev *nvm.Device, dir string, ssid uint64) error {
 	for _, name := range []string{DataName(dir, ssid), IndexName(dir, ssid), BloomName(dir, ssid)} {
 		if err := dev.Remove(name); err != nil {
 			return err
 		}
 	}
-	return nil
+	return dev.SyncDir(dir)
+}
+
+// ReadMeta reconstructs SSTable ssid's Meta from its on-device files: sizes
+// and CRCs by full read, entry count from the index, key bounds from the
+// first and last data records. Open uses it to adopt tables that predate
+// the manifest (a legacy zero-copy reopen) and restart uses it to manifest
+// restored snapshot files; both are cold paths, so the full reads are
+// acceptable.
+func ReadMeta(dev *nvm.Device, dir string, ssid uint64) (Meta, error) {
+	data, err := dev.ReadFile(DataName(dir, ssid))
+	if err != nil {
+		return Meta{}, err
+	}
+	idxRaw, err := dev.ReadFile(IndexName(dir, ssid))
+	if err != nil {
+		return Meta{}, err
+	}
+	recs, err := parseIndex(idxRaw)
+	if err != nil {
+		return Meta{}, err
+	}
+	blm, err := dev.ReadFile(BloomName(dir, ssid))
+	if err != nil {
+		return Meta{}, err
+	}
+	m := Meta{
+		SSID:      ssid,
+		Count:     len(recs),
+		DataBytes: int64(len(data)),
+		DataCRC:   crc32.Checksum(data, crcTable),
+		IndexCRC:  crc32.Checksum(idxRaw, crcTable),
+		BloomCRC:  crc32.Checksum(blm, crcTable),
+	}
+	if len(recs) > 0 {
+		for i, r := range []indexRec{recs[0], recs[len(recs)-1]} {
+			end := r.offset + uint64(r.recLen)
+			if r.recLen < recHeader+recTrailer || end > uint64(len(data)) ||
+				uint64(r.keyLen) > uint64(r.recLen)-recHeader-recTrailer {
+				return Meta{}, fmt.Errorf("%w: index entry overruns data file", ErrCorrupt)
+			}
+			key := append([]byte(nil), data[r.offset+recHeader:r.offset+recHeader+uint64(r.keyLen)]...)
+			if i == 0 {
+				m.MinKey = key
+			} else {
+				m.MaxKey = key
+			}
+		}
+	}
+	return m, nil
 }

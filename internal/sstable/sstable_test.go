@@ -226,9 +226,20 @@ func TestMergeNewestWins(t *testing.T) {
 	if meta.SSID != 4 || meta.Count != 4 {
 		t.Fatalf("merge meta = %+v", meta)
 	}
+	// Merge leaves the inputs in place — deleting them is the caller's job,
+	// after the install+delete edit is committed to the manifest.
 	ids, _ := ListSSIDs(dev, "d")
+	if len(ids) != 4 {
+		t.Fatalf("SSIDs after merge = %v, want inputs retained alongside the output", ids)
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		if err := Remove(dev, "d", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, _ = ListSSIDs(dev, "d")
 	if len(ids) != 1 || ids[0] != 4 {
-		t.Fatalf("SSIDs after merge = %v (inputs not deleted?)", ids)
+		t.Fatalf("SSIDs after removing inputs = %v", ids)
 	}
 	check := func(key, want string, wantTomb bool) {
 		t.Helper()
