@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/workload"
+)
+
+// Scan benchmarks: ordered-iteration bandwidth through the snapshot-pinned
+// merge iterator, locally and scattered across ranks. Each iteration opens a
+// fresh scan (snapshot pin, remote opens, merge, close), so ns/op includes
+// the full setup cost — the short-range numbers are dominated by it, the
+// full-range numbers by per-pair merge cost.
+
+const benchScanKeys = 5000
+
+// benchScanRange loads benchScanKeys 128-byte values (each rank puts its own
+// keys, then flushes), and has rank 0 time Scan over [loIdx, hiIdx).
+func benchScanRange(b *testing.B, ranks, loIdx, hiIdx int) {
+	benchDB(b, ranks, func(db *DB, c *mpi.Comm) error {
+		for i := 0; i < benchScanKeys; i++ {
+			k := []byte(fmt.Sprintf("key-%06d", i))
+			if db.Owner(k) == c.Rank() {
+				if err := db.Put(k, workload.Value(128, i)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := db.Barrier(LevelSSTable); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			lo := []byte(fmt.Sprintf("key-%06d", loIdx))
+			hi := []byte(fmt.Sprintf("key-%06d", hiIdx))
+			want := hiIdx - loIdx
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pairs := 0
+				err := db.Scan(context.Background(), lo, hi, func(k, v []byte) error {
+					pairs++
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				if pairs != want {
+					return fmt.Errorf("scan saw %d pairs, want %d", pairs, want)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(want), "pairs/op")
+		}
+		return db.Barrier(LevelMemTable)
+	})
+}
+
+func BenchmarkScanLocalShort(b *testing.B)     { benchScanRange(b, 1, 2000, 2100) }
+func BenchmarkScanLocalFull(b *testing.B)      { benchScanRange(b, 1, 0, benchScanKeys) }
+func BenchmarkScanCrossRankShort(b *testing.B) { benchScanRange(b, 4, 2000, 2100) }
+func BenchmarkScanCrossRankFull(b *testing.B)  { benchScanRange(b, 4, 0, benchScanKeys) }

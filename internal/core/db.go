@@ -81,6 +81,23 @@ type DB struct {
 	ssids    []uint64
 	nextSSID uint64
 
+	// snapMu guards the snapshot pin registry (iterator.go): pinnedSSIDs
+	// counts the open iterators holding each SSTable in their pinned view,
+	// and zombieSSIDs marks tables compaction has already superseded (the
+	// manifest Delete is committed, the file is not) whose unlink waits for
+	// the last pin to drop. snapMu nests inside sstMu (pinSnapshot takes it
+	// under sstMu.RLock); compact takes it only after releasing sstMu, so
+	// the order is acyclic.
+	snapMu      sync.Mutex
+	pinnedSSIDs map[uint64]int
+	zombieSSIDs map[uint64]bool
+
+	// scans is the owner-side registry of remote scans in progress: each
+	// holds a pinned iterator between page requests so a slow consumer
+	// costs a registry entry, never a handler worker. The prober reaps
+	// entries idle past ScanIdleTimeout.
+	scans scanRegistry
+
 	// man is this rank's table-lifecycle manifest (manifest.go): the
 	// durable record of which SSTables are live. Every flush, compaction,
 	// and restore commits its edit here before old files are unlinked;
@@ -203,7 +220,10 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 		checkpointPin: newCounter(),
 		readers:       sstable.CacheFor(rt.cfg.Device, opt.ReaderCacheBytes),
 		nextSSID:      1,
+		pinnedSSIDs:   make(map[uint64]int),
+		zombieSSIDs:   make(map[uint64]bool),
 	}
+	db.scans.m = make(map[scanKey]*openScan)
 	db.applyProtection(opt.Protection)
 	// The counters are device-wide (shared with the storage group's other
 	// ranks), surfaced here under the reader_cache_ snapshot keys.
@@ -339,6 +359,14 @@ func (db *DB) Close() error {
 		close(db.walStop)
 	})
 	db.wg.Wait()
+	// The handler is down, so no remote scan can page again: close every
+	// registered scan, releasing its pinned snapshot, then unlink the
+	// zombie SSTables whose deletion open iterators had deferred. An
+	// application iterator still open past Close keeps its pins but loses
+	// its files here — Close's contract is that the on-NVM image is the
+	// final one, not a snapshot museum.
+	db.scans.closeAll(db)
+	db.sweepZombies()
 	// Batches still parked for unreachable peers have no future to wait
 	// for: convert them to counted loss so the caller hears about every
 	// pair that never reached its owner.

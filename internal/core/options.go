@@ -199,6 +199,17 @@ type Options struct {
 	// blocks longer than StallTimeout plus one stall period (StallTimeout/8,
 	// clamped to [200us, 10ms]). 0 selects the default (1s).
 	StallTimeout time.Duration
+	// ScanPageBytes bounds the encoded payload of one scan page an owner
+	// rank streams to a remote Scan caller. Larger pages amortise the
+	// request round-trip over more pairs; smaller pages bound the memory a
+	// slow consumer pins on the owner. 0 selects the default (256KB).
+	ScanPageBytes int
+	// ScanIdleTimeout is how long an owner keeps an idle remote scan — its
+	// pinned snapshot included — before the prober reaps it. A consumer that
+	// pages slower than this must restart its scan (the caller sees a typed
+	// "scan expired" error). 0 selects the default (30s); a negative value
+	// disables expiry, so abandoned scans pin their snapshots until Close.
+	ScanIdleTimeout time.Duration
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -227,6 +238,8 @@ func DefaultOptions() Options {
 		StallSoftDepth:      8, // 2x the default QueueDepth
 		StallHardDepth:      32,
 		StallTimeout:        time.Second,
+		ScanPageBytes:       256 << 10,
+		ScanIdleTimeout:     30 * time.Second,
 	}
 }
 
@@ -288,6 +301,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StallTimeout <= 0 {
 		o.StallTimeout = d.StallTimeout
+	}
+	if o.ScanPageBytes <= 0 {
+		o.ScanPageBytes = d.ScanPageBytes
+	}
+	if o.ScanIdleTimeout == 0 {
+		o.ScanIdleTimeout = d.ScanIdleTimeout
 	}
 	return o
 }

@@ -173,6 +173,10 @@ func (db *DB) proberThread() {
 		case <-db.closing:
 			return
 		case <-ticker.C:
+			// Reap idle remote scans first, and regardless of this rank's
+			// health: an abandoned consumer's pinned snapshot must not
+			// outlive the timeout just because this rank failed meanwhile.
+			db.expireScans()
 			if db.readHealth() != nil {
 				continue
 			}

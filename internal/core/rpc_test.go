@@ -211,9 +211,9 @@ func TestRPCBadPeerFramesDoNotFailReceiver(t *testing.T) {
 				tag  int
 				data []byte
 			}{
-				{tagMigBatch, []byte{1, 2, 3}},     // too short to carry a seq
-				{tagGet, []byte{9}},                // undecodable get request
-				{42, prependSeq(1, 1, nil)},        // unknown request tag
+				{tagMigBatch, []byte{1, 2, 3}}, // too short to carry a seq
+				{tagGet, []byte{9}},            // undecodable get request
+				{42, prependSeq(1, 1, nil)},    // unknown request tag
 				{tagPutOne, prependSeq(db.sendSeq.Add(1), 1, []byte{1, 0, 0, 0})}, // seq ok, body undecodable
 			}
 			for _, b := range bad {

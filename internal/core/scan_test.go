@@ -1,0 +1,422 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"papyruskv/internal/faults"
+	"papyruskv/internal/mpi"
+)
+
+// TestScanSnapshotIsolation is the tentpole acceptance scenario: an iterator
+// opened before a burst of overwrites, a delete, and a forced compaction
+// returns the pre-mutation view with zero errors — compaction committed its
+// new version but could not unlink the pinned inputs (they parked on the
+// zombie list, counted by scan_unlinks_deferred), and closing the iterator
+// released every pin and unlinked the zombies.
+func TestScanSnapshotIsolation(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		db, err := rt.Open("scansnap", smallOpt()) // CompactionEvery: 4
+		if err != nil {
+			return err
+		}
+		keys := ownKeys(db, 0, 40)
+		for _, k := range keys {
+			mustPut(t, db, string(k), string(val(k)))
+		}
+		// Flush so the snapshot pins real files, not just MemTables.
+		if err := db.Barrier(LevelSSTable); err != nil {
+			return err
+		}
+		if db.SSTableCount() == 0 {
+			t.Fatal("no SSTables before the scan opened")
+		}
+
+		it, err := db.NewIterator(nil, nil)
+		if err != nil {
+			return err
+		}
+		pinned := append([]uint64(nil), it.pinned...)
+		if len(pinned) == 0 {
+			t.Fatal("iterator pinned no SSTables")
+		}
+
+		// Mutate everything under the open iterator, then force a
+		// compaction of the pinned inputs: each Barrier seals and flushes
+		// one filler table, and every 4th SSID triggers the merge.
+		for _, k := range keys {
+			mustPut(t, db, string(k), "overwritten")
+		}
+		if err := db.Delete(keys[0]); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		m := db.Metrics()
+		base := m.Compactions.Load()
+		for i := 0; m.Compactions.Load() == base; i++ {
+			if i > 16 {
+				t.Fatal("compaction never triggered")
+			}
+			mustPut(t, db, fmt.Sprintf("fill-%04d", i), "x")
+			if err := db.Barrier(LevelSSTable); err != nil {
+				return err
+			}
+		}
+		if m.ScanUnlinksDeferred.Load() == 0 {
+			t.Error("compaction deferred no pinned unlink")
+		}
+
+		// The iterator must deliver the pre-mutation view — original
+		// values, the deleted key still present, no filler keys — with
+		// zero read errors (the pinned files were never unlinked).
+		i := 0
+		for it.Next() {
+			if i >= len(keys) {
+				t.Fatalf("scan returned extra key %q", it.Key())
+			}
+			if string(it.Key()) != string(keys[i]) || string(it.Value()) != string(val(keys[i])) {
+				t.Errorf("scan[%d] = %q=%q, want %q=%q", i, it.Key(), it.Value(), keys[i], val(keys[i]))
+			}
+			i++
+		}
+		if err := it.Err(); err != nil {
+			t.Fatalf("iterator error: %v", err)
+		}
+		if i != len(keys) {
+			t.Errorf("scan saw %d keys, want %d", i, len(keys))
+		}
+
+		// Close releases the pins; the zombies are unlinked on the way out.
+		if err := it.Close(); err != nil {
+			return err
+		}
+		if got := m.IteratorsOpen.Load(); got != 0 {
+			t.Errorf("iterators_open = %d after close, want 0", got)
+		}
+		for _, id := range pinned {
+			if n := db.pinCount(id); n != 0 {
+				t.Errorf("ssid %d still has %d pins after close", id, n)
+			}
+		}
+		db.snapMu.Lock()
+		nz := len(db.zombieSSIDs)
+		db.snapMu.Unlock()
+		if nz != 0 {
+			t.Errorf("%d zombie tables left after release", nz)
+		}
+
+		// The live view (outside any snapshot) shows the mutations.
+		if err := wantGet(db, string(keys[1]), "overwritten"); err != nil {
+			t.Error(err)
+		}
+		if err := wantMissing(db, string(keys[0])); err != nil {
+			t.Error(err)
+		}
+		return db.Close()
+	})
+}
+
+// TestScanTombstoneSuppression checks the suppression rule across every
+// layer boundary: a tombstone in a newer SSTable shadows an older SSTable, a
+// MemTable tombstone shadows SSTables, and a delete that never left the
+// mutable MemTable shadows its own put.
+func TestScanTombstoneSuppression(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 1}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := smallOpt()
+		opt.CompactionEvery = 0
+		db, err := rt.Open("scantomb", opt)
+		if err != nil {
+			return err
+		}
+		key := func(i int) string { return fmt.Sprintf("k%02d", i) }
+		for i := 0; i < 10; i++ {
+			mustPut(t, db, key(i), "old")
+		}
+		if err := db.Barrier(LevelSSTable); err != nil { // SSTable 1: k00..k09
+			return err
+		}
+		if err := db.Delete([]byte(key(3))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		mustPut(t, db, key(5), "new")
+		if err := db.Barrier(LevelSSTable); err != nil { // SSTable 2: k03 tombstone, k05 new
+			return err
+		}
+		if err := db.Delete([]byte(key(7))); err != nil { // MemTable tombstone over SSTable 1
+			t.Fatalf("Delete: %v", err)
+		}
+		mustPut(t, db, key(10), "x") // put+delete entirely in the mutable table
+		if err := db.Delete([]byte(key(10))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+
+		want := map[string]string{
+			key(0): "old", key(1): "old", key(2): "old", key(4): "old",
+			key(5): "new", key(6): "old", key(8): "old", key(9): "old",
+		}
+		got := map[string]string{}
+		err = db.Scan(context.Background(), nil, nil, func(k, v []byte) error {
+			got[string(k)] = string(v)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("scan returned %d keys, want %d: %v", len(got), len(want), got)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("scan[%s] = %q, want %q", k, got[k], v)
+			}
+		}
+		for _, dead := range []int{3, 7, 10} {
+			if _, ok := got[key(dead)]; ok {
+				t.Errorf("deleted key %s surfaced in the scan", key(dead))
+			}
+		}
+		return db.Close()
+	})
+}
+
+// TestScanCrossRankOrdering scatters a scan across 4 ranks while one rank
+// keeps overwriting the scanned keys: every rank's merge must deliver the
+// full key set exactly once, strictly ordered, and every value must be a
+// complete version (the original or the overwrite, never a torn mix).
+// Tiny pages force the paged continuation over many round-trips.
+func TestScanCrossRankOrdering(t *testing.T) {
+	const n = 200
+	runCluster(t, clusterSpec{ranks: 4}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := smallOpt()
+		opt.ScanPageBytes = 256
+		db, err := rt.Open("scanxrank", opt)
+		if err != nil {
+			return err
+		}
+		key := func(i int) []byte { return []byte(fmt.Sprintf("key-%04d", i)) }
+		// Rank 0 stages every key; Fence migrates each to its owner.
+		if rt.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				mustPut(t, db, string(key(i)), string(val(key(i))))
+			}
+			if err := db.Fence(); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// Rank 1 overwrites concurrently with every rank's scan.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if rt.Rank() == 1 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					err := db.Put(key(i%n), []byte("marker"))
+					if err != nil && !errors.Is(err, ErrWriteStalled) {
+						t.Errorf("concurrent put: %v", err)
+						return
+					}
+					if err != nil {
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}()
+		}
+
+		var prev []byte
+		count := 0
+		err = db.Scan(context.Background(), []byte("key-"), []byte("key-~"), func(k, v []byte) error {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				return fmt.Errorf("out of order: %q after %q", k, prev)
+			}
+			prev = append(prev[:0], k...)
+			if sv := string(v); sv != string(val(k)) && sv != "marker" {
+				return fmt.Errorf("key %q has torn value %q", k, sv)
+			}
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Errorf("rank %d Scan: %v", rt.Rank(), err)
+		}
+		if count != n {
+			t.Errorf("rank %d scan saw %d keys, want %d", rt.Rank(), count, n)
+		}
+
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if rt.Rank() == 1 {
+			close(stop)
+			wg.Wait()
+		}
+		return db.Close()
+	})
+}
+
+// TestScanCtxCancelReleasesPins cancels a cross-rank scan mid-stream: the
+// caller's context error surfaces, its local snapshot unpins immediately,
+// the fire-and-forget close releases the owner's parked continuation (its
+// pins included), and both the caller's request path and the owner's handler
+// workers keep serving afterwards.
+func TestScanCtxCancelReleasesPins(t *testing.T) {
+	runCluster(t, clusterSpec{ranks: 2}, func(rt *Runtime, c *mpi.Comm) error {
+		opt := smallOpt()
+		opt.ScanPageBytes = 64 // a few entries per page: the scan parks at the owner
+		db, err := rt.Open("scancancel", opt)
+		if err != nil {
+			return err
+		}
+		own := ownKeys(db, rt.Rank(), 30)
+		for _, k := range own {
+			mustPut(t, db, string(k), string(val(k)))
+		}
+		if err := db.Barrier(LevelSSTable); err != nil {
+			return err
+		}
+
+		if rt.Rank() == 0 {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			seen := 0
+			err := db.Scan(ctx, nil, nil, func(k, v []byte) error {
+				seen++
+				if seen == 3 {
+					cancel()
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled Scan err = %v, want context.Canceled", err)
+			}
+			if got := db.metrics.IteratorsOpen.Load(); got != 0 {
+				t.Errorf("caller iterators_open = %d after cancel, want 0", got)
+			}
+			// The request path and the owner's workers still serve.
+			if err := wantGet(db, string(own[0]), string(val(own[0]))); err != nil {
+				t.Error(err)
+			}
+			other := ownKeys(db, 1, 1)[0]
+			if err := wantGet(db, string(other), string(val(other))); err != nil {
+				t.Errorf("remote get after cancelled scan: %v", err)
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Both sides drain: rank 1's registry empties when the close
+		// message lands (fire-and-forget, so poll briefly).
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			db.scans.mu.Lock()
+			parked := len(db.scans.m)
+			db.scans.mu.Unlock()
+			if parked == 0 && db.metrics.IteratorsOpen.Load() == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("rank %d: %d scans still parked, iterators_open=%d",
+					rt.Rank(), parked, db.metrics.IteratorsOpen.Load())
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+}
+
+// TestScanDegradedRank degrades one rank to read-only (ENOSPC on its SSTable
+// writes) and scans from every rank, the degraded one included: scans gate
+// on readHealth, so the degraded rank serves its portion — the unflushed
+// keys still sitting in its deferred immutable MemTables included — and can
+// itself scatter a scan.
+func TestScanDegradedRank(t *testing.T) {
+	const victim = 0
+	inj := faults.New(0x5ca9de96)
+	runCluster(t, clusterSpec{ranks: 3, faults: inj}, func(rt *Runtime, c *mpi.Comm) error {
+		o := recoverOpt()
+		if rt.Rank() == victim {
+			o.ProbeInterval = -1 // no reclaim probe: the victim stays Degraded
+		}
+		db, err := rt.Open("scandeg", o)
+		if err != nil {
+			return err
+		}
+		own := ownKeys(db, rt.Rank(), 25)
+		for _, k := range own {
+			mustPut(t, db, string(k), string(val(k)))
+		}
+		if rt.Rank() == victim {
+			inj.Enable(faults.Rule{
+				Point: faults.NVMWriteNoSpace, Rank: faults.AnyRank, Tag: faults.AnyTag,
+				Where: fmt.Sprintf("r%d/sst-", victim), Count: 1, Fires: 1 << 20,
+			})
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// The collective flush degrades the victim; its keys never reach an
+		// SSTable and stay in the deferred immutable MemTables.
+		berr := db.Barrier(LevelSSTable)
+		if rt.Rank() == victim {
+			if berr == nil {
+				t.Error("victim Barrier returned nil, want degradation error")
+			}
+			if got := db.State(); got != StateDegraded {
+				t.Errorf("victim state = %v, want degraded", got)
+			}
+		} else if berr != nil {
+			t.Errorf("rank %d Barrier err = %v", rt.Rank(), berr)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		want := map[string]string{}
+		for r := 0; r < 3; r++ {
+			for _, k := range ownKeys(db, r, 25) {
+				want[string(k)] = string(val(k))
+			}
+		}
+		got := map[string]string{}
+		err = db.Scan(context.Background(), nil, nil, func(k, v []byte) error {
+			got[string(k)] = string(v)
+			return nil
+		})
+		if err != nil {
+			t.Errorf("rank %d Scan with degraded peer: %v", rt.Rank(), err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("rank %d scan saw %d keys, want %d", rt.Rank(), len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("rank %d scan[%s] = %q, want %q", rt.Rank(), k, got[k], v)
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		cerr := db.Close()
+		if rt.Rank() == victim {
+			return nil // Close reports the (expected) skipped flush
+		}
+		return cerr
+	})
+}

@@ -198,15 +198,16 @@ func (db *DB) compact() {
 	// storage group (the cache is per-device) stops probing them. A get
 	// holding a pinned handle across the deletion still reads correctly —
 	// the fd outlives the unlink, and the merged table is a superset — and
-	// the pin defers the close, never the eviction. A failed unlink only
-	// leaves orphan files behind (the version is already committed);
-	// surface the device trouble anyway.
+	// the pin defers the close, never the eviction. An input a snapshot
+	// still pins is parked on the zombie list instead (iterator.go): the
+	// version moved on above, only the file waits for its last reader. A
+	// failed unlink only leaves orphan files behind (the version is already
+	// committed); surface the device trouble anyway.
 	var removeErr error
 	for _, id := range inputs {
-		if err := sstable.Remove(db.rt.cfg.Device, dir, id); err != nil && removeErr == nil {
+		if err := db.removeInputOrDefer(dir, id); err != nil && removeErr == nil {
 			removeErr = err
 		}
-		db.readers.Evict(dir, id)
 	}
 	if removeErr != nil {
 		db.failOrDegrade(fmt.Errorf("removing compaction inputs: %w", removeErr))
@@ -344,10 +345,13 @@ func (db *DB) handlerThread() {
 			return
 		case tagMigBatch, tagPutOne:
 			writeQ[m.Source%n] <- m
-		case tagGet, tagPing:
+		case tagGet, tagPing, tagScan:
 			// Pings share the get queue: they mutate nothing, so any free
 			// worker may answer, and they must not queue behind a write
 			// shard — the probe exists to measure liveness, not backlog.
+			// Scan pages ride here for the same reason: read-only, served
+			// by whichever worker is free, and the worker is released
+			// between pages (the scan itself parks in the registry).
 			getQ <- m
 		default:
 			db.metrics.BadRequests.Add(1)
@@ -372,9 +376,12 @@ func (db *DB) handlerWorker(workers *sync.WaitGroup, writeQ, getQ chan mpi.Messa
 				getQ = nil
 				continue
 			}
-			if m.Tag == tagPing {
+			switch m.Tag {
+			case tagPing:
 				db.handlePing(m)
-			} else {
+			case tagScan:
+				db.handleScan(m)
+			default:
 				db.handleGet(m)
 			}
 		}
@@ -574,6 +581,14 @@ func (db *DB) handleGet(m mpi.Message) {
 // layer itself is gone, which does fail the domain.
 func (db *DB) sendResp(dest, tag int, data []byte) {
 	if err := db.replyComm.Send(dest, tag, data); err != nil {
+		db.fail(err)
+	}
+}
+
+// sendRespOwned is sendResp for one-shot frames the handler abandons: the
+// buffer is handed to the transport without a defensive copy.
+func (db *DB) sendRespOwned(dest, tag int, data []byte) {
+	if err := db.replyComm.SendOwned(dest, tag, data); err != nil {
 		db.fail(err)
 	}
 }

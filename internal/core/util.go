@@ -54,20 +54,20 @@ func (c *counter) value() int {
 // and the experiment harness use them to assert which data path served each
 // operation (the arrows of Figures 2 and 3).
 type Metrics struct {
-	PutsLocal       atomic.Uint64 // puts whose owner is the caller
-	PutsRemote      atomic.Uint64 // staged remote puts (relaxed mode)
-	PutsSync        atomic.Uint64 // synchronous remote puts (sequential mode)
-	GetsLocal       atomic.Uint64 // gets served by the local path
-	GetsRemote      atomic.Uint64 // gets that queried a remote owner
-	LocalCacheHits  atomic.Uint64
-	RemoteCacheHits atomic.Uint64
-	MemTableHits    atomic.Uint64 // local/immutable MemTable hits
-	SSTableHits     atomic.Uint64 // values read out of own SSTables
-	SharedSSTReads  atomic.Uint64 // values read from a peer's SSTables via the storage group
-	Flushes         atomic.Uint64 // immutable local MemTables flushed
-	Compactions     atomic.Uint64 // SSTable merges performed
-	Migrations      atomic.Uint64 // migration batches sent
-	MigratedPairs   atomic.Uint64 // key-value pairs migrated out
+	PutsLocal        atomic.Uint64 // puts whose owner is the caller
+	PutsRemote       atomic.Uint64 // staged remote puts (relaxed mode)
+	PutsSync         atomic.Uint64 // synchronous remote puts (sequential mode)
+	GetsLocal        atomic.Uint64 // gets served by the local path
+	GetsRemote       atomic.Uint64 // gets that queried a remote owner
+	LocalCacheHits   atomic.Uint64
+	RemoteCacheHits  atomic.Uint64
+	MemTableHits     atomic.Uint64 // local/immutable MemTable hits
+	SSTableHits      atomic.Uint64 // values read out of own SSTables
+	SharedSSTReads   atomic.Uint64 // values read from a peer's SSTables via the storage group
+	Flushes          atomic.Uint64 // immutable local MemTables flushed
+	Compactions      atomic.Uint64 // SSTable merges performed
+	Migrations       atomic.Uint64 // migration batches sent
+	MigratedPairs    atomic.Uint64 // key-value pairs migrated out
 	MigrationRetries atomic.Uint64 // migration batch attempts beyond the first
 	PutSyncRetries   atomic.Uint64 // synchronous-put attempts beyond the first
 	GetRetries       atomic.Uint64 // remote-get attempts beyond the first
@@ -75,22 +75,30 @@ type Metrics struct {
 	RepliesUnclaimed atomic.Uint64 // stale/duplicate replies dropped by the response router
 	BadRequests      atomic.Uint64 // malformed request frames from peers, dropped or nacked
 
-	Recoveries         atomic.Uint64 // successful in-run Recover calls on this rank
-	Reclaims           atomic.Uint64 // Degraded→Healthy transitions (reclaim probe or Reclaim call)
+	Recoveries          atomic.Uint64 // successful in-run Recover calls on this rank
+	Reclaims            atomic.Uint64 // Degraded→Healthy transitions (reclaim probe or Reclaim call)
 	DegradedTransitions atomic.Uint64 // Healthy→Degraded transitions
-	Degraded           atomic.Uint64 // gauge: 1 while the rank is Degraded (read-only)
-	Stalls             atomic.Uint64 // puts that entered the admission-control stall loop
-	StallNanos         atomic.Uint64 // total nanoseconds puts spent stalled
-	PutsShed           atomic.Uint64 // puts refused with ErrWriteStalled
-	FlushesDeferred    atomic.Uint64 // sealed MemTables deferred (queue full or rank degraded)
-	ProbesSent         atomic.Uint64 // half-open circuit probes sent
-	CircuitsOpened     atomic.Uint64 // peer circuit breakers tripped open
-	CircuitsClosed     atomic.Uint64 // peer circuit breakers closed by a healthy probe answer
-	ParkedBatches      atomic.Uint64 // migration batches parked for an unreachable peer
-	RedeliveredBatches atomic.Uint64 // parked batches delivered after the peer recovered
-	ParkOverflows      atomic.Uint64 // batches degraded to loss by the parked-bytes budget
-	PairsLost          atomic.Uint64 // pairs definitively lost on the way to their owner
-	QuarantinedTables  atomic.Uint64 // unlisted SSTables moved aside at open/recover, never adopted
+	Degraded            atomic.Uint64 // gauge: 1 while the rank is Degraded (read-only)
+	Stalls              atomic.Uint64 // puts that entered the admission-control stall loop
+	StallNanos          atomic.Uint64 // total nanoseconds puts spent stalled
+	PutsShed            atomic.Uint64 // puts refused with ErrWriteStalled
+	FlushesDeferred     atomic.Uint64 // sealed MemTables deferred (queue full or rank degraded)
+	ProbesSent          atomic.Uint64 // half-open circuit probes sent
+	CircuitsOpened      atomic.Uint64 // peer circuit breakers tripped open
+	CircuitsClosed      atomic.Uint64 // peer circuit breakers closed by a healthy probe answer
+	ParkedBatches       atomic.Uint64 // migration batches parked for an unreachable peer
+	RedeliveredBatches  atomic.Uint64 // parked batches delivered after the peer recovered
+	ParkOverflows       atomic.Uint64 // batches degraded to loss by the parked-bytes budget
+	PairsLost           atomic.Uint64 // pairs definitively lost on the way to their owner
+	QuarantinedTables   atomic.Uint64 // unlisted SSTables moved aside at open/recover, never adopted
+
+	Scans               atomic.Uint64 // DB.Scan calls started
+	ScanPairs           atomic.Uint64 // pairs delivered to Scan callbacks on this rank
+	ScanPages           atomic.Uint64 // owner-side scan pages served to remote callers
+	ScanRetries         atomic.Uint64 // scan page attempts beyond the first
+	ScansExpired        atomic.Uint64 // owner-side remote scans reaped by the idle sweep
+	IteratorsOpen       atomic.Uint64 // gauge: per-rank merge iterators currently open (snapshots pinned)
+	ScanUnlinksDeferred atomic.Uint64 // compaction input unlinks deferred because a snapshot pinned them
 
 	// lostMu guards the per-owner breakdown behind PairsLost; tests use it
 	// to pin exactly whose pairs a degradation cost.
@@ -180,6 +188,14 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"park_overflows":      m.ParkOverflows.Load(),
 		"pairs_lost":          m.PairsLost.Load(),
 		"quarantined_tables":  m.QuarantinedTables.Load(),
+
+		"scans":                 m.Scans.Load(),
+		"scan_pairs":            m.ScanPairs.Load(),
+		"scan_pages":            m.ScanPages.Load(),
+		"scan_retries":          m.ScanRetries.Load(),
+		"scans_expired":         m.ScansExpired.Load(),
+		"iterators_open":        m.IteratorsOpen.Load(),
+		"scan_unlinks_deferred": m.ScanUnlinksDeferred.Load(),
 	}
 	m.lostMu.Lock()
 	for r, n := range m.lostByPeer {

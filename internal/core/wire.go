@@ -30,6 +30,13 @@ const (
 	// reborn since they last spoke.
 	tagPing    = 8
 	tagPingAck = 9
+	// tagScan carries one remote-scan control message (open / next-page /
+	// close); pages come back as tagScanResp on replyComm. The protocol is
+	// a paged continuation: the owner parks the scan's pinned iterator in a
+	// registry between requests, so one slow consumer holds a registry
+	// entry and a snapshot pin — never a handler worker.
+	tagScan     = 10
+	tagScanResp = 11
 )
 
 // Every reply format — acks (encodeAck) and get responses
@@ -259,6 +266,165 @@ func decodeAck(data []byte) (uint64, ackRecord, error) {
 		return 0, ackRecord{}, fmt.Errorf("core: short ack (%d bytes)", len(data))
 	}
 	return binary.LittleEndian.Uint64(data), ackRecord{status: data[8], msg: string(data[9:])}, nil
+}
+
+// Remote-scan control operations.
+const (
+	scanOpOpen  = 1 // open a scan over [Lo, Hi) and return page 0
+	scanOpNext  = 2 // return page Page of an open scan
+	scanOpClose = 3 // drop the scan; fire-and-forget, no reply
+)
+
+// Remote-scan reply statuses.
+const (
+	scanOK           = 0 // Payload holds the page's entries
+	scanError        = 1 // the owner's iteration failed; Err explains why
+	scanErrorCorrupt = 2 // typed scanError: the read hit a checksum failure
+	scanErrorFailed  = 3 // typed scanError: the owner's domain is down
+	scanUnknown      = 4 // no such scan (expired, desynced, or never opened)
+)
+
+// scanRequest is the remote-scan control wire format. ScanID is allocated by
+// the caller (from its sendSeq space, so it is unique per caller life) and
+// keyed with the source rank at the owner; Seq is per-attempt, echoed by the
+// reply for the response router. Page makes retries idempotent: the owner
+// replays the previous page for a duplicate request instead of advancing.
+type scanRequest struct {
+	Seq      uint64
+	ScanID   uint64
+	Op       byte
+	Page     uint32
+	MaxBytes uint32
+	Lo, Hi   []byte // only meaningful with scanOpOpen
+}
+
+func encodeScanRequest(r scanRequest) []byte {
+	out := make([]byte, 0, 33+len(r.Lo)+len(r.Hi))
+	var u64 [8]byte
+	var u32 [4]byte
+	binary.LittleEndian.PutUint64(u64[:], r.Seq)
+	out = append(out, u64[:]...)
+	binary.LittleEndian.PutUint64(u64[:], r.ScanID)
+	out = append(out, u64[:]...)
+	out = append(out, r.Op)
+	binary.LittleEndian.PutUint32(u32[:], r.Page)
+	out = append(out, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], r.MaxBytes)
+	out = append(out, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Lo)))
+	out = append(out, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Hi)))
+	out = append(out, u32[:]...)
+	out = append(out, r.Lo...)
+	out = append(out, r.Hi...)
+	return out
+}
+
+func decodeScanRequest(data []byte) (scanRequest, error) {
+	if len(data) < 33 {
+		return scanRequest{}, fmt.Errorf("core: short scan request (%d bytes)", len(data))
+	}
+	r := scanRequest{
+		Seq:      binary.LittleEndian.Uint64(data),
+		ScanID:   binary.LittleEndian.Uint64(data[8:]),
+		Op:       data[16],
+		Page:     binary.LittleEndian.Uint32(data[17:]),
+		MaxBytes: binary.LittleEndian.Uint32(data[21:]),
+	}
+	loLen := binary.LittleEndian.Uint32(data[25:])
+	hiLen := binary.LittleEndian.Uint32(data[29:])
+	body := data[33:]
+	if uint64(len(body)) < uint64(loLen)+uint64(hiLen) {
+		return scanRequest{}, fmt.Errorf("core: truncated scan request bounds")
+	}
+	r.Lo = body[:loLen:loLen]
+	r.Hi = body[loLen : loLen+hiLen : loLen+hiLen]
+	return r, nil
+}
+
+// scanResponse is one page of a remote scan. Payload is an EncodeEntries
+// blob of the page's pairs (tombstones included — the caller's merge needs
+// them to shadow nothing, but its final filter drops them); Done marks the
+// stream exhausted, after which the owner has already released the scan.
+type scanResponse struct {
+	Seq     uint64
+	Status  byte
+	Done    bool
+	Page    uint32
+	Payload []byte
+	Err     string
+}
+
+// scanRespHeader is the fixed scan-response prefix:
+// [Seq u64][Status u8][Done u8][Page u32][PayloadLen u32].
+const scanRespHeader = 18
+
+// sealScanPageFrame writes the success header of a frame whose payload
+// producePage already encoded in place after scanRespHeader, and appends the
+// empty error field — the zero-copy path of encodeScanResponse for the hot
+// page replies.
+func sealScanPageFrame(frame []byte, seq uint64, done bool, page uint32) []byte {
+	binary.LittleEndian.PutUint64(frame, seq)
+	frame[8] = scanOK
+	frame[9] = 0
+	if done {
+		frame[9] = 1
+	}
+	binary.LittleEndian.PutUint32(frame[10:], page)
+	binary.LittleEndian.PutUint32(frame[14:], uint32(len(frame)-scanRespHeader))
+	return append(frame, 0, 0, 0, 0)
+}
+
+func encodeScanResponse(r scanResponse) []byte {
+	out := make([]byte, 0, 22+len(r.Payload)+len(r.Err))
+	var u64 [8]byte
+	var u32 [4]byte
+	binary.LittleEndian.PutUint64(u64[:], r.Seq)
+	out = append(out, u64[:]...)
+	out = append(out, r.Status)
+	var done byte
+	if r.Done {
+		done = 1
+	}
+	out = append(out, done)
+	binary.LittleEndian.PutUint32(u32[:], r.Page)
+	out = append(out, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Payload)))
+	out = append(out, u32[:]...)
+	out = append(out, r.Payload...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Err)))
+	out = append(out, u32[:]...)
+	out = append(out, r.Err...)
+	return out
+}
+
+func decodeScanResponse(data []byte) (scanResponse, error) {
+	if len(data) < 18 {
+		return scanResponse{}, fmt.Errorf("core: short scan response (%d bytes)", len(data))
+	}
+	r := scanResponse{
+		Seq:    binary.LittleEndian.Uint64(data),
+		Status: data[8],
+		Done:   data[9] != 0,
+		Page:   binary.LittleEndian.Uint32(data[10:]),
+	}
+	plen := binary.LittleEndian.Uint32(data[14:])
+	data = data[18:]
+	if uint32(len(data)) < plen {
+		return scanResponse{}, fmt.Errorf("core: truncated scan response payload")
+	}
+	r.Payload = data[:plen:plen]
+	data = data[plen:]
+	if len(data) < 4 {
+		return scanResponse{}, fmt.Errorf("core: truncated scan response error length")
+	}
+	elen := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	if uint32(len(data)) < elen {
+		return scanResponse{}, fmt.Errorf("core: truncated scan response error")
+	}
+	r.Err = string(data[:elen])
+	return r, nil
 }
 
 // putOne is the sequential-mode single-operation wire format.

@@ -227,3 +227,82 @@ func BenchmarkPut128B(b *testing.B) {
 		m.Put(Entry{Key: []byte(fmt.Sprintf("%016d", i)), Value: val})
 	}
 }
+
+// TestPutCopiesCallerBuffers is the aliasing regression test: a caller that
+// reuses its key/value buffers after Put (the WAL replay loop and the
+// migration batch handler both decode into reused frames) must not be able
+// to corrupt the stored pair, and mutating a Get result must not write
+// through into the table.
+func TestPutCopiesCallerBuffers(t *testing.T) {
+	m := New()
+	key := []byte("shared-key")
+	val := []byte("shared-val")
+	m.Put(Entry{Key: key, Value: val})
+
+	// Caller reuses its buffers — the decode-buffer pattern.
+	copy(key, "XXXXXXXXXX")
+	copy(val, "YYYYYYYYYY")
+	e, ok := m.Get([]byte("shared-key"))
+	if !ok {
+		t.Fatal("key vanished after the caller scribbled its buffers")
+	}
+	if string(e.Key) != "shared-key" || string(e.Value) != "shared-val" {
+		t.Fatalf("stored pair aliases caller memory: key=%q value=%q", e.Key, e.Value)
+	}
+
+	// Caller mutates the returned entry — the returned-slice pattern.
+	copy(e.Value, "ZZZZZZZZZZ")
+	e2, _ := m.Get([]byte("shared-key"))
+	if string(e2.Value) != "shared-val" {
+		t.Fatalf("Get result aliases table memory: value=%q", e2.Value)
+	}
+}
+
+func TestAscendFromAndSnapshotRange(t *testing.T) {
+	m := New()
+	for _, k := range []string{"b", "d", "f", "h"} {
+		m.Put(Entry{Key: []byte(k), Value: []byte("v" + k)})
+	}
+	var got []string
+	m.AscendFrom([]byte("c"), func(e Entry) bool {
+		got = append(got, string(e.Key))
+		return true
+	})
+	if fmt.Sprint(got) != "[d f h]" {
+		t.Fatalf("AscendFrom(c) = %v", got)
+	}
+	snap := m.SnapshotRange([]byte("c"), []byte("h"))
+	if len(snap) != 2 || string(snap[0].Key) != "d" || string(snap[1].Key) != "f" {
+		t.Fatalf("SnapshotRange(c,h) = %v", snap)
+	}
+	// The snapshot is a point-in-time view: later puts (including
+	// overwrites) must not show through.
+	m.Put(Entry{Key: []byte("e"), Value: []byte("new")})
+	m.Put(Entry{Key: []byte("d"), Value: []byte("overwritten")})
+	if len(snap) != 2 || string(snap[0].Value) != "vd" {
+		t.Fatalf("snapshot mutated by later puts: %v", snap)
+	}
+}
+
+func TestSealedCursor(t *testing.T) {
+	m := New()
+	for _, k := range []string{"a", "c", "e"} {
+		m.Put(Entry{Key: []byte(k), Value: []byte("v" + k)})
+	}
+	m.Seal()
+	c := m.CursorFrom([]byte("b"))
+	var got []string
+	for c.Valid() {
+		got = append(got, string(c.Entry().Key))
+		c.Next()
+	}
+	if fmt.Sprint(got) != "[c e]" {
+		t.Fatalf("sealed cursor from b = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CursorFrom on an unsealed table did not panic")
+		}
+	}()
+	New().CursorFrom(nil)
+}

@@ -323,7 +323,37 @@ func (c *Comm) Send(dest, tag int, data []byte) error {
 	return c.send(dest, tag, data)
 }
 
+// SendOwned is Send for a buffer the caller abandons: the data is handed to
+// the receiver without the defensive copy, so the caller must not read or
+// write it after the call. Use it for large one-shot frames on hot reply
+// paths; everything else should keep the reuse-safe Send.
+func (c *Comm) SendOwned(dest, tag int, data []byte) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: Send tag %d is negative (reserved)", tag)
+	}
+	if inj := c.world.injector(); inj != nil && dest != c.rank {
+		site := faults.Site{Rank: c.members[c.rank], Tag: tag, Where: c.id}
+		if dec := inj.Eval(faults.NetDelay, site); dec.Fire && dec.Delay > 0 {
+			time.Sleep(dec.Delay)
+		}
+		if inj.Eval(faults.NetDrop, site).Fire {
+			return nil // lost in flight: the sender sees success
+		}
+		if inj.Eval(faults.NetDup, site).Fire {
+			// The duplicate delivery copies; only the final one owns data.
+			if err := c.send(dest, tag, data); err != nil {
+				return err
+			}
+		}
+	}
+	return c.sendBuf(dest, tag, data, true)
+}
+
 func (c *Comm) send(dest, tag int, data []byte) error {
+	return c.sendBuf(dest, tag, data, false)
+}
+
+func (c *Comm) sendBuf(dest, tag int, data []byte, owned bool) error {
 	if err := c.world.abortedErr(); err != nil {
 		return err
 	}
@@ -336,8 +366,11 @@ func (c *Comm) send(dest, tag int, data []byte) error {
 		// process.
 		return m.send(c.id, c.rank, dest, c.members[dest], tag, data)
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	buf := data
+	if !owned {
+		buf = make([]byte, len(data))
+		copy(buf, data)
+	}
 	return c.world.box(c.id, dest).deliver(Message{Source: c.rank, Tag: tag, Data: buf})
 }
 

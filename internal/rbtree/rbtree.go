@@ -136,20 +136,58 @@ func (t *Tree) Max() (key []byte, value any, ok bool) {
 // Ascend walks the tree in ascending key order, calling fn for each pair.
 // The walk stops early if fn returns false.
 func (t *Tree) Ascend(fn func(key []byte, value any) bool) {
-	t.ascend(t.root, fn)
+	t.AscendFrom(nil, fn)
 }
 
-func (t *Tree) ascend(n *node, fn func([]byte, any) bool) bool {
-	if n == t.nil_ {
-		return true
+// AscendFrom walks the tree in ascending key order starting at the smallest
+// key >= start (a lower-bound seek; a nil or empty start begins at the
+// minimum), calling fn for each pair until fn returns false or the keys run
+// out. The walk is iterative — a lower-bound descent followed by
+// parent-pointer successor steps — so a bounded scan over a large tree costs
+// O(log n + visited) with no recursion depth to worry about.
+func (t *Tree) AscendFrom(start []byte, fn func(key []byte, value any) bool) {
+	for n := t.lowerBound(start); n != t.nil_; n = t.successor(n) {
+		if !fn(n.key, n.value) {
+			return
+		}
 	}
-	if !t.ascend(n.left, fn) {
-		return false
+}
+
+// lowerBound returns the node with the smallest key >= key, or the sentinel
+// if every key is smaller. A nil/empty key returns the minimum.
+func (t *Tree) lowerBound(key []byte) *node {
+	if len(key) == 0 {
+		if t.root == t.nil_ {
+			return t.nil_
+		}
+		return t.minimum(t.root)
 	}
-	if !fn(n.key, n.value) {
-		return false
+	best := t.nil_
+	n := t.root
+	for n != t.nil_ {
+		if bytes.Compare(n.key, key) >= 0 {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
 	}
-	return t.ascend(n.right, fn)
+	return best
+}
+
+// successor returns the in-order successor of n, or the sentinel at the
+// maximum. Nodes carry parent pointers, so the step is iterative and O(1)
+// amortised over a full walk.
+func (t *Tree) successor(n *node) *node {
+	if n.right != t.nil_ {
+		return t.minimum(n.right)
+	}
+	p := n.parent
+	for p != t.nil_ && n == p.right {
+		n = p
+		p = p.parent
+	}
+	return p
 }
 
 func (t *Tree) minimum(n *node) *node {
@@ -334,3 +372,33 @@ func (t *Tree) deleteFixup(x *node) {
 	}
 	x.color = black
 }
+
+// Cursor is a pull-style in-order iterator: where Ascend/AscendFrom push
+// pairs through a callback, a Cursor lets k-way merge loops pull one pair at
+// a time from several trees. It holds a direct node reference, so it is only
+// valid while the tree is not mutated — PapyrusKV uses it on sealed
+// MemTables, whose trees never change again.
+type Cursor struct {
+	t *Tree
+	n *node
+}
+
+// CursorFrom returns a cursor positioned at the smallest key >= start (nil
+// or empty start: the minimum). The cursor starts invalid on an empty tree
+// or when every key is smaller than start.
+func (t *Tree) CursorFrom(start []byte) *Cursor {
+	return &Cursor{t: t, n: t.lowerBound(start)}
+}
+
+// Valid reports whether the cursor is positioned on a pair.
+func (c *Cursor) Valid() bool { return c.n != c.t.nil_ }
+
+// Key returns the current pair's key; only meaningful while Valid.
+func (c *Cursor) Key() []byte { return c.n.key }
+
+// Value returns the current pair's value; only meaningful while Valid.
+func (c *Cursor) Value() any { return c.n.value }
+
+// Next advances to the in-order successor; the cursor becomes invalid past
+// the maximum.
+func (c *Cursor) Next() { c.n = c.t.successor(c.n) }

@@ -296,3 +296,99 @@ func BenchmarkGet(b *testing.B) {
 		tr.Get(keys[i&(len(keys)-1)])
 	}
 }
+
+// TestQuickAscendFromOracle is the lower-bound seek's property test: for any
+// key set and any start key, AscendFrom(start) must yield exactly the suffix
+// of the sorted, deduplicated key set beginning at the first key >= start —
+// the same answer a sorted-slice binary search gives.
+func TestQuickAscendFromOracle(t *testing.T) {
+	f := func(keys [][]byte, start []byte) bool {
+		tr := New()
+		set := map[string]bool{}
+		for _, k := range keys {
+			tr.Put(k, nil)
+			set[string(k)] = true
+		}
+		sorted := make([]string, 0, len(set))
+		for k := range set {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		i := sort.SearchStrings(sorted, string(start))
+		want := sorted[i:]
+		got := make([]string, 0, len(want))
+		tr.AscendFrom(start, func(k []byte, _ any) bool {
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			t.Logf("AscendFrom(%q): got %d keys, want %d", start, len(got), len(want))
+			return false
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Logf("AscendFrom(%q)[%d] = %q, want %q", start, j, got[j], want[j])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAscendFromSeeded pins the seek behaviour AscendFrom must keep under
+// interleaved deletions (which exercise transplant's sentinel-parent writes):
+// a seeded random op mix, checked against a sorted mirror after every batch.
+func TestAscendFromSeeded(t *testing.T) {
+	tr := New()
+	mirror := map[string]bool{}
+	rng := rand.New(rand.NewSource(0x5eed5ca9))
+	check := func() {
+		sorted := make([]string, 0, len(mirror))
+		for k := range mirror {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		start := fmt.Sprintf("%04d", rng.Intn(3000))
+		i := sort.SearchStrings(sorted, start)
+		var got []string
+		tr.AscendFrom([]byte(start), func(k []byte, _ any) bool {
+			got = append(got, string(k))
+			return true
+		})
+		want := sorted[i:]
+		if len(got) != len(want) {
+			t.Fatalf("AscendFrom(%s): %d keys, want %d", start, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("AscendFrom(%s)[%d] = %s, want %s", start, j, got[j], want[j])
+			}
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("%04d", rng.Intn(3000))
+		if rng.Intn(3) < 2 {
+			tr.Put([]byte(k), i)
+			mirror[k] = true
+		} else {
+			tr.Delete([]byte(k))
+			delete(mirror, k)
+		}
+		if i%500 == 0 {
+			check()
+		}
+	}
+	check()
+	// Early stop must hold for seeks too.
+	n := 0
+	tr.AscendFrom([]byte("0"), func(_ []byte, _ any) bool {
+		n++
+		return n < 2
+	})
+	if n > 2 {
+		t.Fatalf("early-stopped AscendFrom visited %d, want <= 2", n)
+	}
+}

@@ -65,6 +65,10 @@ type (
 	Event = core.Event
 	// Metrics exposes per-rank data-path counters.
 	Metrics = core.Metrics
+	// Iterator is a snapshot-pinned ordered iterator over one rank's
+	// local view; DB.NewIterator opens one, and DB.Scan merges them
+	// across every rank of the world.
+	Iterator = core.Iterator
 	// HashFunc maps a key to its owner rank; install a custom one via
 	// Options.Hash for application-specific load balancing.
 	HashFunc = hashfn.Func
