@@ -21,7 +21,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'TestFault|TestEvent|TestWAL|TestReaderCache|TestSharedRead|TestRPC|TestRecover|TestDegrade|TestScan' $(RACE_CORE)
+	$(GO) test -race -run 'TestFault|TestEvent|TestWAL|TestReaderCache|TestSharedRead|TestRPC|TestRecover|TestDegrade|TestScan|TestCompact' $(RACE_CORE)
 
 # Seeded kill/recover soak under the race detector: a periodic fault rule
 # kills a rank over and over while every rank loads, the victim Recovers in
@@ -58,6 +58,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkSSTableGet -benchtime 1x ./internal/sstable
 	$(GO) test -run '^$$' -bench BenchmarkConcurrentRemoteGet -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench BenchmarkScan -benchtime 1x ./internal/core
+	$(GO) test -run '^$$' -bench BenchmarkCompactReadAmp -benchtime 1x ./internal/core
 
 ci: build vet test race chaos overload crash fuzz bench-smoke
 

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"papyruskv/internal/mpi"
+	"papyruskv/internal/nvm"
+	"papyruskv/internal/workload"
+)
+
+// Read-amplification benchmarks for the leveled compactor. Both variants
+// load the same keyspace in a strided order, so every flushed MemTable
+// spans the whole key range and table bounds cannot prune probes:
+//
+//   - Flat models the seed compactor starved under a held checkpoint pin
+//     (the trigger-starvation bug): compaction off, every flush accumulates
+//     another full-width L0 table, and a get probes O(tables) of them.
+//   - Leveled runs the score-driven compactor and drains it, leaving a few
+//     disjoint runs: a get probes O(levels) tables via the per-level binary
+//     search regardless of how many tables the load flushed.
+//
+// Reported per op: tables live at read time, probes/get (the SSTableProbes
+// counter over the timed gets), and the p99 get latency.
+
+const (
+	benchCompactKeys   = 4000
+	benchCompactStride = 7919 // prime vs. the key count: the load order permutes the keyspace
+)
+
+func benchCompactKey(i int) []byte {
+	return []byte(fmt.Sprintf("key-%06d", i))
+}
+
+// benchCompactDB runs fn on a single-rank database over a DRAM-backed
+// device (pure software cost, no modelled NVM latency).
+func benchCompactDB(b *testing.B, opt Options, fn func(db *DB) error) {
+	b.Helper()
+	dev, err := nvm.Open(filepath.Join(b.TempDir(), "nvm"), nvm.DRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := mpi.NewWorld(1, mpi.Topology{})
+	err = w.Run(func(c *mpi.Comm) error {
+		rt, err := NewRuntime(Config{Comm: c, Device: dev})
+		if err != nil {
+			return err
+		}
+		db, err := rt.Open("bench", opt)
+		if err != nil {
+			return err
+		}
+		if err := fn(db); err != nil {
+			return err
+		}
+		return db.Close()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchCompactReadAmp(b *testing.B, leveled bool) {
+	opt := DefaultOptions()
+	opt.MemTableCapacity = 4 << 10 // ~45 pairs per table: the load flushes ~90 tables
+	opt.LocalCacheCapacity = 0     // force every get down to the SSTables
+	if leveled {
+		opt.CompactionEvery = 8
+		opt.LevelBytesBase = 64 << 10
+		opt.LevelBytesGrowth = 8
+	} else {
+		opt.CompactionEvery = 0 // the starved shape: L0 grows without bound
+	}
+	benchCompactDB(b, opt, func(db *DB) error {
+		for i := 0; i < benchCompactKeys; i++ {
+			idx := (i * benchCompactStride) % benchCompactKeys
+			if err := db.Put(benchCompactKey(idx), workload.Value(64, idx)); err != nil {
+				return err
+			}
+		}
+		if err := db.Barrier(LevelSSTable); err != nil {
+			return err
+		}
+		if leveled {
+			db.compact() // drain the background debt so reads see the settled tree
+		}
+		tables := db.SSTableCount()
+		m := db.Metrics()
+		probes0 := m.SSTableProbes.Load()
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx := (i * 131) % benchCompactKeys
+			start := time.Now()
+			if _, err := db.Get(benchCompactKey(idx)); err != nil {
+				return fmt.Errorf("get %s: %w", benchCompactKey(idx), err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		b.StopTimer()
+		probes := m.SSTableProbes.Load() - probes0
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99i := len(lat) * 99 / 100
+		if p99i >= len(lat) {
+			p99i = len(lat) - 1
+		}
+		p99 := lat[p99i]
+		b.ReportMetric(float64(tables), "tables")
+		b.ReportMetric(float64(probes)/float64(b.N), "probes/get")
+		b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns/get")
+		return nil
+	})
+}
+
+func BenchmarkCompactReadAmpLeveled(b *testing.B) { benchCompactReadAmp(b, true) }
+func BenchmarkCompactReadAmpFlat(b *testing.B)    { benchCompactReadAmp(b, false) }

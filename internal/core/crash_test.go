@@ -226,7 +226,7 @@ func TestCrashCompactionCommitWindow(t *testing.T) {
 			t.Fatalf("only %d SSTables before compaction; the window needs inputs", n)
 		}
 		db.sstMu.RLock()
-		inputs := len(db.ssids)
+		inputs := len(db.liveSSIDsLocked())
 		mergedID := db.nextSSID
 		db.sstMu.RUnlock()
 

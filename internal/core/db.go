@@ -76,10 +76,29 @@ type DB struct {
 	pendingFlush *counter
 	pendingMigr  *counter
 
-	// sstMu guards the live SSTable list and the SSID allocator.
+	// sstMu guards the leveled live-table state and the SSID allocator.
+	// levels[0] is the overlap-allowed level, ordered by SSID ascending
+	// (newest last); levels[n>=1] hold non-overlapping key ranges, ordered
+	// by MinKey. Recency across levels is (level asc, then SSID desc within
+	// L0): an L1 output carries a higher SSID than L0 tables flushed during
+	// its merge, so raw SSID order no longer encodes recency.
 	sstMu    sync.RWMutex
-	ssids    []uint64
+	levels   [][]manifest.TableMeta
 	nextSSID uint64
+
+	// compactKick wakes the compaction workers; the cap-1 channel coalesces
+	// any number of triggers into one pending kick. pendingCompact counts
+	// in-flight compaction jobs so Checkpoint can wait them out before
+	// snapshotting the live set. compactPending records a trigger deferred
+	// under a held checkpointPin, re-fired when the pin releases — the fix
+	// for the compaction-starvation bug. compactMu guards the busy sets:
+	// tables claimed as inputs by a job still running.
+	compactKick    chan struct{}
+	pendingCompact *counter
+	compactPending atomic.Bool
+	compactMu      sync.Mutex
+	compactBusy    map[uint64]bool
+	compactL0Busy  bool
 
 	// snapMu guards the snapshot pin registry (iterator.go): pinnedSSIDs
 	// counts the open iterators holding each SSTable in their pinned view,
@@ -215,9 +234,12 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 		remoteCache:   lru.New(opt.RemoteCacheCapacity),
 		flushQ:        fifo.New[*memtable.Table](opt.QueueDepth),
 		migrateQ:      fifo.New[*memtable.Table](opt.QueueDepth),
-		pendingFlush:  newCounter(),
-		pendingMigr:   newCounter(),
-		checkpointPin: newCounter(),
+		pendingFlush:   newCounter(),
+		pendingMigr:    newCounter(),
+		checkpointPin:  newCounter(),
+		pendingCompact: newCounter(),
+		compactKick:    make(chan struct{}, 1),
+		compactBusy:    make(map[uint64]bool),
 		readers:       sstable.CacheFor(rt.cfg.Device, opt.ReaderCacheBytes),
 		nextSSID:      1,
 		pinnedSSIDs:   make(map[uint64]int),
@@ -273,6 +295,13 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 	go db.handlerThread()
 	go db.routerThread()
 	go db.proberThread()
+	// The compaction workers are separate from the flush thread: picking is
+	// score-driven, not tied to flush cadence, and jobs over disjoint level
+	// ranges run in parallel.
+	for i := 0; i < opt.CompactionWorkers; i++ {
+		db.wg.Add(1)
+		go db.compactorThread()
+	}
 	// The group-commit thread starts whenever the mode calls for it, even
 	// if this open's WAL recovery failed: a later Recover may install
 	// fresh logs, and the thread reads them through walStream either way.
@@ -305,7 +334,11 @@ func (db *DB) Runtime() *Runtime { return db.rt }
 func (db *DB) SSTableCount() int {
 	db.sstMu.RLock()
 	defer db.sstMu.RUnlock()
-	return len(db.ssids)
+	n := 0
+	for _, lvl := range db.levels {
+		n += len(lvl)
+	}
+	return n
 }
 
 // Owner returns the owner rank of key under this database's hash function.

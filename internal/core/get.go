@@ -115,16 +115,16 @@ func (db *DB) getLocalFull(key []byte) (val []byte, tomb, found bool, err error)
 	return val, tomb, found, nil
 }
 
-// searchOwnSSTables walks this rank's SSTables newest-first. Concurrent
-// compaction can delete a table between the list read and the file open; on
-// a file-not-found the search retries with a fresh list (the merged table
-// contains everything the deleted inputs held).
+// searchOwnSSTables probes this rank's candidate SSTables — every L0 table
+// covering the key newest-first, then at most one table per deeper level
+// (compact.go's candidateSSIDs). Concurrent compaction can delete a table
+// between the list read and the file open; on a file-not-found the search
+// retries with a fresh candidate list (the merged output contains
+// everything the deleted inputs held).
 func (db *DB) searchOwnSSTables(key []byte) ([]byte, bool, bool, error) {
 	dir := db.dir(db.rt.rank)
 	for attempt := 0; attempt < 3; attempt++ {
-		db.sstMu.RLock()
-		ids := append([]uint64(nil), db.ssids...)
-		db.sstMu.RUnlock()
+		ids := db.candidateSSIDs(key)
 		val, tomb, found, err := db.searchSSTableList(dir, ids, key)
 		if err == nil {
 			return val, tomb, found, nil
@@ -136,18 +136,20 @@ func (db *DB) searchOwnSSTables(key []byte) ([]byte, bool, bool, error) {
 	return nil, false, false, fmt.Errorf("papyruskv: SSTable search kept racing compaction")
 }
 
-// searchSSTableList probes the given SSTables newest-first with the
-// configured search mode and bloom usage, through the device's reader cache.
-// A table deleted by compaction after ids was snapshotted surfaces as
-// fs.ErrNotExist; its cache entry (possibly a stale positive, possibly the
-// negative entry this very probe just created) is evicted before the error
-// propagates, so the caller's retry with a fresh list starts clean.
+// searchSSTableList probes the given SSTables in list order — callers pass
+// recency order, newest first — with the configured search mode and bloom
+// usage, through the device's reader cache. A table deleted by compaction
+// after ids was snapshotted surfaces as fs.ErrNotExist; its cache entry
+// (possibly a stale positive, possibly the negative entry this very probe
+// just created) is evicted before the error propagates, so the caller's
+// retry with a fresh list starts clean.
 func (db *DB) searchSSTableList(dir string, ids []uint64, key []byte) ([]byte, bool, bool, error) {
-	for i := len(ids) - 1; i >= 0; i-- {
-		val, tomb, found, err := db.readers.Get(dir, ids[i], key, db.opt.SearchMode, db.opt.UseBloom)
+	for _, id := range ids {
+		db.metrics.SSTableProbes.Add(1)
+		val, tomb, found, err := db.readers.Get(dir, id, key, db.opt.SearchMode, db.opt.UseBloom)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
-				db.readers.Evict(dir, ids[i])
+				db.readers.Evict(dir, id)
 			}
 			return nil, false, false, err
 		}

@@ -14,10 +14,11 @@ package core
 //     it). The mutable tables are captured with SnapshotRange — a bounded
 //     point-in-time copy, immune to later Puts.
 //   - SSTables: files are immutable but compaction unlinks superseded inputs.
-//     pinSnapshot refcounts the live SSID list under sstMu, and compact
-//     consults the registry before unlinking: a pinned input is parked on the
-//     zombie list (its manifest Delete is already committed — the *version*
-//     moves on, only the file lingers) and unlinked when the last pin drops.
+//     pinSnapshotRange (compact.go) refcounts the range-overlapping live
+//     tables under sstMu, and compaction consults the registry before
+//     unlinking: a pinned input is parked on the zombie list (its manifest
+//     Delete is already committed — the *version* moves on, only the file
+//     lingers) and unlinked when the last pin drops.
 //
 // Flush between the MemTable capture and the SSTable pin can only add a
 // table whose content the iterator already holds from the MemTable side —
@@ -32,24 +33,6 @@ import (
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/sstable"
 )
-
-// pinSnapshot captures the live SSID list and registers one pin on every
-// member. Taking snapMu inside sstMu.RLock closes the race with compact: the
-// list compact is about to supersede cannot be pinned after compact has
-// swapped it (pins cover only list members), and a pin taken before the swap
-// is visible to compact's registry check because that check runs after the
-// swap, under the same snapMu.
-func (db *DB) pinSnapshot() []uint64 {
-	db.sstMu.RLock()
-	ids := append([]uint64(nil), db.ssids...)
-	db.snapMu.Lock()
-	for _, id := range ids {
-		db.pinnedSSIDs[id]++
-	}
-	db.snapMu.Unlock()
-	db.sstMu.RUnlock()
-	return ids
-}
 
 // releaseSnapshot drops one pin from each id; a table whose last pin drops
 // while on the zombie list is unlinked and evicted here, completing the
@@ -254,10 +237,14 @@ func (db *DB) newIterator(lo, hi []byte, withStaging bool) (*Iterator, error) {
 	}
 	db.mu.Unlock()
 
-	it.pinned = db.pinSnapshot()
+	// pinSnapshotRange returns the tables in probe (recency) order — L0
+	// newest-first, then each deeper level's overlapping run — already
+	// filtered to tables intersecting [lo, hi), so the merge opens one
+	// scanner per level beyond L0 instead of one per live table.
+	it.pinned = db.pinSnapshotRange(lo, it.hi)
 	dir := db.dir(db.rt.rank)
-	for i := len(it.pinned) - 1; i >= 0; i-- { // highest SSID = newest first
-		sc, err := sstable.NewScanner(db.rt.cfg.Device, dir, it.pinned[i])
+	for _, id := range it.pinned {
+		sc, err := sstable.NewScanner(db.rt.cfg.Device, dir, id)
 		if err == nil {
 			err = sc.SeekGE(lo)
 		}
@@ -266,7 +253,7 @@ func (db *DB) newIterator(lo, hi []byte, withStaging bool) (*Iterator, error) {
 				sc.Close()
 			}
 			it.release()
-			return nil, fmt.Errorf("papyruskv: open iterator on SSTable %d: %w", it.pinned[i], err)
+			return nil, fmt.Errorf("papyruskv: open iterator on SSTable %d: %w", id, err)
 		}
 		it.scanners = append(it.scanners, sc)
 		add(scannerSource(sc, it.hi))

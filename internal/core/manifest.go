@@ -51,8 +51,9 @@ func (db *DB) manifestApply(e manifest.Edit) error {
 }
 
 // manifestOpen opens (or creates) this rank's manifest log, reconciles the
-// directory against it, and installs the composed live set into db.ssids /
-// db.nextSSID. validate additionally re-checks every listed table's bloom
+// directory against it, and installs the composed live set into db.levels /
+// db.nextSSID (legacy records carry no level and land on L0). validate
+// additionally re-checks every listed table's bloom
 // filter and index CRCs through a fresh reader-cache registration — the
 // Recover path, where on-NVM damage is the suspected cause.
 //
@@ -131,15 +132,8 @@ func (db *DB) manifestOpen(validate bool) error {
 		}
 	}
 
-	ssids := make([]uint64, 0, len(v.Tables))
-	for _, t := range v.Tables {
-		ssids = append(ssids, t.SSID)
-	}
 	db.sstMu.Lock()
-	db.ssids = ssids
-	if v.NextSSID > db.nextSSID {
-		db.nextSSID = v.NextSSID
-	}
+	db.installVersionLocked(v)
 	db.sstMu.Unlock()
 	db.man = man
 	return nil

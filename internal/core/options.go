@@ -107,10 +107,25 @@ type Options struct {
 	SearchMode sstable.SearchMode
 	// UseBloom consults bloom filters before touching SSTables.
 	UseBloom bool
-	// CompactionEvery triggers a merge of all live SSTables whenever a
-	// newly flushed SSTable's SSID is a multiple of it; 0 disables
-	// compaction.
+	// CompactionEvery is the L0 compaction trigger: when the count of
+	// level-0 tables reaches it, the compaction workers merge all of L0
+	// (plus the overlapping L1 range) down a level. The trigger counts
+	// live L0 tables — not raw SSID arithmetic, which drifted whenever a
+	// merge output consumed an SSID — so the cadence is stable under any
+	// mix of flushes and compactions. 0 disables background compaction.
 	CompactionEvery uint64
+	// CompactionWorkers is the number of background compaction workers;
+	// jobs over disjoint level ranges run in parallel. 0 selects the
+	// default (2).
+	CompactionWorkers int
+	// LevelBytesBase is the byte budget of level 1; each deeper level's
+	// budget is LevelBytesGrowth times its parent's. A level over budget
+	// scores a compaction of its largest table into the next level.
+	// 0 selects the default (8MB).
+	LevelBytesBase int64
+	// LevelBytesGrowth is the per-level budget multiplier. 0 selects the
+	// default (10).
+	LevelBytesGrowth int
 	// ReaderCacheBytes bounds the per-device SSTable reader cache, which
 	// pins each hot table's validated bloom filter, parsed SSIndex, and
 	// open data file so repeated gets skip the device reads and CRC
@@ -223,6 +238,9 @@ func DefaultOptions() Options {
 		SearchMode:          sstable.BinarySearch,
 		UseBloom:            true,
 		CompactionEvery:     8,
+		CompactionWorkers:   2,
+		LevelBytesBase:      8 << 20,
+		LevelBytesGrowth:    10,
 		ReaderCacheBytes:    32 << 20,
 		QueueDepth:          4,
 		RetryAttempts:       5,
@@ -272,6 +290,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoffCap < o.RetryBackoff {
 		o.RetryBackoffCap = o.RetryBackoff
+	}
+	if o.CompactionWorkers <= 0 {
+		o.CompactionWorkers = d.CompactionWorkers
+	}
+	if o.LevelBytesBase <= 0 {
+		o.LevelBytesBase = d.LevelBytesBase
+	}
+	if o.LevelBytesGrowth <= 1 {
+		o.LevelBytesGrowth = d.LevelBytesGrowth
 	}
 	if o.HandlerThreads <= 0 {
 		o.HandlerThreads = d.HandlerThreads

@@ -3,7 +3,9 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"papyruskv/internal/manifest"
@@ -35,10 +37,14 @@ func (e *Event) Wait() error {
 
 // manifestFile fingerprints one snapshot file: restart refuses to restore a
 // file whose size or CRC32C no longer matches what checkpoint recorded.
+// Level (format 4) records which LSM level the table lived on, the same for
+// all three files of a triple, so a verbatim restore re-installs the leveled
+// shape instead of flattening everything onto L0.
 type manifestFile struct {
-	Name string `json:"name"`
-	Size int64  `json:"size"`
-	CRC  uint32 `json:"crc"`
+	Name  string `json:"name"`
+	Size  int64  `json:"size"`
+	CRC   uint32 `json:"crc"`
+	Level uint32 `json:"level,omitempty"`
 }
 
 // ckptManifest describes a snapshot on the parallel file system. It is
@@ -56,7 +62,12 @@ type ckptManifest struct {
 	Files  [][]manifestFile `json:"files"` // indexed by snapshot rank
 }
 
-const manifestFormat = 3
+// manifestFormat is the current snapshot layout. Format 4 added the
+// per-file Level field; format-3 snapshots are still restorable (their
+// tables simply all land on L0, which is always a correct placement).
+const manifestFormat = 4
+
+const oldestRestorableFormat = 3
 
 func manifestName(path string) string { return path + "/MANIFEST" }
 func snapshotDir(path string, gen, r int) string {
@@ -96,15 +107,23 @@ func (db *DB) Checkpoint(path string) (*Event, error) {
 	// compaction that deletes snapshot files while they are being copied.
 	db.checkpointPin.add(1)
 	rankErr := db.Barrier(LevelSSTable)
+	// Compaction now runs on its own workers, decoupled from the flush the
+	// barrier drained; wait out any job already in flight so the table list
+	// snapshotted below is stable for the whole copy. New triggers defer to
+	// the pin (and are re-fired by releaseCheckpointPin).
+	db.pendingCompact.wait()
 
 	db.sstMu.RLock()
-	snapshot := append([]uint64(nil), db.ssids...)
+	var snapshot []manifest.TableMeta
+	for _, lvl := range db.levels {
+		snapshot = append(snapshot, lvl...)
+	}
 	db.sstMu.RUnlock()
 
 	ev := newEvent()
 	go func() {
 		ev.complete(db.copyOut(path, snapshot, rankErr))
-		db.checkpointPin.done()
+		db.releaseCheckpointPin()
 	}()
 	return ev, nil
 }
@@ -113,7 +132,7 @@ func (db *DB) Checkpoint(path string) (*Event, error) {
 // this rank's barrier failure: the transfer is skipped and the error is
 // carried into the commit protocol so every rank learns the snapshot is
 // incomplete.
-func (db *DB) copyOut(path string, ssids []uint64, rankErr error) error {
+func (db *DB) copyOut(path string, tables []manifest.TableMeta, rankErr error) error {
 	pfs := db.rt.cfg.PFS
 	rank := db.rt.rank
 
@@ -142,7 +161,7 @@ func (db *DB) copyOut(path string, ssids []uint64, rankErr error) error {
 	var files []manifestFile
 	xferErr := rankErr
 	if xferErr == nil {
-		files, xferErr = db.transferFiles(pfs, path, gen, ssids)
+		files, xferErr = db.transferFiles(pfs, path, gen, tables)
 	}
 
 	// Phase 2: gather every rank's report to rank 0 on the dedicated
@@ -190,22 +209,23 @@ func (db *DB) copyOut(path string, ssids []uint64, rankErr error) error {
 }
 
 // transferFiles copies this rank's snapshot files into the generation
-// directory on the PFS and returns their manifest fingerprints.
-func (db *DB) transferFiles(pfs *nvm.Device, path string, gen int, ssids []uint64) ([]manifestFile, error) {
+// directory on the PFS and returns their manifest fingerprints, each
+// carrying its table's level.
+func (db *DB) transferFiles(pfs *nvm.Device, path string, gen int, tables []manifest.TableMeta) ([]manifestFile, error) {
 	src := db.dir(db.rt.rank)
 	dst := snapshotDir(path, gen, db.rt.rank)
 	if err := pfs.RemoveAll(dst); err != nil {
 		return nil, err
 	}
 	files := []manifestFile{}
-	for _, id := range ssids {
+	for _, t := range tables {
 		for _, name := range []string{"data", "idx", "bloom"} {
-			file := fmt.Sprintf("sst-%06d.%s", id, name)
+			file := fmt.Sprintf("sst-%06d.%s", t.SSID, name)
 			size, crc, err := nvm.CopySum(pfs, dst+"/"+file, db.rt.cfg.Device, src+"/"+file)
 			if err != nil {
 				return nil, err
 			}
-			files = append(files, manifestFile{Name: file, Size: size, CRC: crc})
+			files = append(files, manifestFile{Name: file, Size: size, CRC: crc, Level: t.Level})
 		}
 	}
 	return files, nil
@@ -263,7 +283,7 @@ func readManifest(pfs *nvm.Device, path string) (ckptManifest, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return m, fmt.Errorf("%w: manifest does not parse: %v", ErrCorrupt, err)
 	}
-	if m.Format != manifestFormat {
+	if m.Format < oldestRestorableFormat || m.Format > manifestFormat {
 		return m, fmt.Errorf("%w: unsupported snapshot format %d", ErrNoSnapshot, m.Format)
 	}
 	if m.Gen < 1 {
@@ -354,21 +374,29 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options, m ckptManifes
 		// SSIDs that now exist — then compose: commit the restored tables
 		// to this rank's manifest (the directory was cleared above, so the
 		// log is fresh and they would otherwise be quarantined orphans)
-		// and adopt them.
+		// and adopt them, each at the level the snapshot recorded for it
+		// (format-3 snapshots recorded none: everything lands on L0).
 		db.readers.EvictDir(dst)
+		levelOf := snapshotLevels(m.Files[rt.rank])
 		ids, err := sstable.ListSSIDs(rt.cfg.Device, dst)
 		if err != nil {
 			ev.complete(err)
 			return
 		}
 		var e manifest.Edit
+		var next uint64
 		for _, id := range ids {
 			meta, err := sstable.ReadMeta(rt.cfg.Device, dst, id)
 			if err != nil {
 				ev.complete(fmt.Errorf("restored SSTable %d: %w", id, err))
 				return
 			}
-			e.Add = append(e.Add, tableMetaOf(meta))
+			tm := tableMetaOf(meta)
+			tm.Level = levelOf[id]
+			e.Add = append(e.Add, tm)
+			if id >= next {
+				next = id + 1
+			}
 		}
 		if len(e.Add) > 0 {
 			if err := db.manifestApply(e); err != nil {
@@ -377,10 +405,7 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options, m ckptManifes
 			}
 		}
 		db.sstMu.Lock()
-		db.ssids = ids
-		if n := len(ids); n > 0 && ids[n-1] >= db.nextSSID {
-			db.nextSSID = ids[n-1] + 1
-		}
+		db.installVersionLocked(manifest.Version{Tables: e.Add, NextSSID: next})
 		db.sstMu.Unlock()
 		// All ranks must finish composing before any rank's event
 		// completes: otherwise a restarted rank could issue remote gets
@@ -393,8 +418,8 @@ func (rt *Runtime) restartVerbatim(path, name string, opt Options, m ckptManifes
 // restartRedistribute re-puts every snapshot pair through the normal put
 // path so the hash function re-assigns owners for the new rank count. The
 // work is partitioned by snapshot source rank; each rank merges its source
-// ranks' SSTables newest-first so only each key's latest version is
-// re-put.
+// ranks' SSTables in recency order — L0 newest-first, then the deeper
+// levels ascending — so only each key's latest version is re-put.
 func (rt *Runtime) restartRedistribute(path, name string, opt Options, m ckptManifest) (*DB, *Event, error) {
 	if err := rt.cfg.Device.RemoveAll(fmt.Sprintf("%s/r%d", name, rt.rank)); err != nil {
 		return nil, nil, err
@@ -409,12 +434,8 @@ func (rt *Runtime) restartRedistribute(path, name string, opt Options, m ckptMan
 		pfs := rt.cfg.PFS
 		for src := rt.rank; src < m.Ranks; src += rt.size {
 			dir := snapshotDir(path, m.Gen, src)
-			ids, err := sstable.ListSSIDs(pfs, dir)
-			if err != nil {
-				ev.complete(err)
-				return
-			}
-			err = sstable.MergeScan(pfs, dir, ids, func(e memtable.Entry) error {
+			ids := snapshotRecency(m.Files[src])
+			err := sstable.MergeScanOrdered(pfs, dir, ids, func(e memtable.Entry) error {
 				if e.Tombstone {
 					// A tombstone in the snapshot only shadowed older
 					// SSTables of the same snapshot; the merge scan has
@@ -432,6 +453,53 @@ func (rt *Runtime) restartRedistribute(path, name string, opt Options, m ckptMan
 		ev.complete(db.Barrier(LevelMemTable))
 	}()
 	return db, ev, nil
+}
+
+// ssidOfSnapshotFile parses the SSID out of a snapshot file name
+// (sst-%06d.data / .idx / .bloom).
+func ssidOfSnapshotFile(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "sst-") {
+		return 0, false
+	}
+	dot := strings.LastIndex(name, ".")
+	if dot < 0 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(name[4:dot], 10, 64)
+	return id, err == nil
+}
+
+// snapshotLevels maps each table of one rank's snapshot file list to its
+// recorded level (a triple's three files agree; format-3 lists default 0).
+func snapshotLevels(files []manifestFile) map[uint64]uint32 {
+	levels := map[uint64]uint32{}
+	for _, f := range files {
+		if id, ok := ssidOfSnapshotFile(f.Name); ok {
+			levels[id] = f.Level
+		}
+	}
+	return levels
+}
+
+// snapshotRecency orders one rank's snapshot tables for a redistributing
+// merge scan: L0 newest-first (SSID descending), then each deeper level —
+// internally disjoint, so its order is immaterial — in ascending level
+// order. A format-3 snapshot recorded no levels, so everything is L0 and
+// the order degenerates to the plain SSID-descending scan it always used.
+func snapshotRecency(files []manifestFile) []uint64 {
+	levels := snapshotLevels(files)
+	ids := make([]uint64, 0, len(levels))
+	for id := range levels {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		li, lj := levels[ids[i]], levels[ids[j]]
+		if li != lj {
+			return li < lj
+		}
+		return ids[i] > ids[j]
+	})
+	return ids
 }
 
 // Destroy removes the database and all its data from NVM

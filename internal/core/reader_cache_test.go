@@ -101,7 +101,7 @@ func TestNoopCompactionKeepsSSIDsDense(t *testing.T) {
 			return err
 		}
 		db.sstMu.RLock()
-		liveBefore, nextBefore := len(db.ssids), db.nextSSID
+		liveBefore, nextBefore := len(db.liveSSIDsLocked()), db.nextSSID
 		db.sstMu.RUnlock()
 		if liveBefore == 0 {
 			return fmt.Errorf("no SSTables flushed; MemTable too large for the workload")
@@ -114,7 +114,7 @@ func TestNoopCompactionKeepsSSIDsDense(t *testing.T) {
 		db.compact()
 
 		db.sstMu.RLock()
-		live, next := len(db.ssids), db.nextSSID
+		live, next := len(db.liveSSIDsLocked()), db.nextSSID
 		db.sstMu.RUnlock()
 		wantNext := nextBefore
 		if liveBefore >= 2 {
@@ -129,7 +129,7 @@ func TestNoopCompactionKeepsSSIDsDense(t *testing.T) {
 			return err
 		}
 		db.sstMu.RLock()
-		ids := append([]uint64(nil), db.ssids...)
+		ids := db.liveSSIDsLocked()
 		db.sstMu.RUnlock()
 		for _, id := range ids {
 			if id >= wantNext+4 {
@@ -244,8 +244,29 @@ func TestReaderCacheCompactionChurn(t *testing.T) {
 		if rc.Hits.Load() == 0 {
 			return fmt.Errorf("reader cache recorded no hits")
 		}
-		if rc.Evictions.Load() == 0 {
-			return fmt.Errorf("compactions recorded no reader-cache evictions")
+		// The background jobs race the reads above, so an input may never
+		// have been cached by the time it was unlinked. Finish with a
+		// deterministic round: flush fresh tables, cache the live set with
+		// reads, then force a merge — its inputs are cached, so the unlink
+		// must evict.
+		for attempt := 0; rc.Evictions.Load() == 0; attempt++ {
+			if attempt == 10 {
+				return fmt.Errorf("compactions recorded no reader-cache evictions")
+			}
+			for i := 0; i < 80; i++ {
+				if err := db.Put([]byte(key(i)), []byte(val(i))); err != nil {
+					return err
+				}
+			}
+			if err := db.Barrier(LevelSSTable); err != nil {
+				return err
+			}
+			for j := 0; j < 400; j += 17 {
+				if err := wantGet(db, key(j), val(j)); err != nil {
+					return err
+				}
+			}
+			db.compact()
 		}
 		return db.Close()
 	})

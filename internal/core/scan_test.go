@@ -66,8 +66,15 @@ func TestScanSnapshotIsolation(t *testing.T) {
 				return err
 			}
 		}
-		if m.ScanUnlinksDeferred.Load() == 0 {
-			t.Error("compaction deferred no pinned unlink")
+		// The compaction counter bumps at the manifest commit, but the
+		// unlink pass (where pinned inputs park as zombies) runs after the
+		// in-memory install — give the background job a moment to reach it.
+		for deadline := time.Now().Add(5 * time.Second); m.ScanUnlinksDeferred.Load() == 0; {
+			if time.Now().After(deadline) {
+				t.Error("compaction deferred no pinned unlink")
+				break
+			}
+			time.Sleep(time.Millisecond)
 		}
 
 		// The iterator must deliver the pre-mutation view — original

@@ -14,11 +14,12 @@ import (
 	"papyruskv/internal/sstable"
 )
 
-// compactionThread is the paper's compaction thread: it dequeues immutable
-// local MemTables from the flushing queue, writes each as a new SSTable on
-// NVM, and merges the live SSTables whenever a new SSID is a multiple of
-// the configured compaction interval (§2.4 Flushing, §2.5 Compaction). It
-// exits when the flushing queue is closed and drained.
+// compactionThread is the paper's compaction thread, reduced to its flush
+// half: it dequeues immutable local MemTables from the flushing queue and
+// writes each as a new L0 SSTable on NVM (§2.4 Flushing). Merging moved to
+// the leveled compaction workers (compact.go); a flush that fills L0 past
+// its trigger kicks them. It exits when the flushing queue is closed and
+// drained.
 //
 // The thread follows the degradation ladder. Healthy: flush; a flush that
 // degrades the rank (ENOSPC) defers its table instead of abandoning it.
@@ -98,8 +99,13 @@ func (db *DB) flushOne(table *memtable.Table) bool {
 	}
 	db.metrics.Flushes.Add(1)
 
+	tm := tableMetaOf(meta) // Level 0: a flushed MemTable always lands on L0
 	db.sstMu.Lock()
-	db.ssids = append(db.ssids, ssid)
+	if len(db.levels) == 0 {
+		db.levels = append(db.levels, nil)
+	}
+	db.levels[0] = append(db.levels[0], tm)
+	due := db.opt.CompactionEvery > 0 && uint64(len(db.levels[0])) >= db.opt.CompactionEvery
 	db.sstMu.Unlock()
 
 	// The flushed MemTable's data is now reachable via the SSTable;
@@ -116,110 +122,14 @@ func (db *DB) flushOne(table *memtable.Table) bool {
 	db.mu.Unlock()
 	db.walDropSegment(table)
 
-	if db.opt.CompactionEvery > 0 && ssid%db.opt.CompactionEvery == 0 && db.checkpointPin.value() == 0 {
-		db.compact()
+	if due {
+		// Score-driven trigger, decoupled from the flush path: the workers
+		// pick and run the job (or record it as pending under a held
+		// checkpoint pin — see runCompactions), so a slow merge never
+		// stalls flushing and a pinned trigger is never lost.
+		db.kickCompact()
 	}
 	return true
-}
-
-// compact merges all live SSTables into one new table with a fresh highest
-// SSID, commits the install+delete to the manifest, atomically swaps the
-// live list, then deletes the inputs. Gets that raced the deletion retry
-// against the new list (see searchOwnSSTables). A failed merge or manifest
-// commit fails this rank's domain; the input tables stay live, so no data
-// is lost.
-func (db *DB) compact() {
-	// Decide whether compaction has work before allocating the output
-	// SSID: burning one on the early return would leak an SSID per
-	// skipped compaction and skew the ssid%CompactionEvery trigger
-	// cadence.
-	db.sstMu.Lock()
-	if len(db.ssids) < 2 {
-		db.sstMu.Unlock()
-		return
-	}
-	inputs := append([]uint64(nil), db.ssids...)
-	mergedID := db.nextSSID
-	db.nextSSID++
-	db.sstMu.Unlock()
-
-	dir := db.dir(db.rt.rank)
-	meta, err := sstable.Merge(db.rt.cfg.Device, dir, inputs, mergedID)
-	if err != nil {
-		db.failOrDegrade(fmt.Errorf("compaction into SSTable %d: %w", mergedID, err))
-		return
-	}
-	// Commit install+delete as one manifest edit BEFORE unlinking the
-	// inputs. A crash before the commit leaves the old version (the merged
-	// output is an unlisted orphan, quarantined on reopen); a crash after
-	// it leaves the new one (leftover inputs are the orphans). Neither mix
-	// resurrects a deleted or overwritten value — the exact window the
-	// pre-manifest directory scan could not close. On a commit error the
-	// inputs stay live and the transition simply never happened.
-	if err := db.manifestApply(manifest.Edit{
-		Add:    []manifest.TableMeta{tableMetaOf(meta)},
-		Delete: inputs,
-	}); err != nil {
-		db.failOrDegrade(fmt.Errorf("manifest commit of compaction %d: %w", mergedID, err))
-		return
-	}
-	db.metrics.Compactions.Add(1)
-	// Crash point between the commit and the unlinks: the in-memory list
-	// still names the inputs, whose files remain — stale but correct —
-	// and the next open composes the merged version from the manifest.
-	db.maybeKill()
-	if db.readHealth() != nil {
-		return
-	}
-
-	db.sstMu.Lock()
-	// Swap the live list before unlinking anything, so gets follow the
-	// committed version instead of racing the (directory-fsynced, slow)
-	// unlinks below. Keep any SSTables flushed while the merge ran (they
-	// are newer than mergedID's inputs but may be older or newer than
-	// mergedID itself; SSID order still resolves recency because mergedID
-	// was allocated before they were).
-	var live []uint64
-	merged := map[uint64]bool{}
-	for _, id := range inputs {
-		merged[id] = true
-	}
-	for _, id := range db.ssids {
-		if !merged[id] {
-			live = append(live, id)
-		}
-	}
-	live = append(live, mergedID)
-	sortSSIDs(live)
-	db.ssids = live
-	db.sstMu.Unlock()
-
-	// Unlink the inputs and drop their cached reader handles so the whole
-	// storage group (the cache is per-device) stops probing them. A get
-	// holding a pinned handle across the deletion still reads correctly —
-	// the fd outlives the unlink, and the merged table is a superset — and
-	// the pin defers the close, never the eviction. An input a snapshot
-	// still pins is parked on the zombie list instead (iterator.go): the
-	// version moved on above, only the file waits for its last reader. A
-	// failed unlink only leaves orphan files behind (the version is already
-	// committed); surface the device trouble anyway.
-	var removeErr error
-	for _, id := range inputs {
-		if err := db.removeInputOrDefer(dir, id); err != nil && removeErr == nil {
-			removeErr = err
-		}
-	}
-	if removeErr != nil {
-		db.failOrDegrade(fmt.Errorf("removing compaction inputs: %w", removeErr))
-	}
-}
-
-func sortSSIDs(ids []uint64) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
-			ids[j-1], ids[j] = ids[j], ids[j-1]
-		}
-	}
 }
 
 // dispatcherThread is the paper's message dispatcher: it dequeues immutable
@@ -549,10 +459,10 @@ func (db *DB) handleGet(m mpi.Message) {
 				resp.Status, resp.Value = getFound, val
 			}
 		} else {
-			db.sstMu.RLock()
-			ids := append([]uint64(nil), db.ssids...)
-			db.sstMu.RUnlock()
-			resp.Status, resp.SSIDs = getSearchShare, ids
+			// Owner-side candidate selection: only the tables whose key
+			// bounds cover the key, in probe (recency) order — the requester
+			// probes O(levels) tables instead of every live SSID.
+			resp.Status, resp.SSIDs = getSearchShare, db.candidateSSIDs(req.Key)
 		}
 	} else {
 		val, tomb, found, err := db.getLocalFull(req.Key)

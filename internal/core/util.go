@@ -54,26 +54,29 @@ func (c *counter) value() int {
 // and the experiment harness use them to assert which data path served each
 // operation (the arrows of Figures 2 and 3).
 type Metrics struct {
-	PutsLocal        atomic.Uint64 // puts whose owner is the caller
-	PutsRemote       atomic.Uint64 // staged remote puts (relaxed mode)
-	PutsSync         atomic.Uint64 // synchronous remote puts (sequential mode)
-	GetsLocal        atomic.Uint64 // gets served by the local path
-	GetsRemote       atomic.Uint64 // gets that queried a remote owner
-	LocalCacheHits   atomic.Uint64
-	RemoteCacheHits  atomic.Uint64
-	MemTableHits     atomic.Uint64 // local/immutable MemTable hits
-	SSTableHits      atomic.Uint64 // values read out of own SSTables
-	SharedSSTReads   atomic.Uint64 // values read from a peer's SSTables via the storage group
-	Flushes          atomic.Uint64 // immutable local MemTables flushed
-	Compactions      atomic.Uint64 // SSTable merges performed
-	Migrations       atomic.Uint64 // migration batches sent
-	MigratedPairs    atomic.Uint64 // key-value pairs migrated out
-	MigrationRetries atomic.Uint64 // migration batch attempts beyond the first
-	PutSyncRetries   atomic.Uint64 // synchronous-put attempts beyond the first
-	GetRetries       atomic.Uint64 // remote-get attempts beyond the first
-	DupsDropped      atomic.Uint64 // duplicate requests dropped by the dedup window
-	RepliesUnclaimed atomic.Uint64 // stale/duplicate replies dropped by the response router
-	BadRequests      atomic.Uint64 // malformed request frames from peers, dropped or nacked
+	PutsLocal              atomic.Uint64 // puts whose owner is the caller
+	PutsRemote             atomic.Uint64 // staged remote puts (relaxed mode)
+	PutsSync               atomic.Uint64 // synchronous remote puts (sequential mode)
+	GetsLocal              atomic.Uint64 // gets served by the local path
+	GetsRemote             atomic.Uint64 // gets that queried a remote owner
+	LocalCacheHits         atomic.Uint64
+	RemoteCacheHits        atomic.Uint64
+	MemTableHits           atomic.Uint64 // local/immutable MemTable hits
+	SSTableHits            atomic.Uint64 // values read out of own SSTables
+	SharedSSTReads         atomic.Uint64 // values read from a peer's SSTables via the storage group
+	SSTableProbes          atomic.Uint64 // SSTable reader probes issued by gets (read amplification)
+	Flushes                atomic.Uint64 // immutable local MemTables flushed
+	Compactions            atomic.Uint64 // SSTable merges performed
+	CompactionsDeferred    atomic.Uint64 // compaction triggers deferred under a held checkpoint pin
+	CompactionBytesWritten atomic.Uint64 // bytes written by compaction outputs (write amplification)
+	Migrations             atomic.Uint64 // migration batches sent
+	MigratedPairs          atomic.Uint64 // key-value pairs migrated out
+	MigrationRetries       atomic.Uint64 // migration batch attempts beyond the first
+	PutSyncRetries         atomic.Uint64 // synchronous-put attempts beyond the first
+	GetRetries             atomic.Uint64 // remote-get attempts beyond the first
+	DupsDropped            atomic.Uint64 // duplicate requests dropped by the dedup window
+	RepliesUnclaimed       atomic.Uint64 // stale/duplicate replies dropped by the response router
+	BadRequests            atomic.Uint64 // malformed request frames from peers, dropped or nacked
 
 	Recoveries          atomic.Uint64 // successful in-run Recover calls on this rank
 	Reclaims            atomic.Uint64 // Degraded→Healthy transitions (reclaim probe or Reclaim call)
@@ -150,26 +153,29 @@ func (m *Metrics) PairsLostByPeer() map[int]uint64 {
 // pairs_lost_rank_ keys).
 func (m *Metrics) Snapshot() map[string]uint64 {
 	snap := map[string]uint64{
-		"puts_local":        m.PutsLocal.Load(),
-		"puts_remote":       m.PutsRemote.Load(),
-		"puts_sync":         m.PutsSync.Load(),
-		"gets_local":        m.GetsLocal.Load(),
-		"gets_remote":       m.GetsRemote.Load(),
-		"local_cache_hits":  m.LocalCacheHits.Load(),
-		"remote_cache_hits": m.RemoteCacheHits.Load(),
-		"memtable_hits":     m.MemTableHits.Load(),
-		"sstable_hits":      m.SSTableHits.Load(),
-		"shared_sst_reads":  m.SharedSSTReads.Load(),
-		"flushes":           m.Flushes.Load(),
-		"compactions":       m.Compactions.Load(),
-		"migrations":        m.Migrations.Load(),
-		"migrated_pairs":    m.MigratedPairs.Load(),
-		"migration_retries": m.MigrationRetries.Load(),
-		"put_sync_retries":  m.PutSyncRetries.Load(),
-		"get_retries":       m.GetRetries.Load(),
-		"dups_dropped":      m.DupsDropped.Load(),
-		"replies_unclaimed": m.RepliesUnclaimed.Load(),
-		"bad_requests":      m.BadRequests.Load(),
+		"puts_local":               m.PutsLocal.Load(),
+		"puts_remote":              m.PutsRemote.Load(),
+		"puts_sync":                m.PutsSync.Load(),
+		"gets_local":               m.GetsLocal.Load(),
+		"gets_remote":              m.GetsRemote.Load(),
+		"local_cache_hits":         m.LocalCacheHits.Load(),
+		"remote_cache_hits":        m.RemoteCacheHits.Load(),
+		"memtable_hits":            m.MemTableHits.Load(),
+		"sstable_hits":             m.SSTableHits.Load(),
+		"shared_sst_reads":         m.SharedSSTReads.Load(),
+		"sstable_probes":           m.SSTableProbes.Load(),
+		"flushes":                  m.Flushes.Load(),
+		"compactions":              m.Compactions.Load(),
+		"compactions_deferred":     m.CompactionsDeferred.Load(),
+		"compaction_bytes_written": m.CompactionBytesWritten.Load(),
+		"migrations":               m.Migrations.Load(),
+		"migrated_pairs":           m.MigratedPairs.Load(),
+		"migration_retries":        m.MigrationRetries.Load(),
+		"put_sync_retries":         m.PutSyncRetries.Load(),
+		"get_retries":              m.GetRetries.Load(),
+		"dups_dropped":             m.DupsDropped.Load(),
+		"replies_unclaimed":        m.RepliesUnclaimed.Load(),
+		"bad_requests":             m.BadRequests.Load(),
 
 		"recoveries":           m.Recoveries.Load(),
 		"reclaims":             m.Reclaims.Load(),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sort"
 )
 
 // DumpLog decodes raw manifest-log bytes frame by frame and prints a
@@ -55,17 +56,44 @@ func DumpLog(raw []byte, w io.Writer) error {
 	if v.Checkpoint != "" {
 		fmt.Fprintf(w, "  checkpoint %q\n", v.Checkpoint)
 	}
+	// Group the live set by level: L0 in SSID order (recency), L1+ sorted by
+	// MinKey — the on-disk layout the read path binary-searches.
+	maxLevel := uint32(0)
 	for _, t := range v.Tables {
-		fmt.Fprintf(w, "  sst %06d: %d entries, %d bytes, keys [%q..%q]\n",
-			t.SSID, t.Entries, t.DataBytes, t.MinKey, t.MaxKey)
+		if t.Level > maxLevel {
+			maxLevel = t.Level
+		}
+	}
+	for lvl := uint32(0); lvl <= maxLevel; lvl++ {
+		var run []TableMeta
+		var bytes int64
+		for _, t := range v.Tables {
+			if t.Level == lvl {
+				run = append(run, t)
+				bytes += t.DataBytes
+			}
+		}
+		if len(run) == 0 {
+			continue
+		}
+		if lvl > 0 {
+			sort.Slice(run, func(i, j int) bool {
+				return string(run[i].MinKey) < string(run[j].MinKey)
+			})
+		}
+		fmt.Fprintf(w, "  L%d: %d tables, %d bytes\n", lvl, len(run), bytes)
+		for _, t := range run {
+			fmt.Fprintf(w, "    sst %06d: %d entries, %d bytes, keys [%q..%q]\n",
+				t.SSID, t.Entries, t.DataBytes, t.MinKey, t.MaxKey)
+		}
 	}
 	return nil
 }
 
 func printEdit(w io.Writer, e Edit) {
 	for _, t := range e.Add {
-		fmt.Fprintf(w, "  add sst %06d: %d entries, %d bytes, keys [%q..%q], crc data=%08x idx=%08x bloom=%08x\n",
-			t.SSID, t.Entries, t.DataBytes, t.MinKey, t.MaxKey, t.DataCRC, t.IndexCRC, t.BloomCRC)
+		fmt.Fprintf(w, "  add sst %06d L%d: %d entries, %d bytes, keys [%q..%q], crc data=%08x idx=%08x bloom=%08x\n",
+			t.SSID, t.Level, t.Entries, t.DataBytes, t.MinKey, t.MaxKey, t.DataCRC, t.IndexCRC, t.BloomCRC)
 	}
 	for _, id := range e.Delete {
 		fmt.Fprintf(w, "  delete sst %06d\n", id)

@@ -55,7 +55,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 //	crc32c  uint32  // over the payload
 //	length  uint32  // payload bytes
 //	payload:
-//	  kind     uint8  // frameEdit or frameSnapshot
+//	  kind     uint8  // frameEdit/frameSnapshot (v1) or the V2 kinds
 //	  nextSSID uint64 // 0 = unchanged (snapshot: absolute)
 //	  walEpoch uint32 // 0 = unchanged (snapshot: absolute)
 //	  ckptLen  uint32 // checkpoint-marker path bytes
@@ -64,25 +64,36 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 //	  ckpt     [ckptLen]byte
 //	  adds     [nAdd]TableMeta
 //	  dels     [nDel]uint64
+//
+// V2 frames carry one extra uint32 per TableMeta — the table's LSM level —
+// appended to the fixed prefix. Writers always emit V2; readers accept both,
+// defaulting legacy tables to level 0 (the overlap-allowed level, which is
+// exactly what every pre-leveled table was).
 const (
 	frameHeader  = 8
 	payloadFixed = 1 + 8 + 4 + 4 + 4 + 4
 
 	frameEdit     = 1
 	frameSnapshot = 2
+	frameEditV2   = 3
+	frameSnapV2   = 4
 )
 
-// tableMetaFixed is the fixed-size prefix of one encoded TableMeta:
+// tableMetaFixed is the fixed-size prefix of one encoded v1 TableMeta:
 // ssid u64, dataBytes u64, entries u64, dataCRC u32, indexCRC u32,
-// bloomCRC u32, minLen u32, maxLen u32.
-const tableMetaFixed = 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4
+// bloomCRC u32, minLen u32, maxLen u32. V2 appends level u32.
+const (
+	tableMetaFixed   = 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4
+	tableMetaFixedV2 = tableMetaFixed + 4
+)
 
-// TableMeta fingerprints one live SSTable: identity, sizes, key bounds, and
-// the CRC32C of each of its three files. Recovery validates the files on
-// the device against it, so a torn or bit-flipped table surfaces as a typed
-// error instead of silently serving wrong data.
+// TableMeta fingerprints one live SSTable: identity, placement, sizes, key
+// bounds, and the CRC32C of each of its three files. Recovery validates the
+// files on the device against it, so a torn or bit-flipped table surfaces as
+// a typed error instead of silently serving wrong data.
 type TableMeta struct {
 	SSID      uint64
+	Level     uint32 // LSM level: 0 overlap-allowed, >=1 disjoint sorted runs
 	DataBytes int64
 	Entries   uint64
 	DataCRC   uint32
@@ -315,7 +326,7 @@ func (m *Manifest) Apply(e Edit) error {
 	if m.closed || m.poisoned {
 		return ErrClosed
 	}
-	frame := appendFrame(nil, frameEdit, e)
+	frame := appendFrame(nil, frameEditV2, e)
 	if m.inj != nil {
 		if dec := m.inj.Eval(faults.ManifestTornAppend, m.site()); dec.Fire {
 			m.poisoned = true
@@ -367,7 +378,7 @@ func (m *Manifest) rotateLocked() error {
 	}
 	snap := Edit{NextSSID: m.nextSSID, WALEpoch: m.walEpoch, Checkpoint: m.ckpt}
 	snap.Add = m.versionLocked().Tables
-	frame := appendFrame(nil, frameSnapshot, snap)
+	frame := appendFrame(nil, frameSnapV2, snap)
 
 	tmp := newName(m.dir)
 	if err := m.dev.Remove(tmp); err != nil {
@@ -431,11 +442,20 @@ func (m *Manifest) Close() error {
 	return nil
 }
 
+// metaFixedOf returns the fixed TableMeta prefix size for a frame kind.
+func metaFixedOf(kind byte) int {
+	if kind == frameEditV2 || kind == frameSnapV2 {
+		return tableMetaFixedV2
+	}
+	return tableMetaFixed
+}
+
 // appendFrame appends one framed edit of the given kind to dst.
 func appendFrame(dst []byte, kind byte, e Edit) []byte {
+	metaFixed := metaFixedOf(kind)
 	plen := payloadFixed + len(e.Checkpoint)
 	for _, t := range e.Add {
-		plen += tableMetaFixed + len(t.MinKey) + len(t.MaxKey)
+		plen += metaFixed + len(t.MinKey) + len(t.MaxKey)
 	}
 	plen += 8 * len(e.Delete)
 
@@ -459,7 +479,10 @@ func appendFrame(dst []byte, kind byte, e Edit) []byte {
 		binary.LittleEndian.PutUint32(p[w+32:], t.BloomCRC)
 		binary.LittleEndian.PutUint32(p[w+36:], uint32(len(t.MinKey)))
 		binary.LittleEndian.PutUint32(p[w+40:], uint32(len(t.MaxKey)))
-		w += tableMetaFixed
+		if metaFixed == tableMetaFixedV2 {
+			binary.LittleEndian.PutUint32(p[w+44:], t.Level)
+		}
+		w += metaFixed
 		w += copy(p[w:], t.MinKey)
 		w += copy(p[w:], t.MaxKey)
 	}
@@ -485,12 +508,13 @@ func decodePayload(p []byte) (frameRec, error) {
 		return fr, fmt.Errorf("%w: payload of %d bytes", ErrCorrupt, len(p))
 	}
 	switch p[0] {
-	case frameEdit:
-	case frameSnapshot:
+	case frameEdit, frameEditV2:
+	case frameSnapshot, frameSnapV2:
 		fr.snap = true
 	default:
 		return fr, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, p[0])
 	}
+	metaFixed := uint64(metaFixedOf(p[0]))
 	e := &fr.edit
 	e.NextSSID = binary.LittleEndian.Uint64(p[1:])
 	e.WALEpoch = binary.LittleEndian.Uint32(p[9:])
@@ -504,7 +528,7 @@ func decodePayload(p []byte) (frameRec, error) {
 	e.Checkpoint = string(p[w : w+uint64(ckptLen)])
 	w += uint64(ckptLen)
 	for i := uint32(0); i < nAdd; i++ {
-		if w+tableMetaFixed > uint64(len(p)) {
+		if w+metaFixed > uint64(len(p)) {
 			return fr, fmt.Errorf("%w: table meta overruns payload", ErrCorrupt)
 		}
 		var t TableMeta
@@ -516,7 +540,10 @@ func decodePayload(p []byte) (frameRec, error) {
 		t.BloomCRC = binary.LittleEndian.Uint32(p[w+32:])
 		minLen := binary.LittleEndian.Uint32(p[w+36:])
 		maxLen := binary.LittleEndian.Uint32(p[w+40:])
-		w += tableMetaFixed
+		if metaFixed == tableMetaFixedV2 {
+			t.Level = binary.LittleEndian.Uint32(p[w+44:])
+		}
+		w += metaFixed
 		if w+uint64(minLen)+uint64(maxLen) > uint64(len(p)) {
 			return fr, fmt.Errorf("%w: table key bounds overrun payload", ErrCorrupt)
 		}

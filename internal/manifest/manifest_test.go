@@ -284,3 +284,41 @@ func TestManifestDump(t *testing.T) {
 		}
 	}
 }
+
+// TestManifestDumpLeveled pins the per-level listing `pkvadmin manifest
+// dump` relies on: a leveled edit prints its target level on the add line,
+// and the composed version groups the live set into per-level runs with L1+
+// sorted by MinKey rather than SSID.
+func TestManifestDumpLeveled(t *testing.T) {
+	dev := newDevice(t)
+	cfg := Config{Device: dev, Dir: "db/r0"}
+	m := open(t, cfg)
+	l1a := meta(4)
+	l1a.Level = 1
+	l1a.MinKey, l1a.MaxKey = []byte("m"), []byte("r")
+	l1b := meta(7)
+	l1b.Level = 1
+	l1b.MinKey, l1b.MaxKey = []byte("a"), []byte("f")
+	apply(t, m, Edit{Add: []TableMeta{meta(9), l1a, l1b}})
+	m.Close()
+
+	raw, err := dev.ReadFile(LogName(cfg.Dir))
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := DumpLog(raw, &buf); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"add sst 000009 L0", "add sst 000004 L1",
+		"L0: 1 tables", "L1: 2 tables"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump output missing %q:\n%s", want, out)
+		}
+	}
+	// Within L1 the listing is MinKey-sorted: sst 7 [a..f] before sst 4 [m..r].
+	if i, j := strings.Index(out, "sst 000007: "), strings.Index(out, "sst 000004: "); i < 0 || j < 0 || i > j {
+		t.Fatalf("L1 run not MinKey-sorted (sst7 at %d, sst4 at %d):\n%s", i, j, out)
+	}
+}

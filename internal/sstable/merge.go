@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/nvm"
@@ -17,6 +18,22 @@ import (
 // are carried into the merged table: a compaction over a subset of SSTables
 // cannot prove the key is absent from older, unmerged tables, so dropping
 // the tombstone would resurrect deleted keys.
+func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, error) {
+	ordered := append([]uint64(nil), ssids...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] > ordered[j] })
+	return MergeOrdered(dev, dir, ordered, newSSID, nil, nil, false)
+}
+
+// MergeOrdered compacts the SSTables listed in inputs — newest FIRST; with
+// leveled compaction SSID order is no longer recency order, so the caller
+// states recency explicitly — into a single new SSTable newSSID. Only
+// records with lo <= key <= hi are merged (nil bounds are unbounded), so a
+// leveled compaction can rewrite just the victim's key range. When several
+// inputs hold the same key, the earliest input in the list wins.
+//
+// dropTombstones elides deletion markers from the output; it is only sound
+// when the output lands on the bottom level of the store — any deeper table
+// could otherwise resurrect the deleted key.
 //
 // The inputs are NOT deleted here. The caller must first commit the
 // install+delete edit to its manifest and only then Remove the inputs — a
@@ -28,8 +45,8 @@ import (
 // The merge is a streaming k-way heap merge over sequential scanners, so it
 // performs the sequential file reads the paper describes and never holds
 // more than one record per input in memory.
-func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, error) {
-	scanners := make([]*Scanner, 0, len(ssids))
+func MergeOrdered(dev *nvm.Device, dir string, inputs []uint64, newSSID uint64, lo, hi []byte, dropTombstones bool) (Meta, error) {
+	scanners := make([]*Scanner, 0, len(inputs))
 	defer func() {
 		for _, sc := range scanners {
 			sc.Close()
@@ -38,18 +55,23 @@ func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, e
 
 	h := &mergeHeap{}
 	expected := 0
-	for _, id := range ssids {
+	for pri, id := range inputs {
 		sc, err := NewScanner(dev, dir, id)
 		if err != nil {
 			return Meta{}, err
 		}
 		scanners = append(scanners, sc)
+		if len(lo) > 0 {
+			if err := sc.SeekGE(lo); err != nil {
+				return Meta{}, err
+			}
+		}
 		e, ok, err := sc.Next()
 		if err != nil {
 			return Meta{}, err
 		}
 		if ok {
-			heap.Push(h, mergeItem{entry: e, ssid: id, scanner: sc})
+			heap.Push(h, mergeItem{entry: e, pri: pri, scanner: sc})
 		}
 		// Size the output bloom filter from the inputs' true entry counts,
 		// so merging large tables keeps the configured false-positive rate
@@ -57,7 +79,8 @@ func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, e
 		// when the input's index is in the reader cache; otherwise it is a
 		// 16-byte header read. An unreadable index falls back to a rough
 		// estimate rather than failing the merge — the merge itself only
-		// needs the data files.
+		// needs the data files. A range-bounded merge over-allocates by the
+		// out-of-range share; that costs bloom bits, never correctness.
 		if n, err := EntryCount(dev, dir, id); err == nil {
 			expected += n
 		} else {
@@ -74,12 +97,18 @@ func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, e
 	haveLast := false
 	for h.Len() > 0 {
 		item := heap.Pop(h).(mergeItem)
-		// The heap orders equal keys by descending SSID, so the first
+		if len(hi) > 0 && bytes.Compare(item.entry.Key, hi) > 0 {
+			// Every remaining record in every input is past the range.
+			break
+		}
+		// The heap orders equal keys by input priority, so the first
 		// occurrence of a key is the newest; later duplicates are stale.
 		if !haveLast || !bytes.Equal(item.entry.Key, lastKey) {
-			if err := w.Add(item.entry); err != nil {
-				w.Abort()
-				return Meta{}, err
+			if !dropTombstones || !item.entry.Tombstone {
+				if err := w.Add(item.entry); err != nil {
+					w.Abort()
+					return Meta{}, err
+				}
 			}
 			lastKey = append(lastKey[:0], item.entry.Key...)
 			haveLast = true
@@ -90,7 +119,7 @@ func Merge(dev *nvm.Device, dir string, ssids []uint64, newSSID uint64) (Meta, e
 			return Meta{}, err
 		}
 		if ok {
-			heap.Push(h, mergeItem{entry: next, ssid: item.ssid, scanner: item.scanner})
+			heap.Push(h, mergeItem{entry: next, pri: item.pri, scanner: item.scanner})
 		}
 	}
 
@@ -129,17 +158,28 @@ func EntryCount(dev *nvm.Device, dir string, ssid uint64) (int, error) {
 
 // MergeScan streams the logical merge of the given SSTables — each key's
 // newest version only, in ascending key order — to fn without writing a new
-// table. Restart-with-redistribution uses it to re-put each snapshot pair
-// exactly once (§4.2). A non-nil error from fn aborts the scan.
+// table. Recency is SSID order (pre-leveled semantics); use
+// MergeScanOrdered when the caller knows a different recency order.
 func MergeScan(dev *nvm.Device, dir string, ssids []uint64, fn func(memtable.Entry) error) error {
-	scanners := make([]*Scanner, 0, len(ssids))
+	ordered := append([]uint64(nil), ssids...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] > ordered[j] })
+	return MergeScanOrdered(dev, dir, ordered, fn)
+}
+
+// MergeScanOrdered streams the logical merge of the given SSTables — inputs
+// newest FIRST, each key's newest version only, in ascending key order — to
+// fn without writing a new table. Restart-with-redistribution uses it to
+// re-put each snapshot pair exactly once (§4.2). A non-nil error from fn
+// aborts the scan.
+func MergeScanOrdered(dev *nvm.Device, dir string, inputs []uint64, fn func(memtable.Entry) error) error {
+	scanners := make([]*Scanner, 0, len(inputs))
 	defer func() {
 		for _, sc := range scanners {
 			sc.Close()
 		}
 	}()
 	h := &mergeHeap{}
-	for _, id := range ssids {
+	for pri, id := range inputs {
 		sc, err := NewScanner(dev, dir, id)
 		if err != nil {
 			return err
@@ -150,7 +190,7 @@ func MergeScan(dev *nvm.Device, dir string, ssids []uint64, fn func(memtable.Ent
 			return err
 		}
 		if ok {
-			heap.Push(h, mergeItem{entry: e, ssid: id, scanner: sc})
+			heap.Push(h, mergeItem{entry: e, pri: pri, scanner: sc})
 		}
 	}
 	var lastKey []byte
@@ -169,7 +209,7 @@ func MergeScan(dev *nvm.Device, dir string, ssids []uint64, fn func(memtable.Ent
 			return err
 		}
 		if ok {
-			heap.Push(h, mergeItem{entry: next, ssid: item.ssid, scanner: item.scanner})
+			heap.Push(h, mergeItem{entry: next, pri: item.pri, scanner: item.scanner})
 		}
 	}
 	return nil
@@ -177,7 +217,7 @@ func MergeScan(dev *nvm.Device, dir string, ssids []uint64, fn func(memtable.Ent
 
 type mergeItem struct {
 	entry   memtable.Entry
-	ssid    uint64
+	pri     int // input position: lower = newer, wins ties
 	scanner *Scanner
 }
 
@@ -188,7 +228,7 @@ func (h mergeHeap) Less(i, j int) bool {
 	if c := bytes.Compare(h[i].entry.Key, h[j].entry.Key); c != 0 {
 		return c < 0
 	}
-	return h[i].ssid > h[j].ssid // newest first among equal keys
+	return h[i].pri < h[j].pri // newest first among equal keys
 }
 func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
