@@ -3,10 +3,10 @@ GO ?= go
 # Fast packages whose tests exercise the concurrency-heavy layers; the race
 # subset keeps CI latency bounded while still racing every lock-order-
 # sensitive path (queues, caches, message layer, fault/event/WAL machinery).
-RACE_PKGS = ./internal/fifo ./internal/lru ./internal/mpi ./internal/sstable ./internal/wal
+RACE_PKGS = ./internal/fifo ./internal/lru ./internal/mpi ./internal/scrub ./internal/sstable ./internal/wal
 RACE_CORE = ./internal/core
 
-.PHONY: all build vet test race chaos overload crash fuzz bench-smoke ci clean
+.PHONY: all build vet test race chaos overload crash scrub fuzz bench-smoke ci clean
 
 all: build
 
@@ -21,7 +21,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'TestFault|TestEvent|TestWAL|TestReaderCache|TestSharedRead|TestRPC|TestRecover|TestDegrade|TestScan|TestCompact' $(RACE_CORE)
+	$(GO) test -race -run 'TestFault|TestEvent|TestWAL|TestReaderCache|TestSharedRead|TestRPC|TestRecover|TestDegrade|TestScan|TestCompact|TestScrub' $(RACE_CORE)
 
 # Seeded kill/recover soak under the race detector: a periodic fault rule
 # kills a rank over and over while every rank loads, the victim Recovers in
@@ -47,10 +47,18 @@ overload:
 crash:
 	$(GO) test -race -run 'TestCrash' -count=1 -timeout 300s $(RACE_CORE)
 
-# Short coverage-guided run of the WAL replay decoder on top of its
-# committed seed corpus (internal/wal/testdata/fuzz).
+# Seeded scrub soak under the race detector: rounds of load, checkpoint, and
+# scrub with a periodic at-rest bit-rot rule decaying live SSTables while
+# foreground puts race the cycles. Every rot must be detected and repaired
+# from the checkpoint — zero acked-value loss, rank Healthy throughout.
+scrub:
+	$(GO) test -race -run 'TestSoakScrub' -count=1 -timeout 300s $(RACE_CORE)
+
+# Short coverage-guided runs of the WAL and manifest replay decoders on top
+# of their committed seed corpora (internal/{wal,manifest}/testdata/fuzz).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 10s ./internal/manifest
 
 # One-iteration benchmark runs: catches benchmarks that no longer compile
 # or error out, without paying for real measurements.
@@ -59,8 +67,9 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkConcurrentRemoteGet -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench BenchmarkScan -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench BenchmarkCompactReadAmp -benchtime 1x ./internal/core
+	$(GO) test -run '^$$' -bench BenchmarkScrubOverhead -benchtime 1x ./internal/core
 
-ci: build vet test race chaos overload crash fuzz bench-smoke
+ci: build vet test race chaos overload crash scrub fuzz bench-smoke
 
 clean:
 	$(GO) clean ./...

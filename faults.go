@@ -52,6 +52,12 @@ const (
 	// authoritative and the failure is counted).
 	FaultManifestTornAppend = faults.ManifestTornAppend
 	FaultManifestRotateFail = faults.ManifestRotateFail
+	// Scrub domain: flip one bit of a live SSTable *at rest* (cold-data
+	// media decay, evaluated once per table per scrub cycle), or fail a
+	// scrub repair's checkpoint copy-back so the quarantine+degrade path
+	// runs.
+	FaultScrubBitRot     = faults.ScrubBitRot
+	FaultScrubRepairFail = faults.ScrubRepairFail
 )
 
 // Wildcard filters for FaultRule fields.

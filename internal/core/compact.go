@@ -206,12 +206,24 @@ func (db *DB) compactorThread() {
 	}
 }
 
-// compact runs compactions synchronously until no further job is picked,
-// forcing a merge of L0 (plus its L1 overlap) even below the score
-// threshold. Tests and the pre-leveled callers use it as the "merge
-// everything down" lever; like the background workers it defers under a
-// held checkpoint pin.
-func (db *DB) compact() { db.runCompactions(true) }
+// compact runs compactions synchronously until no further job is picked
+// and none is in flight, forcing a merge of L0 (plus its L1 overlap) even
+// below the score threshold. Tests and the pre-leveled callers use it as
+// the "merge everything down" lever; like the background workers it defers
+// under a held checkpoint pin.
+func (db *DB) compact() {
+	for {
+		db.runCompactions(true)
+		if db.pendingCompact.value() == 0 {
+			return
+		}
+		// A background job is mid-merge, and its claims (compactL0Busy, the
+		// per-table busy set) may be what made this pass's pick come up
+		// empty. Wait it out — the release can unblock a due job the forced
+		// pass was meant to run — then sweep again.
+		db.pendingCompact.wait()
+	}
+}
 
 // runCompactions picks and runs jobs until none is eligible. force lowers
 // the L0 threshold to "two or more tables would merge", the synchronous

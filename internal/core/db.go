@@ -11,6 +11,7 @@ import (
 	"papyruskv/internal/manifest"
 	"papyruskv/internal/memtable"
 	"papyruskv/internal/mpi"
+	"papyruskv/internal/scrub"
 	"papyruskv/internal/sstable"
 	"papyruskv/internal/wal"
 )
@@ -128,6 +129,16 @@ type DB struct {
 	// §4.2, but a merge would delete them).
 	checkpointPin *counter
 
+	// Background integrity scrub (scrub.go). scrubMu serializes cycles
+	// (the ticker thread against explicit Scrub calls); scrubLim is the
+	// token-bucket byte budget shared by every cycle; scrubRep, guarded by
+	// scrubRepMu, accumulates the typed report (verification counters and
+	// lost key ranges) that ScrubReport hands out.
+	scrubMu    sync.Mutex
+	scrubLim   *scrub.Limiter
+	scrubRepMu sync.Mutex
+	scrubRep   scrub.Report
+
 	metrics Metrics
 
 	// failMu guards the failure-domain state (health.go, recover.go): this
@@ -244,6 +255,7 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 		nextSSID:      1,
 		pinnedSSIDs:   make(map[uint64]int),
 		zombieSSIDs:   make(map[uint64]bool),
+		scrubLim:      scrub.NewLimiter(opt.ScrubBytesPerSec),
 	}
 	db.scans.m = make(map[scanKey]*openScan)
 	db.applyProtection(opt.Protection)
@@ -308,6 +320,12 @@ func (rt *Runtime) Open(name string, opt Options) (*DB, error) {
 	if opt.WAL == WALAsync {
 		db.wg.Add(1)
 		go db.walFlushThread()
+	}
+	// The background integrity scrubber; a negative interval disables it
+	// (explicit Scrub calls still work).
+	if opt.ScrubInterval > 0 {
+		db.wg.Add(1)
+		go db.scrubThread()
 	}
 
 	// Every rank must finish composing before any rank issues remote

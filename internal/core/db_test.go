@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"papyruskv/internal/mpi"
 	"papyruskv/internal/nvm"
@@ -394,8 +395,14 @@ func TestCompactionPreservesData(t *testing.T) {
 				return err
 			}
 		}
-		if db.Metrics().Compactions.Load() == 0 {
-			return fmt.Errorf("compaction never ran")
+		// The rounds above fired the L0 trigger; the commit is asynchronous,
+		// so wait for a worker to land one rather than sampling the counter
+		// the instant the put loop ends.
+		for deadline := time.Now().Add(10 * time.Second); db.Metrics().Compactions.Load() == 0; {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("compaction never ran")
+			}
+			time.Sleep(time.Millisecond)
 		}
 		for i := 0; i < 60; i++ {
 			if err := wantGet(db, fmt.Sprintf("key%02d", i), fmt.Sprintf("round5-%d", i)); err != nil {

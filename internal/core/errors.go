@@ -55,6 +55,13 @@ var (
 	// past StallTimeout, or above the hard threshold outright. The pair
 	// was not applied; the caller may retry after backing off.
 	ErrWriteStalled = errors.New("papyruskv: write stalled by backlog")
+	// ErrScrubLoss reports that the background scrubber found a corrupt
+	// SSTable and no valid checkpoint copy existed to repair it from: the
+	// table was quarantined, its key range recorded in the ScrubReport,
+	// and the rank degraded to read-only — the intact remainder keeps
+	// serving instead of the whole rank failing. The corruption detail is
+	// wrapped.
+	ErrScrubLoss = errors.New("papyruskv: scrub detected unrepairable corruption")
 )
 
 // ErrCorrupt reports data that failed checksum or structural validation —

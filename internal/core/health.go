@@ -131,13 +131,15 @@ func (db *DB) degradeLocked(err error) {
 }
 
 // failOrDegrade routes a background error to its rung of the ladder:
-// resource exhaustion (a full device) degrades to read-only, everything
-// else fails the domain.
+// resource exhaustion (a full device) degrades to read-only, as does an
+// unrepairable scrub loss (the corrupt table is quarantined; everything
+// else on the device is verified and keeps serving reads). Everything else
+// fails the domain.
 func (db *DB) failOrDegrade(err error) {
 	if err == nil {
 		return
 	}
-	if errors.Is(err, nvm.ErrNoSpace) {
+	if errors.Is(err, nvm.ErrNoSpace) || errors.Is(err, ErrScrubLoss) {
 		db.degrade(err)
 		return
 	}

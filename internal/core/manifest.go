@@ -166,7 +166,7 @@ func (db *DB) quarantineOrphans(dir string, v manifest.Version) error {
 		if err != nil || v.Has(id) {
 			continue
 		}
-		if err := dev.Rename(f, dir+"/quarantine/"+base); err != nil {
+		if err := dev.Rename(f, db.quarantineName(dir, base)); err != nil {
 			return fmt.Errorf("quarantining orphan %s: %w", base, err)
 		}
 		if !moved[id] {
@@ -176,6 +176,20 @@ func (db *DB) quarantineOrphans(dir string, v manifest.Version) error {
 		}
 	}
 	return nil
+}
+
+// quarantineName returns an unused destination under <dir>/quarantine for
+// base. SSIDs recycle — a repaired table's quarantined predecessor, or a
+// crash-reopen loop, can send a second file with the same name here — and
+// quarantined files are evidence, so a collision must never clobber the
+// earlier incident: later arrivals get a monotonic ".N" stamp.
+func (db *DB) quarantineName(dir, base string) string {
+	dev := db.rt.cfg.Device
+	name := dir + "/quarantine/" + base
+	for n := 1; dev.Exists(name); n++ {
+		name = fmt.Sprintf("%s/quarantine/%s.%d", dir, base, n)
+	}
+	return name
 }
 
 // manifestClose releases the manifest handle at teardown.

@@ -225,6 +225,19 @@ type Options struct {
 	// "scan expired" error). 0 selects the default (30s); a negative value
 	// disables expiry, so abandoned scans pin their snapshots until Close.
 	ScanIdleTimeout time.Duration
+	// ScrubInterval is the background integrity scrubber's cycle period:
+	// every interval the rank re-reads its live SSTables, WAL segments, and
+	// manifest and verifies them against the manifest-recorded checksums,
+	// repairing corrupt tables from the latest committed checkpoint (or
+	// quarantining them and degrading when no repair source exists).
+	// 0 selects the default (60s); a negative value disables the background
+	// scrubber — explicit DB.Scrub calls still work.
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec is the scrubber's token-bucket byte budget: the
+	// sustained rate at which it may read and checksum NVM bytes, so a
+	// scrub pass cannot perturb foreground tail latency. 0 selects the
+	// default (8MB/s); a negative value removes the throttle.
+	ScrubBytesPerSec int64
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -258,6 +271,8 @@ func DefaultOptions() Options {
 		StallTimeout:        time.Second,
 		ScanPageBytes:       256 << 10,
 		ScanIdleTimeout:     30 * time.Second,
+		ScrubInterval:       60 * time.Second,
+		ScrubBytesPerSec:    8 << 20,
 	}
 }
 
@@ -334,6 +349,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ScanIdleTimeout == 0 {
 		o.ScanIdleTimeout = d.ScanIdleTimeout
+	}
+	if o.ScrubInterval == 0 {
+		o.ScrubInterval = d.ScrubInterval
+	}
+	if o.ScrubBytesPerSec == 0 {
+		o.ScrubBytesPerSec = d.ScrubBytesPerSec
 	}
 	return o
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 
 	"papyruskv/internal/mpi"
 )
@@ -234,8 +235,15 @@ func TestReaderCacheCompactionChurn(t *testing.T) {
 				}
 			}
 		}
-		if db.Metrics().Compactions.Load() == 0 {
-			return fmt.Errorf("workload drove no compactions; the race is untested")
+		// The workload queued compaction triggers continuously, but the
+		// commit is asynchronous: on a loaded single-CPU host the worker may
+		// not have had a slice yet when the put loop ends. The kick is
+		// pending in the channel, so a bounded wait is deterministic.
+		for deadline := time.Now().Add(10 * time.Second); db.Metrics().Compactions.Load() == 0; {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("workload drove no compactions; the race is untested")
+			}
+			time.Sleep(time.Millisecond)
 		}
 		if db.Metrics().SSTableHits.Load() == 0 {
 			return fmt.Errorf("no gets were served from SSTables")

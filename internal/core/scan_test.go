@@ -59,7 +59,16 @@ func TestScanSnapshotIsolation(t *testing.T) {
 		base := m.Compactions.Load()
 		for i := 0; m.Compactions.Load() == base; i++ {
 			if i > 16 {
-				t.Fatal("compaction never triggered")
+				// Enough fillers have flushed that the L0 trigger fired and
+				// the kick is pending; the commit itself is asynchronous, so
+				// wait it out instead of piling on more tables.
+				for deadline := time.Now().Add(10 * time.Second); m.Compactions.Load() == base; {
+					if time.Now().After(deadline) {
+						t.Fatal("compaction never triggered")
+					}
+					time.Sleep(time.Millisecond)
+				}
+				break
 			}
 			mustPut(t, db, fmt.Sprintf("fill-%04d", i), "x")
 			if err := db.Barrier(LevelSSTable); err != nil {

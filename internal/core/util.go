@@ -118,6 +118,11 @@ type Metrics struct {
 	// into Snapshot with a manifest_ prefix.
 	Manifest stats.Manifest
 
+	// Scrub holds the background integrity scrubber's counters (tables
+	// verified, bytes read, corruptions, repairs), flattened into Snapshot
+	// under their scrub metric names.
+	Scrub stats.Scrub
+
 	// Readers points at the SSTable reader-cache counters, flattened into
 	// Snapshot with a reader_cache_ prefix. The cache — and therefore
 	// these counters — is per NVM device, shared by every rank of a
@@ -212,6 +217,9 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		snap[k] = v
 	}
 	for k, v := range m.Manifest.Snapshot() {
+		snap[k] = v
+	}
+	for k, v := range m.Scrub.Snapshot() {
 		snap[k] = v
 	}
 	if m.Readers != nil {

@@ -234,7 +234,7 @@ func TestMetricsSnapshotComplete(t *testing.T) {
 	if snap["wal_records_appended"] != 11 {
 		t.Fatalf("snapshot is missing the WAL counters: %v", snap)
 	}
-	if len(snap) != 58 {
+	if len(snap) != 63 {
 		t.Fatalf("snapshot has %d fields; update Snapshot when adding metrics", len(snap))
 	}
 	if _, ok := snap["pairs_lost"]; !ok {

@@ -8,6 +8,7 @@
 //	manifest     ManifestTornAppend, ManifestRotateFail
 //	mpi/simnet   NetDrop, NetDelay, NetDup
 //	core         CoreKill
+//	scrub        ScrubBitRot, ScrubRepairFail
 //
 // An Injector holds a rule set; each instrumented site evaluates its point
 // with a Site descriptor (rank, message tag, device/communicator label) and
@@ -79,6 +80,17 @@ const (
 	// work (flush, compaction, migration) mid-run. The rank's message
 	// handler stays up to answer peers with clean error responses.
 	CoreKill Point = "core.kill"
+
+	// ScrubBitRot flips one bit of a live SSTable file *at rest* — on the
+	// device, not in a read's return value — modelling cold-data media
+	// decay. The scrubber evaluates it once per table visit; a firing
+	// corrupts the stored bytes so the next integrity pass (or foreground
+	// read) would see a checksum mismatch.
+	ScrubBitRot Point = "scrub.bit-rot"
+	// ScrubRepairFail fails a scrub repair's checkpoint copy-back with
+	// ErrInjected, forcing the no-valid-source path: quarantine, loss
+	// accounting, and rank degradation.
+	ScrubRepairFail Point = "scrub.repair-fail"
 )
 
 // AnyRank and AnyTag are wildcard filters for Rule and Site fields.

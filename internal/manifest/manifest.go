@@ -426,6 +426,24 @@ func (m *Manifest) rotateLocked() error {
 	return nil
 }
 
+// Compose parses raw as a manifest log and returns the composed version plus
+// the clean-prefix length, without opening a handle or touching a device.
+// The damage taxonomy matches Open: a torn tail composes the frames before it
+// and reports clean < len(raw) with a nil error; mid-log corruption returns
+// an error wrapping ErrCorrupt. Offline tooling (pkvadmin scrub) and the
+// online scrubber's manifest read-back both verify through it.
+func Compose(raw []byte) (Version, int, error) {
+	edits, clean, err := decodeFrames(raw)
+	if err != nil {
+		return Version{}, clean, err
+	}
+	m := &Manifest{tables: make(map[uint64]TableMeta), nextSSID: 1}
+	for _, e := range edits {
+		m.applyLocked(e)
+	}
+	return m.versionLocked(), clean, nil
+}
+
 // Close releases the log handle. Every committed edit is already fsynced,
 // so there is nothing to flush; a poisoned (torn) log is released the same
 // way.
@@ -590,7 +608,7 @@ func decodeFrames(data []byte) ([]Edit, int, error) {
 		}
 		fr, err := decodePayload(p)
 		if err != nil {
-			return out, off, fmt.Errorf("%v at offset %d", err, off)
+			return out, off, fmt.Errorf("%w at offset %d", err, off)
 		}
 		if fr.snap {
 			// A snapshot replaces everything before it.

@@ -1,0 +1,218 @@
+// Package scrub is PapyrusKV's integrity-verification core: the byte-level
+// check that an SSTable's on-NVM files still match the fingerprints its
+// manifest recorded when they were written.
+//
+// The package is deliberately small and device-agnostic — verification reads
+// through the Reader interface, so the same code serves the online per-rank
+// background scrubber (reading an *nvm.Device, paced by a token-bucket byte
+// budget) and the offline `pkvadmin scrub` verifier (reading the OS
+// filesystem directly, unthrottled). Policy — what to do about a mismatch,
+// when to pause, which tables to skip — lives with the callers; this package
+// only answers "are these bytes still the bytes the manifest promised?".
+package scrub
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"papyruskv/internal/manifest"
+	"papyruskv/internal/sstable"
+)
+
+// crcTable is the Castagnoli polynomial, matching the SSTable, WAL, and
+// manifest checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Reader is the byte-level access verification needs. *nvm.Device satisfies
+// it; pkvadmin wraps the OS filesystem in an adapter.
+type Reader interface {
+	// ReadFile returns the file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// FileSize returns the file's length in bytes.
+	FileSize(name string) (int64, error)
+}
+
+// Mismatch reports one file of one table whose on-device bytes contradict
+// the manifest. It unwraps to sstable.ErrCorrupt so every corruption site in
+// the store matches the same sentinel.
+type Mismatch struct {
+	// SSID identifies the table.
+	SSID uint64
+	// File names the component: "data", "index", or "bloom".
+	File string
+	// Detail says which fingerprint failed and how.
+	Detail string
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("%v: scrub: sst %06d %s file: %s", sstable.ErrCorrupt, m.SSID, m.File, m.Detail)
+}
+
+func (m *Mismatch) Unwrap() error { return sstable.ErrCorrupt }
+
+// Limiter is a token-bucket byte budget: Wait(n) blocks until n bytes of
+// budget have accrued at the configured rate. A nil limiter, or one built
+// with rate <= 0, never blocks — the unthrottled offline mode.
+type Limiter struct {
+	rate float64 // bytes per second
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns a limiter paying out bytesPerSec. rate <= 0 means
+// unlimited. The bucket holds at most one second of budget, so a long idle
+// gap cannot bank an unbounded burst.
+func NewLimiter(bytesPerSec int64) *Limiter {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	return &Limiter{rate: float64(bytesPerSec), last: time.Now()}
+}
+
+// Wait blocks until n bytes of budget are available or stop closes. It
+// returns false only when stopped early. Large n (a table bigger than one
+// second of budget) is paid off in instalments rather than rejected.
+func (l *Limiter) Wait(n int, stop <-chan struct{}) bool {
+	if l == nil || n <= 0 {
+		return true
+	}
+	need := float64(n)
+	for {
+		l.mu.Lock()
+		now := time.Now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		l.last = now
+		if l.tokens > l.rate {
+			l.tokens = l.rate // one second of burst, max
+		}
+		if l.tokens >= need {
+			l.tokens -= need
+			l.mu.Unlock()
+			return true
+		}
+		missing := need - l.tokens
+		// Spend what is banked now; sleep for the remainder.
+		need = missing
+		l.tokens = 0
+		wait := time.Duration(missing / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		if wait > 100*time.Millisecond {
+			wait = 100 * time.Millisecond // re-check stop at a bounded cadence
+		}
+		select {
+		case <-stop:
+			return false
+		case <-time.After(wait):
+		}
+	}
+}
+
+// ErrStopped reports a verification abandoned because the stop channel
+// closed mid-wait; the table was neither verified nor found corrupt.
+var ErrStopped = fmt.Errorf("scrub: stopped")
+
+// VerifyTable re-reads one live table's three files from r and checks them
+// against the manifest-recorded fingerprints: the data file's size and
+// CRC32C, and the index and bloom files' CRC32Cs. It returns the bytes read
+// and, on a contradiction, a *Mismatch (wrapping sstable.ErrCorrupt). Reads
+// are paced by lim, which may be nil for unthrottled verification; a closed
+// stop channel abandons the check with ErrStopped. I/O errors (a listed file
+// missing, a device fault) return as-is — the caller decides whether that is
+// corruption or a concurrent delete it should tolerate.
+func VerifyTable(r Reader, dir string, t manifest.TableMeta, lim *Limiter, stop <-chan struct{}) (int64, error) {
+	var read int64
+	check := func(name, file string, wantCRC uint32, wantSize int64) error {
+		size, err := r.FileSize(name)
+		if err != nil {
+			return err
+		}
+		if wantSize >= 0 && size != wantSize {
+			return &Mismatch{SSID: t.SSID, File: file,
+				Detail: fmt.Sprintf("size %d, manifest records %d", size, wantSize)}
+		}
+		if !lim.Wait(int(size), stop) {
+			return ErrStopped
+		}
+		raw, err := r.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		read += int64(len(raw))
+		if int64(len(raw)) != size {
+			return &Mismatch{SSID: t.SSID, File: file,
+				Detail: fmt.Sprintf("read %d bytes of %d", len(raw), size)}
+		}
+		if got := crc32.Checksum(raw, crcTable); got != wantCRC {
+			return &Mismatch{SSID: t.SSID, File: file,
+				Detail: fmt.Sprintf("crc %08x, manifest records %08x", got, wantCRC)}
+		}
+		return nil
+	}
+	// Bloom and index before data: they are small, so a rotted table is
+	// usually caught before the budget pays for the big file.
+	if err := check(sstable.BloomName(dir, t.SSID), "bloom", t.BloomCRC, -1); err != nil {
+		return read, err
+	}
+	if err := check(sstable.IndexName(dir, t.SSID), "index", t.IndexCRC, -1); err != nil {
+		return read, err
+	}
+	if err := check(sstable.DataName(dir, t.SSID), "data", t.DataCRC, t.DataBytes); err != nil {
+		return read, err
+	}
+	return read, nil
+}
+
+// LostRange records the key coverage of one quarantined, unrepairable table:
+// the loss accounting a degraded rank reports to its operator.
+type LostRange struct {
+	// SSID and Level identify the quarantined table.
+	SSID  uint64
+	Level uint32
+	// Entries is the record count the manifest listed for it.
+	Entries uint64
+	// MinKey and MaxKey bound the keys that may have lost their newest
+	// version (older versions may survive in deeper levels).
+	MinKey []byte
+	MaxKey []byte
+	// Cause describes the mismatch and why repair was impossible.
+	Cause string
+}
+
+// Report is the cumulative outcome of a rank's scrub cycles. Counters mirror
+// the scrub metrics; LostRanges carries what no metric can — which keys an
+// unrepairable table covered.
+type Report struct {
+	// Cycles counts completed scrub passes over the live version.
+	Cycles uint64
+	// TablesVerified, BytesVerified count clean verifications.
+	TablesVerified uint64
+	BytesVerified  uint64
+	// Corruptions counts tables found contradicting the manifest.
+	Corruptions uint64
+	// Repairs counts corruptions restored from a checkpoint generation.
+	Repairs uint64
+	// RepairFailures counts corruptions with no valid repair source.
+	RepairFailures uint64
+	// LostRanges lists the key ranges quarantined without repair.
+	LostRanges []LostRange
+}
+
+// Clone returns a deep copy, safe to hand out while the scrubber keeps
+// appending.
+func (r Report) Clone() Report {
+	out := r
+	out.LostRanges = make([]LostRange, len(r.LostRanges))
+	for i, l := range r.LostRanges {
+		l.MinKey = append([]byte(nil), l.MinKey...)
+		l.MaxKey = append([]byte(nil), l.MaxKey...)
+		out.LostRanges[i] = l
+	}
+	return out
+}

@@ -43,6 +43,7 @@ package papyruskv
 import (
 	"papyruskv/internal/core"
 	"papyruskv/internal/hashfn"
+	"papyruskv/internal/scrub"
 )
 
 // Re-exported core types. The paper's papyruskv_option_t, consistency
@@ -79,6 +80,13 @@ type (
 	// HealthState is a rank's position on the degradation ladder reported
 	// by DB.State: Healthy → Degraded (read-only) → Failed.
 	HealthState = core.HealthState
+	// ScrubReport is the cumulative outcome of a rank's background
+	// integrity scrub (DB.ScrubReport): verification counters plus the key
+	// range of every table quarantined without a repair source.
+	ScrubReport = scrub.Report
+	// ScrubLostRange is one quarantined, unrepairable table's key coverage
+	// inside a ScrubReport.
+	ScrubLostRange = scrub.LostRange
 )
 
 // Degradation-ladder states (DB.State). A Healthy rank serves reads and
@@ -138,6 +146,11 @@ var (
 	// the backlog above the soft threshold — or immediately once the
 	// backlog reaches Options.StallHardDepth. The put was not applied.
 	ErrWriteStalled = core.ErrWriteStalled
+	// ErrScrubLoss is the cause inside Health()'s ErrReadOnly after the
+	// background scrubber found a corrupt SSTable with no valid checkpoint
+	// copy to repair from: the table is quarantined, its key range is in
+	// DB.ScrubReport, and the rank is Degraded (read-only).
+	ErrScrubLoss = core.ErrScrubLoss
 )
 
 // DefaultOptions returns the paper's default database configuration.
